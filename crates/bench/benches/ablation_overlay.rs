@@ -1,0 +1,171 @@
+//! **Ablation bench** — the substrate design choices DESIGN.md calls
+//! out, isolated:
+//!
+//! * routing base: base-4 digit fingers (Tornado-like) vs base-2
+//!   (Chord-like) — hop count and per-route time;
+//! * proximity neighbor selection on vs off — per-hop physical cost;
+//! * distance-oracle memoization — cold vs warm Dijkstra queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bristle_netsim::attach::AttachmentMap;
+use bristle_netsim::dijkstra::{single_source, DistanceCache};
+use bristle_netsim::graph::RouterId;
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::{TransitStubConfig, TransitStubTopology};
+use bristle_overlay::config::RingConfig;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::Meter;
+use bristle_overlay::ring::RingDht;
+
+fn fixture(cfg: RingConfig, seed: u64) -> (RingDht<()>, AttachmentMap, DistanceCache, Vec<Key>) {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let topo = TransitStubTopology::generate(&TransitStubConfig::small(), &mut rng);
+    let stubs = topo.stub_routers().to_vec();
+    let dcache = DistanceCache::new(Arc::new(topo.into_graph()), 1024);
+    let mut attachments = AttachmentMap::new();
+    let mut dht = RingDht::new(cfg);
+    for _ in 0..256 {
+        let host = attachments.attach_new(*rng.choose(&stubs));
+        loop {
+            let k = Key::random(&mut rng);
+            if dht.insert(k, host, 1).is_ok() {
+                break;
+            }
+        }
+    }
+    dht.build_all_tables(&attachments, &dcache, &mut rng);
+    let keys = dht.keys().collect();
+    (dht, attachments, dcache, keys)
+}
+
+fn routing_base(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/route_256_nodes");
+    group.sample_size(50);
+    for (name, cfg) in [("tornado_base4", RingConfig::tornado()), ("chord_base2", RingConfig::chord())] {
+        let (dht, attachments, dcache, keys) = fixture(cfg, 31);
+        let mut meter = Meter::new();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let src = keys[i % keys.len()];
+                let dst = keys[(i * 13 + 1) % keys.len()];
+                i += 1;
+                black_box(dht.route(src, dst, &attachments, &dcache, &mut meter).expect("route"))
+            })
+        });
+    }
+    // The other substrate families on the same population size.
+    {
+        use bristle_overlay::prefix::PrefixDht;
+        let mut rng = Pcg64::seed_from_u64(31);
+        let topo = TransitStubTopology::generate(&TransitStubConfig::small(), &mut rng);
+        let stubs = topo.stub_routers().to_vec();
+        let dcache = DistanceCache::new(Arc::new(topo.into_graph()), 1024);
+        let mut attachments = AttachmentMap::new();
+        let mut dht: PrefixDht<()> = PrefixDht::new(RingConfig::tornado());
+        for _ in 0..256 {
+            let host = attachments.attach_new(*rng.choose(&stubs));
+            loop {
+                let k = Key::random(&mut rng);
+                if dht.insert(k, host, 1).is_ok() {
+                    break;
+                }
+            }
+        }
+        dht.build_all_tables(&attachments, &dcache, &mut rng);
+        let keys: Vec<Key> = dht.keys().collect();
+        let mut i = 0usize;
+        group.bench_function("prefix_base4", |b| {
+            b.iter(|| {
+                let src = keys[i % keys.len()];
+                let dst = keys[(i * 13 + 1) % keys.len()];
+                i += 1;
+                black_box(dht.route(src, dst).expect("route"))
+            })
+        });
+    }
+    {
+        use bristle_overlay::can::CanOverlay;
+        let mut rng = Pcg64::seed_from_u64(31);
+        let mut can: CanOverlay<()> = CanOverlay::new(2);
+        for i in 0..256 {
+            loop {
+                let k = Key::random(&mut rng);
+                if can.join(k, bristle_netsim::attach::HostId(i as u32), &mut rng).is_ok() {
+                    break;
+                }
+            }
+        }
+        let keys: Vec<Key> = can.iter().map(|n| n.key).collect();
+        let mut i = 0usize;
+        group.bench_function("can_d2", |b| {
+            b.iter(|| {
+                let src = keys[i % keys.len()];
+                let dst = keys[(i * 13 + 1) % keys.len()];
+                i += 1;
+                black_box(can.route(src, dst).expect("route"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn proximity_selection(c: &mut Criterion) {
+    // Report the mean per-entry physical distance as the measured value;
+    // bench the table-build cost of obtaining it.
+    let mut group = c.benchmark_group("ablation/neighbor_selection_rebuild");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("proximity", RingConfig::tornado()),
+        ("first", RingConfig { selection: bristle_overlay::config::NeighborSelection::First, ..RingConfig::tornado() }),
+    ] {
+        let (mut dht, attachments, dcache, keys) = fixture(cfg, 32);
+        let mut rng = Pcg64::seed_from_u64(33);
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let k = keys[i % keys.len()];
+                i += 1;
+                black_box(dht.rebuild_node(k, &attachments, &dcache, &mut rng).expect("rebuild"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn distance_oracle(c: &mut Criterion) {
+    let mut rng = Pcg64::seed_from_u64(34);
+    let topo = TransitStubTopology::generate(&TransitStubConfig::small(), &mut rng);
+    let graph = Arc::new(topo.into_graph());
+    let n = graph.vertex_count() as u32;
+
+    c.bench_function("ablation/dijkstra_cold_single_source", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let src = RouterId(i % n);
+            i += 1;
+            black_box(single_source(&graph, src))
+        })
+    });
+
+    let cache = DistanceCache::new(Arc::clone(&graph), 2048);
+    // Warm the cache.
+    for s in 0..n {
+        cache.row(RouterId(s));
+    }
+    c.bench_function("ablation/dijkstra_warm_cached_query", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let a = RouterId(i % n);
+            let bb = RouterId((i * 7 + 1) % n);
+            i += 1;
+            black_box(cache.distance(a, bb))
+        })
+    });
+}
+
+criterion_group!(benches, routing_base, proximity_selection, distance_oracle);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! **Figure 3 bench** — cost of computing LDT responsibility, analytic
+//! and measured, member-only vs non-member-only.
+//!
+//! The interesting comparison is the measured pass: materializing all
+//! member-only LDTs is dramatically cheaper than materializing the
+//! Scribe-like non-member trees (which route once per leaf), mirroring
+//! the responsibility gap the figure plots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bristle_core::analysis::figure3_series;
+use bristle_sim::experiments::fig3;
+
+fn analytic(c: &mut Criterion) {
+    let fractions: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+    c.bench_function("fig3/analytic_series_n_2^20", |b| {
+        b.iter(|| black_box(figure3_series(black_box(1_048_576.0), &fractions)))
+    });
+}
+
+fn measured(c: &mut Criterion) {
+    let cfg = fig3::Fig3Config {
+        analytic_n: 1_048_576.0,
+        measured_n: 160,
+        fractions: vec![0.3, 0.6],
+        capacity_range: (1, 15),
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("measured_overlay_160_nodes", |b| b.iter(|| black_box(fig3::run(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, analytic, measured);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **Figure 7 bench** — per-route cost of mobile-layer routing under the
+//! scrambled vs the clustered naming scheme, on identical populations
+//! with stale mobile addresses.
+//!
+//! Criterion's time ratio between the two functions is the figure's RDP:
+//! scrambled routes perform O(log N) `_discovery` operations, clustered
+//! routes almost none.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bristle_bench::bench_system_after_moves;
+use bristle_core::config::BristleConfig;
+use bristle_overlay::key::Key;
+
+fn route_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/route_stationary_pair");
+    group.sample_size(40);
+    for (name, cfg) in [
+        ("scrambled", BristleConfig::paper_scrambled()),
+        ("clustered", BristleConfig::paper_clustered()),
+    ] {
+        let mut sys = bench_system_after_moves(11, cfg);
+        let sources: Vec<Key> = sys.stationary_keys().to_vec();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let src = sources[i % sources.len()];
+                let dst = sources[(i * 7 + 1) % sources.len()];
+                i += 1;
+                black_box(sys.route_mobile(src, dst).expect("route"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn discovery_bench(c: &mut Criterion) {
+    let mut sys = bench_system_after_moves(12, BristleConfig::paper_scrambled());
+    let asker = sys.stationary_keys()[0];
+    let subjects: Vec<Key> = sys.mobile_keys().to_vec();
+    let mut i = 0usize;
+    c.bench_function("fig7/single_discovery", |b| {
+        b.iter(|| {
+            let subject = subjects[i % subjects.len()];
+            i += 1;
+            black_box(sys.discover(asker, subject).expect("discover"))
+        })
+    });
+}
+
+criterion_group!(benches, route_benches, discovery_bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **Figure 8 bench** — LDT construction cost across the capacity
+//! spectrum (MAX = 1 chains vs MAX = 15 fans) and the full small-scale
+//! figure regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bristle_core::ldt::Ldt;
+use bristle_core::registry::Registrant;
+use bristle_netsim::rng::Pcg64;
+use bristle_overlay::key::Key;
+use bristle_sim::experiments::fig8;
+
+fn registrants(n: usize, max_cap: u32, seed: u64) -> Vec<Registrant> {
+    let mut rng = Pcg64::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Registrant::new(Key(i as u64 + 1), rng.range_inclusive(1, max_cap as u64) as u32))
+        .collect()
+}
+
+fn tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/ldt_build_15_members");
+    for max_cap in [1u32, 4, 15] {
+        let regs = registrants(15, max_cap, max_cap as u64);
+        let root = Registrant::new(Key(0), max_cap);
+        group.bench_function(format!("max_cap_{max_cap}"), |b| {
+            b.iter(|| black_box(Ldt::build(root, &regs, |_| 0, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn tree_build_large_membership(c: &mut Criterion) {
+    // Registrant counts grow with log N; stress a 64-member tree.
+    let regs = registrants(64, 15, 9);
+    let root = Registrant::new(Key(0), 15);
+    c.bench_function("fig8/ldt_build_64_members", |b| {
+        b.iter(|| black_box(Ldt::build(root, &regs, |_| 0, 1)))
+    });
+}
+
+fn full_figure(c: &mut Criterion) {
+    let cfg = fig8::Fig8Config {
+        n_nodes: 300,
+        max_capacities: vec![1, 8, 15],
+        tree_sample: Some(100),
+        registrant_cap: None,
+        detail_trees: 5,
+        seed: 4,
+    };
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("full_run_300_nodes", |b| b.iter(|| black_box(fig8::run(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, tree_build, tree_build_large_membership, full_figure);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **Figure 9 bench** — cost of building proximity-aware vs
+//! locality-blind overlay tables (the work behind the figure's two
+//! curves), plus the small-scale figure regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use bristle_netsim::attach::AttachmentMap;
+use bristle_netsim::dijkstra::DistanceCache;
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::{TransitStubConfig, TransitStubTopology};
+use bristle_overlay::config::RingConfig;
+use bristle_overlay::key::Key;
+use bristle_overlay::ring::RingDht;
+use bristle_sim::experiments::fig9;
+
+fn table_build(c: &mut Criterion) {
+    let mut rng = Pcg64::seed_from_u64(3);
+    let topo = TransitStubTopology::generate(&TransitStubConfig::small(), &mut rng);
+    let stubs = topo.stub_routers().to_vec();
+    let dcache = DistanceCache::new(Arc::new(topo.into_graph()), 1024);
+    let mut attachments = AttachmentMap::new();
+    let keys: Vec<Key> = (0..200)
+        .map(|_| {
+            let _host = attachments.attach_new(*rng.choose(&stubs));
+            Key::random(&mut rng)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig9/build_all_tables_200_nodes");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("with_locality", RingConfig::tornado()),
+        ("without_locality", RingConfig::tornado_no_locality()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut dht: RingDht<()> = RingDht::new(cfg.clone());
+                for (i, &k) in keys.iter().enumerate() {
+                    dht.insert(k, bristle_netsim::attach::HostId(i as u32), 1).expect("insert");
+                }
+                let mut build_rng = Pcg64::seed_from_u64(5);
+                dht.build_all_tables(&attachments, &dcache, &mut build_rng);
+                black_box(dht.total_state())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn full_figure(c: &mut Criterion) {
+    let cfg = fig9::Fig9Config {
+        max_nodes: 200,
+        fractions: vec![0.5, 1.0],
+        capacity_range: (1, 15),
+        tree_sample: Some(80),
+        topology: TransitStubConfig::tiny(),
+        seed: 6,
+        parallel: false,
+    };
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("full_run_200_nodes", |b| b.iter(|| black_box(fig9::run(&cfg))));
+    g.finish();
+}
+
+criterion_group!(benches, table_build, full_figure);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **Table 1 bench** — the per-movement cost of each architecture: a
+//! Bristle `update` (publish + LDT dissemination), a Type A leave+rejoin,
+//! and a Type B mobile-IP binding update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bristle_bench::{bench_system, BENCH_MOBILE, BENCH_STATIONARY};
+use bristle_core::config::BristleConfig;
+use bristle_netsim::transit_stub::TransitStubConfig;
+use bristle_sim::baseline_type_a::TypeASystem;
+use bristle_sim::baseline_type_b::TypeBSystem;
+
+fn move_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/one_move");
+    group.sample_size(30);
+
+    let mut bristle = bench_system(21, BristleConfig::recommended());
+    let mobiles = bristle.mobile_keys().to_vec();
+    let mut i = 0usize;
+    group.bench_function("bristle_update", |b| {
+        b.iter(|| {
+            let m = mobiles[i % mobiles.len()];
+            i += 1;
+            black_box(bristle.move_node(m, None).expect("move"))
+        })
+    });
+
+    let mut type_a =
+        TypeASystem::build(21, BENCH_STATIONARY, BENCH_MOBILE, &TransitStubConfig::small(), 1);
+    let bodies = type_a.mobile_bodies();
+    let mut j = 0usize;
+    group.bench_function("type_a_leave_rejoin", |b| {
+        b.iter(|| {
+            let body = bodies[j % bodies.len()];
+            j += 1;
+            black_box(type_a.move_body(body).expect("move"))
+        })
+    });
+
+    let mut type_b = TypeBSystem::build(21, BENCH_STATIONARY, BENCH_MOBILE, &TransitStubConfig::small());
+    let keys = type_b.mobile_keys();
+    let mut k = 0usize;
+    group.bench_function("type_b_binding_update", |b| {
+        b.iter(|| {
+            let key = keys[k % keys.len()];
+            k += 1;
+            black_box(type_b.move_node(key).expect("move"))
+        })
+    });
+
+    group.finish();
+}
+
+fn lookup_under_mobility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/lookup_to_mover");
+    group.sample_size(30);
+
+    let mut bristle = bench_system(22, BristleConfig::recommended());
+    for m in bristle.mobile_keys().to_vec() {
+        bristle.move_node(m, None).expect("move");
+    }
+    let reader = bristle.stationary_keys()[0];
+    let targets = bristle.mobile_keys().to_vec();
+    let mut i = 0usize;
+    group.bench_function("bristle_route_to_mover", |b| {
+        b.iter(|| {
+            let t = targets[i % targets.len()];
+            i += 1;
+            black_box(bristle.route_mobile(reader, t).expect("route"))
+        })
+    });
+
+    let mut type_b = TypeBSystem::build(22, BENCH_STATIONARY, BENCH_MOBILE, &TransitStubConfig::small());
+    for m in type_b.mobile_keys() {
+        type_b.move_node(m).expect("move");
+    }
+    let src = type_b.stationary_keys()[0];
+    let keys = type_b.mobile_keys();
+    let mut j = 0usize;
+    group.bench_function("type_b_route_to_mover", |b| {
+        b.iter(|| {
+            let t = keys[j % keys.len()];
+            j += 1;
+            black_box(type_b.route(src, t).expect("route"))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, move_cost, lookup_under_mobility);
+criterion_main!(benches);

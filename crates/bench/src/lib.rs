@@ -1,0 +1,50 @@
+//! Shared fixtures for the Bristle benchmark suite.
+//!
+//! Each bench target in `benches/` regenerates (at benchmark scale) one
+//! table or figure of the paper; see DESIGN.md §4 for the index. The
+//! helpers here build the common fixtures so the individual bench files
+//! stay focused on what they measure.
+
+use bristle_core::config::BristleConfig;
+use bristle_core::system::{BristleBuilder, BristleSystem};
+use bristle_netsim::transit_stub::TransitStubConfig;
+
+/// Default bench population: enough nodes for realistic route lengths,
+/// small enough that a fixture builds in tens of milliseconds.
+pub const BENCH_STATIONARY: usize = 120;
+/// Mobile population paired with [`BENCH_STATIONARY`] (M/N = 40%).
+pub const BENCH_MOBILE: usize = 80;
+
+/// Builds the standard bench system with the given protocol config.
+pub fn bench_system(seed: u64, cfg: BristleConfig) -> BristleSystem {
+    BristleBuilder::new(seed)
+        .stationary_nodes(BENCH_STATIONARY)
+        .mobile_nodes(BENCH_MOBILE)
+        .topology(TransitStubConfig::small())
+        .config(cfg)
+        .build()
+        .expect("bench system builds")
+}
+
+/// Builds the standard bench system and moves every mobile node once so
+/// cached addresses are stale (the Fig. 7 measurement precondition).
+pub fn bench_system_after_moves(seed: u64, cfg: BristleConfig) -> BristleSystem {
+    let mut sys = bench_system(seed, cfg);
+    for m in sys.mobile_keys().to_vec() {
+        sys.move_node(m, None).expect("move");
+    }
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let sys = bench_system(1, BristleConfig::recommended());
+        assert_eq!(sys.len(), BENCH_STATIONARY + BENCH_MOBILE);
+        let moved = bench_system_after_moves(1, BristleConfig::paper_clustered());
+        assert_eq!(moved.attachments.total_moves(), BENCH_MOBILE as u64);
+    }
+}

@@ -1,0 +1,216 @@
+//! The capacity-aware state-advertisement algorithm (paper Figure 4).
+//!
+//! When a mobile node `i` needs to push its new network address to its
+//! registrants R(i), it does not contact them all itself. Instead:
+//!
+//! 1. Sort R(i) in decreasing capacity order.
+//! 2. If `i` is overloaded (`Avail_i − v ≤ 0`): send one message to the
+//!    highest-capacity registrant, handing it the *entire* remaining list —
+//!    that registrant then "behaves as node i" and advertises onward.
+//! 3. Otherwise partition the list into `k = ⌊Avail_i / v⌋` near-equal
+//!    sublists by dealing the sorted list round-robin, and send `i`'s
+//!    address to the head (= highest-capacity member) of each sublist
+//!    together with the rest of that sublist.
+//!
+//! Applied recursively this builds the location dissemination tree (LDT):
+//! heavily loaded nodes produce deep chains, capable nodes produce wide,
+//! shallow trees — exactly the adaptation the paper measures in Fig. 8.
+
+use crate::registry::Registrant;
+
+/// Default unit cost `v` of sending one update message.
+pub const DEFAULT_UNIT_COST: u32 = 1;
+
+/// One outgoing advertisement: the recipient and the sublist of
+/// registrants it becomes responsible for informing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvertiseStep {
+    /// The registrant that receives the update directly.
+    pub head: Registrant,
+    /// Registrants delegated to `head` (it must inform them next).
+    pub delegated: Vec<Registrant>,
+}
+
+impl AdvertiseStep {
+    /// Size of the partition this step covers (head + delegated) —
+    /// Fig. 8(b)'s "number of nodes assigned".
+    pub fn partition_size(&self) -> usize {
+        1 + self.delegated.len()
+    }
+}
+
+/// Sorts registrants the way Fig. 4's `sort` does: decreasing capacity,
+/// ties broken by key for determinism.
+pub fn sort_by_capacity(registrants: &mut [Registrant]) {
+    registrants.sort_by(|a, b| b.capacity.cmp(&a.capacity).then(a.key.cmp(&b.key)));
+}
+
+/// Plans one invocation of `_advertise(node i)` (paper Fig. 4).
+///
+/// `avail` is `Avail_i = C_i − Used_i`; `unit_cost` is `v`. Returns the
+/// set of direct sends; the union of `{head} ∪ delegated` over all steps
+/// is exactly the input list.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_core::advertise::plan_advertisement;
+/// use bristle_core::registry::Registrant;
+/// use bristle_overlay::key::Key;
+///
+/// let registrants: Vec<Registrant> =
+///     (1..=6).map(|i| Registrant::new(Key(i), i as u32)).collect();
+///
+/// // Available capacity 3, unit cost 1 → three near-equal partitions,
+/// // each headed by one of the three most capable registrants.
+/// let steps = plan_advertisement(&registrants, 3, 1);
+/// assert_eq!(steps.len(), 3);
+/// assert!(steps.iter().all(|s| s.partition_size() == 2));
+/// assert!(steps.iter().all(|s| s.head.capacity >= 4));
+///
+/// // Overloaded (avail ≤ v): everything is delegated to the strongest.
+/// let steps = plan_advertisement(&registrants, 1, 1);
+/// assert_eq!(steps.len(), 1);
+/// assert_eq!(steps[0].head.capacity, 6);
+/// ```
+pub fn plan_advertisement(registrants: &[Registrant], avail: u32, unit_cost: u32) -> Vec<AdvertiseStep> {
+    assert!(unit_cost >= 1, "unit cost v must be positive");
+    if registrants.is_empty() {
+        return Vec::new();
+    }
+    let mut list = registrants.to_vec();
+    sort_by_capacity(&mut list);
+
+    // Overloaded: Avail_i − v ≤ 0 — a single send to the most capable
+    // registrant, which inherits the whole remaining list.
+    if avail <= unit_cost {
+        let head = list[0];
+        let delegated = list[1..].to_vec();
+        return vec![AdvertiseStep { head, delegated }];
+    }
+
+    // k = ⌊Avail_i / v⌋ partitions, dealt round-robin from the sorted list
+    // so sizes are near-equal and capacity spreads across partitions.
+    let k = ((avail / unit_cost) as usize).min(list.len());
+    let mut partitions: Vec<Vec<Registrant>> = vec![Vec::new(); k];
+    for (idx, r) in list.into_iter().enumerate() {
+        partitions[idx % k].push(r);
+    }
+    partitions
+        .into_iter()
+        .map(|mut p| {
+            let head = p.remove(0);
+            AdvertiseStep { head, delegated: p }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_overlay::key::Key;
+
+    fn regs(caps: &[u32]) -> Vec<Registrant> {
+        caps.iter().enumerate().map(|(i, &c)| Registrant::new(Key(i as u64), c)).collect()
+    }
+
+    /// Flattens steps back to the full covered set.
+    fn covered(steps: &[AdvertiseStep]) -> Vec<Registrant> {
+        let mut out = Vec::new();
+        for s in steps {
+            out.push(s.head);
+            out.extend(s.delegated.iter().copied());
+        }
+        out
+    }
+
+    #[test]
+    fn empty_registrants_plan_nothing() {
+        assert!(plan_advertisement(&[], 10, 1).is_empty());
+    }
+
+    #[test]
+    fn overloaded_node_sends_once_to_strongest() {
+        let steps = plan_advertisement(&regs(&[3, 9, 1, 5]), 1, 1);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].head.capacity, 9);
+        assert_eq!(steps[0].delegated.len(), 3);
+        // Delegated list stays capacity-sorted.
+        let caps: Vec<u32> = steps[0].delegated.iter().map(|r| r.capacity).collect();
+        assert_eq!(caps, vec![5, 3, 1]);
+    }
+
+    #[test]
+    fn zero_avail_also_overloaded() {
+        let steps = plan_advertisement(&regs(&[2, 4]), 0, 1);
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].head.capacity, 4);
+    }
+
+    #[test]
+    fn capable_node_fans_out_k_ways() {
+        // avail 4, v 1 → k = 4 partitions over 8 registrants → sizes 2,2,2,2.
+        let steps = plan_advertisement(&regs(&[1, 2, 3, 4, 5, 6, 7, 8]), 4, 1);
+        assert_eq!(steps.len(), 4);
+        for s in &steps {
+            assert_eq!(s.partition_size(), 2);
+        }
+        // Heads are exactly the top-k capacities.
+        let mut heads: Vec<u32> = steps.iter().map(|s| s.head.capacity).collect();
+        heads.sort_unstable();
+        assert_eq!(heads, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn partition_sizes_differ_by_at_most_one() {
+        for (n, avail) in [(10, 3), (11, 3), (7, 5), (20, 6), (15, 2)] {
+            let caps: Vec<u32> = (1..=n as u32).collect();
+            let steps = plan_advertisement(&regs(&caps), avail, 1);
+            let sizes: Vec<usize> = steps.iter().map(AdvertiseStep::partition_size).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "n={n} avail={avail} sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn partitions_cover_input_exactly_once() {
+        let input = regs(&[5, 5, 9, 1, 7, 3, 3, 8]);
+        let steps = plan_advertisement(&input, 3, 1);
+        let mut got: Vec<Key> = covered(&steps).iter().map(|r| r.key).collect();
+        got.sort_unstable();
+        let mut want: Vec<Key> = input.iter().map(|r| r.key).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_capped_by_list_length() {
+        // avail 100 over 3 registrants → 3 singleton partitions, not 100.
+        let steps = plan_advertisement(&regs(&[1, 2, 3]), 100, 1);
+        assert_eq!(steps.len(), 3);
+        assert!(steps.iter().all(|s| s.delegated.is_empty()));
+    }
+
+    #[test]
+    fn unit_cost_scales_fanout() {
+        // avail 6, v 3 → k = 2.
+        let steps = plan_advertisement(&regs(&[1, 2, 3, 4]), 6, 3);
+        assert_eq!(steps.len(), 2);
+        // avail 6, v 6 → Avail − v ≤ 0 boundary: k = 1 via overload branch.
+        let steps = plan_advertisement(&regs(&[1, 2, 3, 4]), 6, 6);
+        assert_eq!(steps.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_capacity_ties() {
+        let a = plan_advertisement(&regs(&[5, 5, 5, 5]), 2, 1);
+        let b = plan_advertisement(&regs(&[5, 5, 5, 5]), 2, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unit cost")]
+    fn zero_unit_cost_rejected() {
+        plan_advertisement(&regs(&[1]), 1, 0);
+    }
+}

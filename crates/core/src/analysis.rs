@@ -1,0 +1,222 @@
+//! Analytic models from the paper.
+//!
+//! These closed-form expressions back two things: the paper's **Figure 3**
+//! (per-stationary-node *responsibility* under member-only vs
+//! non-member-only LDTs, plotted for N = 2^20) and the asymptotic claims
+//! the measured experiments are checked against (route hops, LDT depth,
+//! registration counts).
+
+/// Natural parameters of a Bristle deployment used by the models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Population {
+    /// Total nodes N.
+    pub n: f64,
+    /// Mobile nodes M (< N).
+    pub m: f64,
+}
+
+impl Population {
+    /// Builds a population; panics unless `0 <= m < n` and `n > 1`.
+    pub fn new(n: f64, m: f64) -> Population {
+        assert!(n > 1.0, "need n > 1");
+        assert!((0.0..n).contains(&m), "need 0 <= m < n");
+        Population { n, m }
+    }
+
+    /// The mobile fraction M/N.
+    pub fn mobile_fraction(&self) -> f64 {
+        self.m / self.n
+    }
+
+    /// log₂ N — the per-node state size scale of the HS-P2P.
+    pub fn log_n(&self) -> f64 {
+        self.n.log2()
+    }
+}
+
+/// Per-stationary-node responsibility under the **member-only** LDT
+/// design: `M/(N−M) × log N` (paper §2.3).
+pub fn member_only_responsibility(p: Population) -> f64 {
+    if p.m == 0.0 {
+        return 0.0;
+    }
+    p.m / (p.n - p.m) * p.log_n()
+}
+
+/// Per-stationary-node responsibility under the **non-member-only**
+/// (Scribe-like) LDT design: `M/(N−M) × (log N)²` (paper §2.3).
+pub fn non_member_responsibility(p: Population) -> f64 {
+    if p.m == 0.0 {
+        return 0.0;
+    }
+    p.m / (p.n - p.m) * p.log_n() * p.log_n()
+}
+
+/// Expected registrations issued per mobile node: `(M/N) × log N`
+/// (§2.3.1), i.e. the expected LDT membership size.
+pub fn registrations_per_mobile(p: Population) -> f64 {
+    p.mobile_fraction() * p.log_n()
+}
+
+/// Expected application-level hops for a route in a base-`b` HS-P2P of
+/// `n` nodes: `log_b n` scaled by the expected fraction of non-trivial
+/// digits `(b−1)/b` (the standard Plaxton/Pastry estimate).
+pub fn expected_route_hops(n: f64, base: f64) -> f64 {
+    assert!(base >= 2.0 && n >= 1.0);
+    n.log2() / base.log2() * (base - 1.0) / base
+}
+
+/// Expected depth of a k-way-complete LDT over `members` registrants:
+/// `O(log_k members)` — the paper's `O(log(log N))` dissemination bound
+/// once `members = O(log N)`.
+pub fn ldt_depth(members: f64, fanout: f64) -> f64 {
+    assert!(fanout >= 2.0);
+    if members <= 1.0 {
+        return members.max(0.0);
+    }
+    members.log2() / fanout.log2()
+}
+
+/// Worst-case hops for a scrambled-naming route between stationary nodes:
+/// every hop may traverse a mobile node needing a `_discovery`, giving
+/// `log N × (1 + (M/N) × log(N−M))` expected hops (§3's O(log² N)).
+pub fn scrambled_route_hops(p: Population, base: f64) -> f64 {
+    let route = expected_route_hops(p.n, base);
+    let discovery = expected_route_hops((p.n - p.m).max(2.0), base);
+    route * (1.0 + p.mobile_fraction() * discovery)
+}
+
+/// Expected hops for a clustered-naming route between stationary nodes:
+/// no discoveries while ∇ ≥ 1/2, degrading gracefully after the knee.
+pub fn clustered_route_hops(p: Population, base: f64) -> f64 {
+    let route = expected_route_hops(p.n, base);
+    let f = p.mobile_fraction();
+    if f <= 0.5 {
+        route
+    } else {
+        // Past the knee a fraction (2f − 1) of worst-case wrapping routes
+        // can touch the mobile band.
+        let discovery = expected_route_hops((p.n - p.m).max(2.0), base);
+        route * (1.0 + (2.0 * f - 1.0) * 0.5 * discovery)
+    }
+}
+
+/// One row of the Figure 3 data set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsibilityPoint {
+    /// Mobile fraction M/N.
+    pub mobile_fraction: f64,
+    /// Member-only responsibility.
+    pub member_only: f64,
+    /// Non-member-only responsibility.
+    pub non_member: f64,
+}
+
+/// Generates the Figure 3 series for a system of `n` nodes at the given
+/// mobile fractions (the paper uses N = 1 048 576 and a linear M/N sweep).
+pub fn figure3_series(n: f64, fractions: &[f64]) -> Vec<ResponsibilityPoint> {
+    fractions
+        .iter()
+        .map(|&f| {
+            assert!((0.0..1.0).contains(&f), "fraction {f} out of [0,1)");
+            let p = Population::new(n, (n * f).min(n - 1.0));
+            ResponsibilityPoint {
+                mobile_fraction: f,
+                member_only: member_only_responsibility(p),
+                non_member: non_member_responsibility(p),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: f64 = 1_048_576.0; // 2^20, the paper's Figure 3 setting
+
+    #[test]
+    fn responsibility_ratio_is_log_n() {
+        let p = Population::new(N, N * 0.5);
+        let ratio = non_member_responsibility(p) / member_only_responsibility(p);
+        assert!((ratio - 20.0).abs() < 1e-9, "log2(2^20) = 20, got {ratio}");
+    }
+
+    #[test]
+    fn responsibility_grows_superlinearly_in_mobile_fraction() {
+        // Doubling M/N from 0.4 to 0.8 must much more than double the
+        // responsibility (the paper's "increases exponentially" remark).
+        let r1 = non_member_responsibility(Population::new(N, N * 0.4));
+        let r2 = non_member_responsibility(Population::new(N, N * 0.8));
+        assert!(r2 > r1 * 4.0, "r1 {r1} r2 {r2}");
+    }
+
+    #[test]
+    fn zero_mobile_means_zero_responsibility() {
+        let p = Population::new(N, 0.0);
+        assert_eq!(member_only_responsibility(p), 0.0);
+        assert_eq!(non_member_responsibility(p), 0.0);
+    }
+
+    #[test]
+    fn registrations_stay_below_log_n() {
+        // O((M/N) log N) < O(log N) since M < N (§2.3.1).
+        for f in [0.1, 0.5, 0.9] {
+            let p = Population::new(N, N * f);
+            assert!(registrations_per_mobile(p) < p.log_n());
+        }
+    }
+
+    #[test]
+    fn route_hops_match_paper_magnitudes() {
+        // Base-4 routing over 2 000 nodes ≈ 4–6 hops (paper Fig. 7a at M=0).
+        let h = expected_route_hops(2_000.0, 4.0);
+        assert!((3.0..7.0).contains(&h), "{h}");
+    }
+
+    #[test]
+    fn scrambled_exceeds_clustered_beyond_zero_mobility() {
+        for f in [0.1, 0.3, 0.5, 0.7] {
+            let p = Population::new(10_000.0, 10_000.0 * f);
+            assert!(scrambled_route_hops(p, 4.0) > clustered_route_hops(p, 4.0));
+        }
+    }
+
+    #[test]
+    fn clustered_flat_until_knee() {
+        let base = clustered_route_hops(Population::new(10_000.0, 0.0), 4.0);
+        let at_half = clustered_route_hops(Population::new(10_000.0, 5_000.0), 4.0);
+        let past = clustered_route_hops(Population::new(10_000.0, 7_000.0), 4.0);
+        assert_eq!(base, at_half, "no penalty before the knee");
+        assert!(past > at_half, "penalty after the knee");
+    }
+
+    #[test]
+    fn ldt_depth_is_loglog() {
+        // members = log2(2^20) = 20, fanout 4 → depth ≈ 2.16.
+        let d = ldt_depth(20.0, 4.0);
+        assert!((2.0..2.5).contains(&d), "{d}");
+        assert_eq!(ldt_depth(1.0, 4.0), 1.0);
+        assert_eq!(ldt_depth(0.0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn figure3_series_shape() {
+        let fractions: Vec<f64> = (0..=9).map(|i| i as f64 / 10.0).collect();
+        let series = figure3_series(N, &fractions);
+        assert_eq!(series.len(), 10);
+        for w in series.windows(2) {
+            assert!(w[1].member_only >= w[0].member_only, "monotone");
+            assert!(w[1].non_member >= w[0].non_member, "monotone");
+        }
+        for pt in &series[1..] {
+            assert!(pt.non_member > pt.member_only * 15.0, "gap ≈ log N");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= m < n")]
+    fn population_rejects_all_mobile() {
+        Population::new(100.0, 100.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types for Bristle operations.
+
+use bristle_overlay::key::Key;
+use bristle_overlay::ring::RingError;
+
+/// Errors surfaced by the Bristle public API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BristleError {
+    /// The underlying overlay rejected the operation.
+    Overlay(RingError),
+    /// The referenced node is not part of this Bristle system.
+    UnknownNode(Key),
+    /// The operation requires a mobile node but the key names a
+    /// stationary one.
+    NotMobile(Key),
+    /// The operation requires a stationary node but the key names a
+    /// mobile one.
+    NotStationary(Key),
+    /// The stationary layer has no nodes, so location management is
+    /// impossible.
+    NoStationaryLayer,
+    /// A key assignment collided too many times (the key space region for
+    /// this mobility class is exhausted or the RNG is stuck).
+    KeySpaceExhausted,
+}
+
+impl From<RingError> for BristleError {
+    fn from(e: RingError) -> Self {
+        BristleError::Overlay(e)
+    }
+}
+
+impl std::fmt::Display for BristleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BristleError::Overlay(e) => write!(f, "overlay error: {e}"),
+            BristleError::UnknownNode(k) => write!(f, "unknown Bristle node {k}"),
+            BristleError::NotMobile(k) => write!(f, "node {k} is not mobile"),
+            BristleError::NotStationary(k) => write!(f, "node {k} is not stationary"),
+            BristleError::NoStationaryLayer => write!(f, "no stationary nodes available"),
+            BristleError::KeySpaceExhausted => write!(f, "could not draw a fresh key"),
+        }
+    }
+}
+
+impl std::error::Error for BristleError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, BristleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BristleError::UnknownNode(Key(5));
+        assert!(e.to_string().contains("unknown"));
+        let e: BristleError = RingError::Empty.into();
+        assert!(matches!(e, BristleError::Overlay(RingError::Empty)));
+        assert!(e.to_string().contains("overlay"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Location dissemination trees (member-only LDTs, paper §2.3).
+//!
+//! Every mobile node Y is associated with an LDT whose membership is Y
+//! plus its registrants R(Y). When Y moves, its new address flows down the
+//! tree: Y sends to the heads chosen by the Figure 4 advertisement
+//! algorithm, each head forwards to the heads of its delegated sublist,
+//! and so on. The tree is therefore *not* stored anywhere — it is the
+//! trace of the recursive advertisement — but materializing it lets the
+//! simulator measure exactly what the paper measures: depth and level
+//! distribution (Fig. 8a), per-member assignment (Fig. 8b), and per-edge
+//! physical cost (Fig. 9).
+
+use bristle_overlay::key::Key;
+
+use crate::advertise::{plan_advertisement, AdvertiseStep};
+use crate::registry::Registrant;
+
+/// One node of a materialized LDT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdtNode {
+    /// The member's hash key.
+    pub key: Key,
+    /// The capacity it reported at registration.
+    pub capacity: u32,
+    /// Tree level; the root is level 1 (paper Fig. 8a's convention).
+    pub level: u32,
+    /// Index of the parent in [`Ldt::nodes`], `None` for the root.
+    pub parent: Option<u32>,
+    /// Number of members in the partition this node was handed (head
+    /// included) — Fig. 8(b)'s "number of nodes assigned". For the root
+    /// this is the full registrant count.
+    pub assigned: usize,
+}
+
+/// A materialized member-only location dissemination tree.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_core::ldt::Ldt;
+/// use bristle_core::registry::Registrant;
+/// use bristle_overlay::key::Key;
+///
+/// let root = Registrant::new(Key(0), 8);
+/// let members: Vec<Registrant> =
+///     (1..=8).map(|i| Registrant::new(Key(i), 8)).collect();
+///
+/// // Idle, capable members → a wide, shallow tree.
+/// let tree = Ldt::build(root, &members, |_| 0, 1);
+/// assert_eq!(tree.len(), 9);
+/// assert_eq!(tree.depth(), 2);
+///
+/// // The same members fully loaded → Fig. 8(a)'s degenerate chain.
+/// let busy = Ldt::build(root, &members, |_| 8, 1);
+/// assert_eq!(busy.depth(), 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ldt {
+    nodes: Vec<LdtNode>,
+}
+
+impl Ldt {
+    /// Builds the LDT for `root` (the mobile node, with its own capacity)
+    /// over its registrants, using per-node workloads `used` and message
+    /// unit cost `unit_cost` (Fig. 4's `v`).
+    pub fn build(
+        root: Registrant,
+        registrants: &[Registrant],
+        mut used: impl FnMut(Key) -> u32,
+        unit_cost: u32,
+    ) -> Ldt {
+        let mut nodes = vec![LdtNode {
+            key: root.key,
+            capacity: root.capacity,
+            level: 1,
+            parent: None,
+            assigned: registrants.len(),
+        }];
+        // Work stack of (parent index, list that parent must cover).
+        let mut stack: Vec<(u32, Vec<Registrant>)> = vec![(0, registrants.to_vec())];
+        while let Some((parent_idx, list)) = stack.pop() {
+            if list.is_empty() {
+                continue;
+            }
+            let parent = nodes[parent_idx as usize];
+            let avail = parent.capacity.saturating_sub(used(parent.key));
+            let steps: Vec<AdvertiseStep> = plan_advertisement(&list, avail, unit_cost);
+            for step in steps {
+                let child = LdtNode {
+                    key: step.head.key,
+                    capacity: step.head.capacity,
+                    level: parent.level + 1,
+                    parent: Some(parent_idx),
+                    assigned: step.partition_size(),
+                };
+                nodes.push(child);
+                let child_idx = (nodes.len() - 1) as u32;
+                stack.push((child_idx, step.delegated));
+            }
+        }
+        Ldt { nodes }
+    }
+
+    /// All tree nodes; index 0 is the root.
+    pub fn nodes(&self) -> &[LdtNode] {
+        &self.nodes
+    }
+
+    /// The root node (the mobile node the tree belongs to).
+    pub fn root(&self) -> &LdtNode {
+        &self.nodes[0]
+    }
+
+    /// Total members (root + registrants).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The deepest level present (root-only trees have depth 1).
+    pub fn depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(1)
+    }
+
+    /// Members per level, `histogram[l - 1]` = number of level-`l` nodes.
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.depth() as usize];
+        for n in &self.nodes {
+            hist[(n.level - 1) as usize] += 1;
+        }
+        hist
+    }
+
+    /// Iterates the tree's `(parent key, child key)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (Key, Key)> + '_ {
+        self.nodes.iter().filter_map(move |n| n.parent.map(|p| (self.nodes[p as usize].key, n.key)))
+    }
+
+    /// Number of edges (= members − 1).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Sums `cost(parent, child)` over all edges; returns `(total, edges)`.
+    ///
+    /// The paper's Fig. 9 metric feeds the physical shortest-path weight
+    /// between the two members' attachment routers in here.
+    pub fn edge_cost_sum(&self, mut cost: impl FnMut(Key, Key) -> u64) -> (u64, usize) {
+        let mut total = 0u64;
+        let mut count = 0usize;
+        for (p, c) in self.edges() {
+            total += cost(p, c);
+            count += 1;
+        }
+        (total, count)
+    }
+
+    /// Looks a member up by key.
+    pub fn member(&self, key: Key) -> Option<&LdtNode> {
+        self.nodes.iter().find(|n| n.key == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regs(caps: &[u32]) -> Vec<Registrant> {
+        // Keys 1.. to keep the root key (0) distinct.
+        caps.iter().enumerate().map(|(i, &c)| Registrant::new(Key(1 + i as u64), c)).collect()
+    }
+
+    fn root(cap: u32) -> Registrant {
+        Registrant::new(Key(0), cap)
+    }
+
+    #[test]
+    fn tree_covers_every_registrant_exactly_once() {
+        let members = regs(&[3, 7, 1, 9, 4, 4, 2, 8, 6, 5]);
+        let tree = Ldt::build(root(5), &members, |_| 0, 1);
+        assert_eq!(tree.len(), members.len() + 1);
+        let mut keys: Vec<Key> = tree.nodes().iter().map(|n| n.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), tree.len(), "no duplicates");
+        for m in &members {
+            assert!(tree.member(m.key).is_some());
+        }
+    }
+
+    #[test]
+    fn unit_capacity_everywhere_degenerates_to_chain() {
+        // Avail − v ≤ 0 at every node → each node hands everything to one
+        // head → a chain of depth |R| + 1 (paper Fig. 8a at MAX = 1).
+        let members = regs(&[1; 8]);
+        let tree = Ldt::build(root(1), &members, |_| 0, 1);
+        assert_eq!(tree.depth(), 9);
+        assert_eq!(tree.level_histogram(), vec![1; 9]);
+    }
+
+    #[test]
+    fn high_capacity_gives_shallow_tree() {
+        let members = regs(&[15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        let tree = Ldt::build(root(15), &members, |_| 0, 1);
+        // Root fans out 15 ways directly: depth 2.
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.level_histogram(), vec![1, 15]);
+    }
+
+    #[test]
+    fn mixed_capacity_depth_between_extremes() {
+        let members = regs(&[4, 4, 4, 4, 1, 1, 1, 1, 1, 1, 1, 1]);
+        let tree = Ldt::build(root(4), &members, |_| 0, 1);
+        let d = tree.depth();
+        assert!(d > 2 && d < 13, "depth {d}");
+    }
+
+    #[test]
+    fn workload_lengthens_tree() {
+        let members = regs(&[8, 8, 8, 8, 8, 8, 8, 8]);
+        let free = Ldt::build(root(8), &members, |_| 0, 1);
+        let busy = Ldt::build(root(8), &members, |_| 7, 1);
+        assert!(busy.depth() > free.depth(), "busy {} vs free {}", busy.depth(), free.depth());
+    }
+
+    #[test]
+    fn levels_are_parent_plus_one() {
+        let members = regs(&[5, 3, 8, 2, 9, 1, 7]);
+        let tree = Ldt::build(root(3), &members, |_| 0, 1);
+        for n in tree.nodes() {
+            match n.parent {
+                None => assert_eq!(n.level, 1),
+                Some(p) => assert_eq!(n.level, tree.nodes()[p as usize].level + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn edges_connect_all_members() {
+        let members = regs(&[5, 3, 8, 2, 9, 1, 7]);
+        let tree = Ldt::build(root(3), &members, |_| 0, 1);
+        assert_eq!(tree.edge_count(), members.len());
+        // Every non-root node appears exactly once as a child.
+        let mut children: Vec<Key> = tree.edges().map(|(_, c)| c).collect();
+        children.sort_unstable();
+        children.dedup();
+        assert_eq!(children.len(), members.len());
+    }
+
+    #[test]
+    fn edge_cost_sum_accumulates() {
+        let members = regs(&[2, 2, 2]);
+        let tree = Ldt::build(root(10), &members, |_| 0, 1);
+        let (total, count) = tree.edge_cost_sum(|_, _| 7);
+        assert_eq!(count, 3);
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn empty_registrants_root_only() {
+        let tree = Ldt::build(root(5), &[], |_| 0, 1);
+        assert!(tree.is_empty());
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.edge_count(), 0);
+        assert_eq!(tree.root().assigned, 0);
+    }
+
+    #[test]
+    fn heads_have_higher_capacity_than_delegated_on_average() {
+        // The algorithm routes dissemination work through capable nodes:
+        // average capacity must not increase with depth.
+        let caps: Vec<u32> = (1..=15).collect();
+        let members = regs(&caps);
+        let tree = Ldt::build(root(6), &members, |_| 0, 1);
+        let hist = tree.level_histogram();
+        if hist.len() >= 3 {
+            let avg_at = |lvl: u32| {
+                let v: Vec<u32> =
+                    tree.nodes().iter().filter(|n| n.level == lvl && n.parent.is_some()).map(|n| n.capacity).collect();
+                v.iter().sum::<u32>() as f64 / v.len() as f64
+            };
+            assert!(avg_at(2) >= avg_at(tree.depth()), "capable nodes sit higher");
+        }
+    }
+}

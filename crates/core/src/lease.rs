@@ -1,0 +1,154 @@
+//! Lease (TTL) management for cached states.
+//!
+//! "Each state stored in a Bristle node appeared in the mobile layer is
+//! thus associated with a time-to-live (TTL) value, which indicates the
+//! valid lifetime of the state. Once the contract of a state expires, the
+//! state is no longer valid." (paper §2.3.2)
+//!
+//! A [`LeaseTable`] tracks, per (holder, subject) pair, until when the
+//! holder may trust its cached copy of the subject's network address.
+
+use std::collections::HashMap;
+
+use bristle_overlay::key::Key;
+
+use crate::time::SimTime;
+
+/// One lease contract: valid until `expires` (exclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// First instant at which the lease is no longer valid.
+    pub expires: SimTime,
+}
+
+impl Lease {
+    /// A lease granted at `now` for `ttl` ticks.
+    pub fn granted(now: SimTime, ttl: u64) -> Lease {
+        Lease { expires: now.plus(ttl) }
+    }
+
+    /// Whether the lease is still valid at `now`.
+    pub fn is_valid(&self, now: SimTime) -> bool {
+        now < self.expires
+    }
+}
+
+/// All leases held across the system, keyed by (holder, subject).
+///
+/// # Examples
+///
+/// ```
+/// use bristle_core::lease::LeaseTable;
+/// use bristle_core::time::SimTime;
+/// use bristle_overlay::key::Key;
+///
+/// let mut leases = LeaseTable::new();
+/// leases.grant(Key(1), Key(2), SimTime(0), 10);
+/// assert!(leases.is_fresh(Key(1), Key(2), SimTime(9)));
+/// assert!(!leases.is_fresh(Key(1), Key(2), SimTime(10)));
+/// assert_eq!(leases.purge_expired(SimTime(10)), 1);
+/// assert!(leases.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    leases: HashMap<(Key, Key), Lease>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants (or renews) `holder`'s lease on `subject`'s state.
+    pub fn grant(&mut self, holder: Key, subject: Key, now: SimTime, ttl: u64) {
+        self.leases.insert((holder, subject), Lease::granted(now, ttl));
+    }
+
+    /// Whether `holder` currently holds a valid lease on `subject`.
+    pub fn is_fresh(&self, holder: Key, subject: Key, now: SimTime) -> bool {
+        self.leases.get(&(holder, subject)).is_some_and(|l| l.is_valid(now))
+    }
+
+    /// Revokes a single lease (e.g. the holder observed a delivery failure).
+    pub fn revoke(&mut self, holder: Key, subject: Key) -> bool {
+        self.leases.remove(&(holder, subject)).is_some()
+    }
+
+    /// Drops every lease on `subject` — used when the subject leaves.
+    pub fn revoke_subject(&mut self, subject: Key) -> usize {
+        let before = self.leases.len();
+        self.leases.retain(|&(_, s), _| s != subject);
+        before - self.leases.len()
+    }
+
+    /// Drops every expired lease; returns how many were purged.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.leases.len();
+        self.leases.retain(|_, l| l.is_valid(now));
+        before - self.leases.len()
+    }
+
+    /// Number of live lease contracts (valid or not yet purged).
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether the table holds no contracts.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_lifecycle() {
+        let l = Lease::granted(SimTime(10), 5);
+        assert!(l.is_valid(SimTime(10)));
+        assert!(l.is_valid(SimTime(14)));
+        assert!(!l.is_valid(SimTime(15)), "expiry instant is invalid");
+    }
+
+    #[test]
+    fn table_grant_and_expiry() {
+        let mut t = LeaseTable::new();
+        t.grant(Key(1), Key(2), SimTime(0), 10);
+        assert!(t.is_fresh(Key(1), Key(2), SimTime(9)));
+        assert!(!t.is_fresh(Key(1), Key(2), SimTime(10)));
+        assert!(!t.is_fresh(Key(2), Key(1), SimTime(0)), "direction matters");
+    }
+
+    #[test]
+    fn renewal_extends() {
+        let mut t = LeaseTable::new();
+        t.grant(Key(1), Key(2), SimTime(0), 10);
+        t.grant(Key(1), Key(2), SimTime(8), 10);
+        assert!(t.is_fresh(Key(1), Key(2), SimTime(15)));
+    }
+
+    #[test]
+    fn revoke_and_revoke_subject() {
+        let mut t = LeaseTable::new();
+        t.grant(Key(1), Key(9), SimTime(0), 10);
+        t.grant(Key(2), Key(9), SimTime(0), 10);
+        t.grant(Key(1), Key(3), SimTime(0), 10);
+        assert!(t.revoke(Key(1), Key(9)));
+        assert!(!t.revoke(Key(1), Key(9)), "already gone");
+        assert_eq!(t.revoke_subject(Key(9)), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_fresh(Key(1), Key(3), SimTime(5)));
+    }
+
+    #[test]
+    fn purge_expired_removes_only_stale() {
+        let mut t = LeaseTable::new();
+        t.grant(Key(1), Key(2), SimTime(0), 5);
+        t.grant(Key(1), Key(3), SimTime(0), 50);
+        assert_eq!(t.purge_expired(SimTime(10)), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_fresh(Key(1), Key(3), SimTime(10)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Location records: what the stationary layer stores per mobile node.
+//!
+//! A mobile node Y publishes `<Y, current address>` to the stationary-layer
+//! node whose hash key is closest to Y's (§2.1), replicated across k
+//! clustered nodes for availability (§2.3.2). A `_discovery` for Y routes
+//! to that node and returns the record.
+
+use bristle_netsim::attach::AttachmentMap;
+use bristle_overlay::addr::NetAddr;
+use bristle_overlay::key::Key;
+
+use crate::time::SimTime;
+
+/// One mobile node's published location, as stored in the stationary layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationRecord {
+    /// The mobile node this record describes.
+    pub subject: Key,
+    /// The network address the subject last published.
+    pub addr: NetAddr,
+    /// Publication sequence number; higher wins on conflicts.
+    pub seq: u64,
+    /// When the record was published.
+    pub published_at: SimTime,
+    /// Lease duration granted to consumers of this record.
+    pub ttl: u64,
+}
+
+impl LocationRecord {
+    /// Builds a record from the subject's current attachment.
+    pub fn fresh(
+        subject: Key,
+        host: bristle_netsim::attach::HostId,
+        attachments: &AttachmentMap,
+        seq: u64,
+        now: SimTime,
+        ttl: u64,
+    ) -> LocationRecord {
+        LocationRecord { subject, addr: NetAddr::current(host, attachments), seq, published_at: now, ttl }
+    }
+
+    /// Whether the recorded address still reaches the subject.
+    pub fn is_current(&self, attachments: &AttachmentMap) -> bool {
+        self.addr.is_valid(attachments)
+    }
+
+    /// Whether the record's own lease has expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        now.since(self.published_at) >= self.ttl
+    }
+
+    /// Resolves conflicts: keeps the record with the higher sequence
+    /// number (ties broken by later publication time).
+    pub fn newer_of(self, other: LocationRecord) -> LocationRecord {
+        if (other.seq, other.published_at) > (self.seq, self.published_at) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_netsim::graph::RouterId;
+
+    fn setup() -> (AttachmentMap, bristle_netsim::attach::HostId) {
+        let mut m = AttachmentMap::new();
+        let h = m.attach_new(RouterId(1));
+        (m, h)
+    }
+
+    #[test]
+    fn freshness_tracks_movement() {
+        let (mut m, h) = setup();
+        let rec = LocationRecord::fresh(Key(5), h, &m, 1, SimTime(0), 30);
+        assert!(rec.is_current(&m));
+        m.move_host(h, RouterId(2));
+        assert!(!rec.is_current(&m));
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let (m, h) = setup();
+        let rec = LocationRecord::fresh(Key(5), h, &m, 1, SimTime(10), 30);
+        assert!(!rec.is_expired(SimTime(39)));
+        assert!(rec.is_expired(SimTime(40)));
+    }
+
+    #[test]
+    fn newer_of_prefers_higher_seq() {
+        let (m, h) = setup();
+        let a = LocationRecord::fresh(Key(5), h, &m, 1, SimTime(0), 30);
+        let b = LocationRecord::fresh(Key(5), h, &m, 2, SimTime(0), 30);
+        assert_eq!(a.newer_of(b).seq, 2);
+        assert_eq!(b.newer_of(a).seq, 2);
+        // Equal seq: later publication wins.
+        let c = LocationRecord::fresh(Key(5), h, &m, 2, SimTime(9), 30);
+        assert_eq!(b.newer_of(c).published_at, SimTime(9));
+    }
+}

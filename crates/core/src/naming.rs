@@ -1,0 +1,216 @@
+//! Hash-key naming schemes (paper §3, "System-Dependent Optimization").
+//!
+//! Bristle assigns keys to nodes in one of two ways:
+//!
+//! * **Scrambled** — keys are uniformly random regardless of mobility, the
+//!   default in any plain HS-P2P. Routes between stationary nodes then pass
+//!   through mobile nodes whose addresses keep needing resolution, costing
+//!   O(log² N) per route.
+//! * **Clustered** — stationary nodes draw keys from a contiguous band
+//!   `[L, U]` of the ring (`0 < L ≤ k_S ≤ U < ρ`), mobile nodes from its
+//!   complement. With ∇ = (U − L)/ρ ≥ 1/2 the paper shows (eq. 1) that a
+//!   route between two stationary nodes can always be forwarded by
+//!   stationary nodes only, restoring O(log N) routes.
+//!
+//! The band is sized `∇ ≈ (N − M)/N` so that key density stays uniform.
+
+use bristle_netsim::rng::Pcg64;
+use bristle_overlay::key::{Key, RING_SIZE_F64};
+
+/// Whether a node is fixed or free to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mobility {
+    /// The node never changes its attachment point.
+    Stationary,
+    /// The node may move at any time.
+    Mobile,
+}
+
+/// A key-assignment policy.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_core::naming::{Mobility, NamingScheme};
+/// use bristle_netsim::rng::Pcg64;
+///
+/// // Half the ring reserved for stationary nodes: the §3 guarantee holds.
+/// let scheme = NamingScheme::clustered(0.5);
+/// assert!(scheme.guarantees_stationary_routing());
+///
+/// let mut rng = Pcg64::seed_from_u64(1);
+/// let k = scheme.assign(Mobility::Mobile, &mut rng);
+/// assert!(scheme.permits(k, Mobility::Mobile));
+/// assert!(!scheme.permits(k, Mobility::Stationary));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NamingScheme {
+    /// Uniformly random keys for everyone.
+    Scrambled,
+    /// Stationary keys confined to the clockwise band `[l, u]`; mobile keys
+    /// confined to its complement.
+    Clustered {
+        /// Lower end of the stationary band (inclusive).
+        l: Key,
+        /// Upper end of the stationary band (inclusive).
+        u: Key,
+    },
+}
+
+impl NamingScheme {
+    /// Builds a clustered scheme whose band covers the `stationary_fraction`
+    /// of the ring (∇ = stationary_fraction), centered away from key 0 so
+    /// that `0 < L` and `U < ρ` hold as the paper requires.
+    ///
+    /// # Panics
+    /// Panics unless `0 < stationary_fraction <= 1`.
+    pub fn clustered(stationary_fraction: f64) -> NamingScheme {
+        assert!(
+            stationary_fraction > 0.0 && stationary_fraction <= 1.0,
+            "stationary fraction {stationary_fraction} out of (0, 1]"
+        );
+        let band = (stationary_fraction * RING_SIZE_F64) as u64;
+        let band = band.max(2); // keep the band non-degenerate
+        // Center the band: L = (ρ − band) / 2, U = L + band − 1.
+        let l = ((RING_SIZE_F64 - band as f64) / 2.0) as u64;
+        let l = l.max(1); // 0 < L
+        let u = l.saturating_add(band - 1).min(u64::MAX - 1); // U < ρ
+        NamingScheme::Clustered { l: Key(l), u: Key(u) }
+    }
+
+    /// The fraction ∇ = (U − L)/ρ of the ring reserved for stationary
+    /// nodes (1.0 for the scrambled scheme, where no reservation exists).
+    pub fn nabla(&self) -> f64 {
+        match self {
+            NamingScheme::Scrambled => 1.0,
+            NamingScheme::Clustered { l, u } => (u.0 - l.0) as f64 / RING_SIZE_F64,
+        }
+    }
+
+    /// Whether the paper's worst-case guarantee (eq. 1: stationary→
+    /// stationary routes never leave the stationary band) holds.
+    pub fn guarantees_stationary_routing(&self) -> bool {
+        match self {
+            NamingScheme::Scrambled => false,
+            NamingScheme::Clustered { .. } => self.nabla() >= 0.5,
+        }
+    }
+
+    /// Whether `k` is a legal key for a node of the given mobility.
+    pub fn permits(&self, k: Key, mobility: Mobility) -> bool {
+        match (self, mobility) {
+            (NamingScheme::Scrambled, _) => true,
+            (NamingScheme::Clustered { l, u }, Mobility::Stationary) => k >= *l && k <= *u,
+            (NamingScheme::Clustered { l, u }, Mobility::Mobile) => k < *l || k > *u,
+        }
+    }
+
+    /// Draws a fresh key legal for the given mobility class.
+    ///
+    /// # Panics
+    /// Panics if the scheme leaves no key space for the class (e.g. a
+    /// clustered scheme with a full-ring band and a mobile node).
+    pub fn assign(&self, mobility: Mobility, rng: &mut Pcg64) -> Key {
+        match self {
+            NamingScheme::Scrambled => Key::random(rng),
+            NamingScheme::Clustered { l, u } => match mobility {
+                Mobility::Stationary => Key(rng.range_inclusive(l.0, u.0)),
+                Mobility::Mobile => {
+                    let below = l.0; // keys in [0, L)
+                    let above = u64::MAX - u.0; // keys in (U, ρ)
+                    let total = below.checked_add(above).expect("band smaller than ring");
+                    assert!(total > 0, "clustered band leaves no mobile key space");
+                    let pick = rng.below(total);
+                    if pick < below {
+                        Key(pick)
+                    } else {
+                        Key(u.0 + 1 + (pick - below))
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_band_tracks_fraction() {
+        for frac in [0.1, 0.25, 0.5, 0.8, 1.0] {
+            let s = NamingScheme::clustered(frac);
+            assert!((s.nabla() - frac).abs() < 1e-6, "frac {frac} nabla {}", s.nabla());
+        }
+    }
+
+    #[test]
+    fn clustered_band_respects_strict_bounds() {
+        for frac in [0.01, 0.5, 0.999, 1.0] {
+            let NamingScheme::Clustered { l, u } = NamingScheme::clustered(frac) else {
+                unreachable!()
+            };
+            assert!(l.0 > 0, "0 < L violated at frac {frac}");
+            assert!(u.0 < u64::MAX, "U < rho violated at frac {frac}");
+            assert!(l < u);
+        }
+    }
+
+    #[test]
+    fn assignment_respects_classes() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let s = NamingScheme::clustered(0.6);
+        for _ in 0..500 {
+            let ks = s.assign(Mobility::Stationary, &mut rng);
+            assert!(s.permits(ks, Mobility::Stationary), "{ks}");
+            assert!(!s.permits(ks, Mobility::Mobile));
+            let km = s.assign(Mobility::Mobile, &mut rng);
+            assert!(s.permits(km, Mobility::Mobile), "{km}");
+            assert!(!s.permits(km, Mobility::Stationary));
+        }
+    }
+
+    #[test]
+    fn scrambled_permits_everything() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let s = NamingScheme::Scrambled;
+        for _ in 0..100 {
+            let k = s.assign(Mobility::Mobile, &mut rng);
+            assert!(s.permits(k, Mobility::Stationary));
+            assert!(s.permits(k, Mobility::Mobile));
+        }
+        assert_eq!(s.nabla(), 1.0);
+        assert!(!s.guarantees_stationary_routing());
+    }
+
+    #[test]
+    fn guarantee_threshold_at_half() {
+        assert!(NamingScheme::clustered(0.5).guarantees_stationary_routing());
+        assert!(NamingScheme::clustered(0.7).guarantees_stationary_routing());
+        assert!(!NamingScheme::clustered(0.49).guarantees_stationary_routing());
+    }
+
+    #[test]
+    fn mobile_keys_land_on_both_sides_of_band() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let s = NamingScheme::clustered(0.5);
+        let NamingScheme::Clustered { l, u } = s else { unreachable!() };
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..1000 {
+            let k = s.assign(Mobility::Mobile, &mut rng);
+            if k < l {
+                lo += 1;
+            } else {
+                assert!(k > u);
+                hi += 1;
+            }
+        }
+        assert!(lo > 300 && hi > 300, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn zero_fraction_rejected() {
+        NamingScheme::clustered(0.0);
+    }
+}

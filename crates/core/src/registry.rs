@@ -1,0 +1,163 @@
+//! Registration bookkeeping (paper §2.3.1, `register`).
+//!
+//! A node X that holds Y's state-pair registers its interest to Y, along
+//! with its capacity `C_X`. Y therefore knows the set R(Y) of registrants
+//! it must inform when it moves — the membership of Y's LDT. With the
+//! HS-P2P replicating a node's state to O(log N) peers, |R(Y)| = O(log N).
+
+use std::collections::HashMap;
+
+use bristle_overlay::key::Key;
+
+/// One registered interested party: who, and how able.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registrant {
+    /// The registrant's hash key.
+    pub key: Key,
+    /// The capacity `C_X` it reported when registering.
+    pub capacity: u32,
+}
+
+impl Registrant {
+    /// Convenience constructor.
+    pub fn new(key: Key, capacity: u32) -> Registrant {
+        Registrant { key, capacity }
+    }
+}
+
+/// The system-wide registration state: for each target node, who has
+/// registered interest in its movement.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    interests: HashMap<Key, Vec<Registrant>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `who` to `target` (idempotent; re-registration updates
+    /// the reported capacity). Returns `true` if this was a new interest.
+    pub fn register(&mut self, who: Registrant, target: Key) -> bool {
+        let list = self.interests.entry(target).or_default();
+        match list.iter_mut().find(|r| r.key == who.key) {
+            Some(existing) => {
+                existing.capacity = who.capacity;
+                false
+            }
+            None => {
+                list.push(who);
+                true
+            }
+        }
+    }
+
+    /// Removes `who`'s interest in `target`.
+    pub fn deregister(&mut self, who: Key, target: Key) -> bool {
+        let Some(list) = self.interests.get_mut(&target) else {
+            return false;
+        };
+        let before = list.len();
+        list.retain(|r| r.key != who);
+        let removed = list.len() < before;
+        if list.is_empty() {
+            self.interests.remove(&target);
+        }
+        removed
+    }
+
+    /// Removes `who` from every target's registrant list (the node left).
+    pub fn remove_everywhere(&mut self, who: Key) -> usize {
+        let mut removed = 0;
+        self.interests.retain(|_, list| {
+            let before = list.len();
+            list.retain(|r| r.key != who);
+            removed += before - list.len();
+            !list.is_empty()
+        });
+        removed
+    }
+
+    /// Drops all interests *in* `target` (the target left).
+    pub fn drop_target(&mut self, target: Key) -> usize {
+        self.interests.remove(&target).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// The registrants R(target), in registration order.
+    pub fn registrants_of(&self, target: Key) -> &[Registrant] {
+        self.interests.get(&target).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of targets with at least one registrant.
+    pub fn target_count(&self) -> usize {
+        self.interests.len()
+    }
+
+    /// Total registrations across all targets.
+    pub fn total_registrations(&self) -> usize {
+        self.interests.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(target, registrants)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &[Registrant])> + '_ {
+        self.interests.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_but_updates_capacity() {
+        let mut reg = Registry::new();
+        assert!(reg.register(Registrant::new(Key(1), 5), Key(9)));
+        assert!(!reg.register(Registrant::new(Key(1), 8), Key(9)));
+        let r = reg.registrants_of(Key(9));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].capacity, 8);
+        assert_eq!(reg.total_registrations(), 1);
+    }
+
+    #[test]
+    fn deregister_removes_interest() {
+        let mut reg = Registry::new();
+        reg.register(Registrant::new(Key(1), 5), Key(9));
+        reg.register(Registrant::new(Key(2), 5), Key(9));
+        assert!(reg.deregister(Key(1), Key(9)));
+        assert_eq!(reg.registrants_of(Key(9)).len(), 1);
+        assert!(!reg.deregister(Key(1), Key(9)));
+        assert!(reg.deregister(Key(2), Key(9)));
+        assert_eq!(reg.target_count(), 0);
+    }
+
+    #[test]
+    fn remove_everywhere_sweeps_all_targets() {
+        let mut reg = Registry::new();
+        reg.register(Registrant::new(Key(1), 5), Key(9));
+        reg.register(Registrant::new(Key(1), 5), Key(10));
+        reg.register(Registrant::new(Key(2), 5), Key(10));
+        assert_eq!(reg.remove_everywhere(Key(1)), 2);
+        assert_eq!(reg.registrants_of(Key(9)).len(), 0);
+        assert_eq!(reg.registrants_of(Key(10)).len(), 1);
+    }
+
+    #[test]
+    fn drop_target_clears_interest_list() {
+        let mut reg = Registry::new();
+        reg.register(Registrant::new(Key(1), 5), Key(9));
+        reg.register(Registrant::new(Key(2), 6), Key(9));
+        assert_eq!(reg.drop_target(Key(9)), 2);
+        assert_eq!(reg.drop_target(Key(9)), 0);
+        assert!(reg.registrants_of(Key(9)).is_empty());
+    }
+
+    #[test]
+    fn unknown_target_has_no_registrants() {
+        let reg = Registry::new();
+        assert!(reg.registrants_of(Key(404)).is_empty());
+        assert_eq!(reg.target_count(), 0);
+    }
+}

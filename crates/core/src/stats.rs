@@ -1,0 +1,132 @@
+//! System-wide observability: one snapshot struct answering the
+//! scalability questions the paper's Table 1 asks (state per node,
+//! registration load, repository size, traffic so far).
+
+use crate::system::BristleSystem;
+
+/// A point-in-time summary of a [`BristleSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemStats {
+    /// Total nodes.
+    pub nodes: usize,
+    /// Stationary nodes.
+    pub stationary: usize,
+    /// Mobile nodes.
+    pub mobile: usize,
+    /// Routing-state rows in the mobile layer.
+    pub mobile_state_rows: usize,
+    /// Routing-state rows in the stationary layer.
+    pub stationary_state_rows: usize,
+    /// Mean routing-state rows per node (both layers combined).
+    pub avg_state_per_node: f64,
+    /// Location records stored across the stationary layer (replicas
+    /// counted individually).
+    pub location_records: usize,
+    /// Location records whose TTL has lapsed (cleanup candidates).
+    pub expired_records: usize,
+    /// Lease contracts currently tracked (valid or pending purge).
+    pub leases: usize,
+    /// Registration entries across all targets.
+    pub registrations: usize,
+    /// Mean registrants per mobile node (the LDT membership scale).
+    pub avg_registrants_per_mobile: f64,
+    /// Protocol messages sent since system construction.
+    pub total_messages: u64,
+    /// Physical cost of those messages.
+    pub total_message_cost: u64,
+    /// Physical moves performed so far.
+    pub total_moves: u64,
+}
+
+impl BristleSystem {
+    /// Takes a statistics snapshot.
+    pub fn stats(&self) -> SystemStats {
+        let now = self.clock.now();
+        let mut location_records = 0usize;
+        let mut expired_records = 0usize;
+        for node in self.stationary.iter() {
+            for rec in node.store.values() {
+                location_records += 1;
+                if rec.is_expired(now) {
+                    expired_records += 1;
+                }
+            }
+        }
+        let mobile_state_rows = self.mobile.total_state();
+        let stationary_state_rows = self.stationary.total_state();
+        let nodes = self.len();
+        let mobile = self.mobile_keys().len();
+        let registrations = self.registry.total_registrations();
+        SystemStats {
+            nodes,
+            stationary: self.stationary_keys().len(),
+            mobile,
+            mobile_state_rows,
+            stationary_state_rows,
+            avg_state_per_node: if nodes == 0 {
+                0.0
+            } else {
+                (mobile_state_rows + stationary_state_rows) as f64 / nodes as f64
+            },
+            location_records,
+            expired_records,
+            leases: self.leases.len(),
+            registrations,
+            avg_registrants_per_mobile: if mobile == 0 { 0.0 } else { registrations as f64 / mobile as f64 },
+            total_messages: self.meter.total_messages(),
+            total_message_cost: self.meter.total_cost(),
+            total_moves: self.attachments.total_moves(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::system::BristleBuilder;
+    use bristle_netsim::transit_stub::TransitStubConfig;
+
+    fn system(seed: u64) -> crate::system::BristleSystem {
+        BristleBuilder::new(seed)
+            .stationary_nodes(30)
+            .mobile_nodes(15)
+            .topology(TransitStubConfig::tiny())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn snapshot_reflects_population() {
+        let sys = system(1);
+        let s = sys.stats();
+        assert_eq!(s.nodes, 45);
+        assert_eq!(s.stationary, 30);
+        assert_eq!(s.mobile, 15);
+        assert!(s.avg_state_per_node > 4.0);
+        // Every mobile node published k = 3 replicas.
+        assert_eq!(s.location_records, 15 * sys.config().location_replicas);
+        assert_eq!(s.expired_records, 0);
+        assert!(s.avg_registrants_per_mobile > 2.0);
+        assert_eq!(s.total_moves, 0);
+    }
+
+    #[test]
+    fn snapshot_tracks_activity() {
+        let mut sys = system(2);
+        let before = sys.stats();
+        let m = sys.mobile_keys()[0];
+        sys.move_node(m, None).unwrap();
+        let after = sys.stats();
+        assert_eq!(after.total_moves, before.total_moves + 1);
+        assert!(after.total_messages > before.total_messages);
+        assert!(after.leases >= before.leases);
+    }
+
+    #[test]
+    fn expiry_shows_up_after_ttl() {
+        let mut sys = system(3);
+        let ttl = sys.config().location_ttl;
+        sys.tick(ttl + 1);
+        let s = sys.stats();
+        assert_eq!(s.expired_records, s.location_records, "all initial records lapsed");
+    }
+}

@@ -1,0 +1,718 @@
+//! The Bristle system: both layers, the physical network, and all
+//! location-management state behind one facade.
+//!
+//! A [`BristleSystem`] owns
+//!
+//! * the physical substrate (transit-stub topology, attachment map,
+//!   distance oracle),
+//! * the **stationary layer** — an HS-P2P over the stationary nodes that
+//!   stores [`LocationRecord`]s,
+//! * the **mobile layer** — an HS-P2P over *all* nodes carrying
+//!   application traffic (its cached `<key, addr>` state-pairs can go
+//!   stale when nodes move),
+//! * the registration state R(·), the lease table, the virtual clock and
+//!   the message meter.
+//!
+//! Protocol operations live in three impl blocks: construction and
+//! location management here, Figure-2 routing and `_discovery` in
+//! [`crate::mobile`], and the join/leave protocol in [`crate::join`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bristle_netsim::attach::{AttachmentMap, HostId};
+use bristle_netsim::dijkstra::DistanceCache;
+use bristle_netsim::graph::RouterId;
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::{TransitStubConfig, TransitStubTopology};
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::{MessageKind, Meter};
+use bristle_overlay::ring::RingDht;
+
+use crate::config::{BristleConfig, NamingPolicy};
+use crate::error::{BristleError, Result};
+use crate::ldt::Ldt;
+use crate::lease::LeaseTable;
+use crate::location::LocationRecord;
+use crate::naming::{Mobility, NamingScheme};
+use crate::registry::{Registrant, Registry};
+use crate::time::Clock;
+
+/// Static facts about one Bristle node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeInfo {
+    /// The physical host embodying the node.
+    pub host: HostId,
+    /// Stationary or mobile.
+    pub mobility: Mobility,
+    /// Advertised capacity.
+    pub capacity: u32,
+    /// Location-publication sequence number (mobile nodes).
+    pub seq: u64,
+}
+
+/// What a [`BristleSystem::move_node`] did.
+#[derive(Debug, Clone)]
+pub struct MoveReport {
+    /// Where the node is now attached.
+    pub new_router: RouterId,
+    /// Hops spent publishing the new location to the stationary layer.
+    pub publish_hops: usize,
+    /// The LDT the update was disseminated through.
+    pub ldt: Ldt,
+    /// Update messages sent along LDT edges.
+    pub updates_sent: usize,
+    /// Physical cost of those update messages.
+    pub update_cost: u64,
+}
+
+/// The assembled Bristle system.
+pub struct BristleSystem {
+    cfg: BristleConfig,
+    naming: NamingScheme,
+    /// Virtual clock; leases and record TTLs run on it.
+    pub clock: Clock,
+    /// System-wide message accounting.
+    pub meter: Meter,
+    rng: Pcg64,
+    /// Host attachments (the physical face of mobility).
+    pub attachments: AttachmentMap,
+    dcache: Arc<DistanceCache>,
+    stub_routers: Vec<RouterId>,
+    /// The stationary layer: location-information repository.
+    pub stationary: RingDht<LocationRecord>,
+    /// The mobile layer: the application HS-P2P over all nodes.
+    pub mobile: RingDht<Vec<u8>>,
+    info: HashMap<Key, NodeInfo>,
+    stationary_keys: Vec<Key>,
+    mobile_keys: Vec<Key>,
+    /// Registration state R(·) (§2.3.1).
+    pub registry: Registry,
+    /// Lease contracts on cached addresses (§2.3.2).
+    pub leases: LeaseTable,
+}
+
+/// Builder for [`BristleSystem`].
+#[derive(Debug, Clone)]
+pub struct BristleBuilder {
+    seed: u64,
+    config: BristleConfig,
+    topology: TransitStubConfig,
+    n_stationary: usize,
+    n_mobile: usize,
+    distance_cache_rows: usize,
+}
+
+impl BristleBuilder {
+    /// Starts a builder with the recommended configuration, a small
+    /// topology, and 64 stationary / 0 mobile nodes.
+    pub fn new(seed: u64) -> Self {
+        BristleBuilder {
+            seed,
+            config: BristleConfig::recommended(),
+            topology: TransitStubConfig::small(),
+            n_stationary: 64,
+            n_mobile: 0,
+            distance_cache_rows: 4096,
+        }
+    }
+
+    /// Sets the number of stationary nodes (must be ≥ 1).
+    pub fn stationary_nodes(mut self, n: usize) -> Self {
+        self.n_stationary = n;
+        self
+    }
+
+    /// Sets the number of mobile nodes.
+    pub fn mobile_nodes(mut self, n: usize) -> Self {
+        self.n_mobile = n;
+        self
+    }
+
+    /// Overrides the protocol configuration.
+    pub fn config(mut self, cfg: BristleConfig) -> Self {
+        self.config = cfg;
+        self
+    }
+
+    /// Overrides the physical topology.
+    pub fn topology(mut self, t: TransitStubConfig) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Bounds the distance-oracle memory (rows of cached Dijkstra output).
+    pub fn distance_cache_rows(mut self, rows: usize) -> Self {
+        self.distance_cache_rows = rows;
+        self
+    }
+
+    /// Builds the system: generates the topology, attaches hosts, assigns
+    /// keys under the naming policy, wires both layers, populates the
+    /// registry from reverse routing pointers, and publishes every mobile
+    /// node's initial location.
+    pub fn build(self) -> Result<BristleSystem> {
+        self.config.validate();
+        assert!(self.n_stationary >= 1, "need at least one stationary node");
+        let mut rng = Pcg64::seed_from_u64(self.seed);
+        let mut topo_rng = rng.split(1);
+        let topo = TransitStubTopology::generate(&self.topology, &mut topo_rng);
+        let stub_routers = topo.stub_routers().to_vec();
+        let dcache = Arc::new(DistanceCache::new(Arc::new(topo.into_graph()), self.distance_cache_rows));
+
+        let total = self.n_stationary + self.n_mobile;
+        let naming = match self.config.naming {
+            NamingPolicy::Scrambled => NamingScheme::Scrambled,
+            NamingPolicy::Clustered => NamingScheme::clustered(self.n_stationary as f64 / total as f64),
+        };
+        let ring = self.config.ring.clone();
+
+        let mut sys = BristleSystem {
+            cfg: self.config,
+            naming,
+            clock: Clock::new(),
+            meter: Meter::new(),
+            rng: rng.split(2),
+            attachments: AttachmentMap::new(),
+            dcache,
+            stub_routers,
+            stationary: RingDht::new(ring.clone()),
+            mobile: RingDht::new(ring),
+            info: HashMap::new(),
+            stationary_keys: Vec::new(),
+            mobile_keys: Vec::new(),
+            registry: Registry::new(),
+            leases: LeaseTable::new(),
+        };
+
+        for _ in 0..self.n_stationary {
+            sys.admit(Mobility::Stationary)?;
+        }
+        for _ in 0..self.n_mobile {
+            sys.admit(Mobility::Mobile)?;
+        }
+        sys.rewire();
+        sys.sync_registrations();
+        sys.publish_all_locations()?;
+        Ok(sys)
+    }
+}
+
+impl BristleSystem {
+    // ------------------------------------------------------------------
+    // Construction helpers (used by the builder and by `join_node`).
+    // ------------------------------------------------------------------
+
+    /// Draws a fresh, non-colliding key for the mobility class.
+    pub(crate) fn new_key(&mut self, mobility: Mobility) -> Result<Key> {
+        for _ in 0..1024 {
+            let k = self.naming.assign(mobility, &mut self.rng);
+            if !self.info.contains_key(&k) {
+                return Ok(k);
+            }
+        }
+        Err(BristleError::KeySpaceExhausted)
+    }
+
+    /// Creates a node body (host + key + capacity) and inserts it into the
+    /// appropriate layers *without* wiring routing tables.
+    pub(crate) fn admit(&mut self, mobility: Mobility) -> Result<Key> {
+        let key = self.new_key(mobility)?;
+        let router = *self.rng.choose(&self.stub_routers);
+        let host = self.attachments.attach_new(router);
+        let (lo, hi) = self.cfg.capacity_range;
+        let capacity = self.rng.range_inclusive(lo as u64, hi as u64) as u32;
+        self.info.insert(key, NodeInfo { host, mobility, capacity, seq: 0 });
+        self.mobile.insert(key, host, capacity)?;
+        match mobility {
+            Mobility::Stationary => {
+                self.stationary.insert(key, host, capacity)?;
+                self.stationary_keys.push(key);
+            }
+            Mobility::Mobile => self.mobile_keys.push(key),
+        }
+        Ok(key)
+    }
+
+    /// Rebuilds every routing table in both layers (steady-state wiring).
+    pub fn rewire(&mut self) {
+        let mut rng = self.rng.split(3);
+        self.stationary.build_all_tables(&self.attachments, &self.dcache, &mut rng);
+        self.mobile.build_all_tables(&self.attachments, &self.dcache, &mut rng);
+    }
+
+    /// Rebuilds the registration state from the mobile layer's reverse
+    /// routing pointers: every holder of a *mobile* node's state-pair
+    /// registers to that node with its capacity (§2.3.1 — "X can register
+    /// itself to those mobile nodes only").
+    pub fn sync_registrations(&mut self) {
+        self.registry = Registry::new();
+        let rev = self.mobile.reverse_index();
+        for (&subject, holders) in rev.iter() {
+            if !self.is_mobile(subject) {
+                continue;
+            }
+            for &holder in holders {
+                let cap = self.info[&holder].capacity;
+                self.registry.register(Registrant::new(holder, cap), subject);
+                self.meter.bump(MessageKind::Register, 1);
+            }
+        }
+    }
+
+    /// Publishes every mobile node's current location (initial state).
+    pub fn publish_all_locations(&mut self) -> Result<()> {
+        let keys = self.mobile_keys.clone();
+        for k in keys {
+            self.publish_location(k)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Protocol configuration.
+    pub fn config(&self) -> &BristleConfig {
+        &self.cfg
+    }
+
+    /// The key-assignment scheme in force.
+    pub fn naming(&self) -> &NamingScheme {
+        &self.naming
+    }
+
+    /// Total nodes.
+    pub fn len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Whether the system has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.info.is_empty()
+    }
+
+    /// Keys of the stationary nodes.
+    pub fn stationary_keys(&self) -> &[Key] {
+        &self.stationary_keys
+    }
+
+    /// Keys of the mobile nodes.
+    pub fn mobile_keys(&self) -> &[Key] {
+        &self.mobile_keys
+    }
+
+    /// Static facts about a node.
+    pub fn node_info(&self, key: Key) -> Result<&NodeInfo> {
+        self.info.get(&key).ok_or(BristleError::UnknownNode(key))
+    }
+
+    /// Whether `key` names a mobile node.
+    pub fn is_mobile(&self, key: Key) -> bool {
+        self.info.get(&key).is_some_and(|i| i.mobility == Mobility::Mobile)
+    }
+
+    /// The distance oracle over the physical topology.
+    pub fn distances(&self) -> &DistanceCache {
+        &self.dcache
+    }
+
+    /// A shareable handle to the distance oracle (useful when a call
+    /// needs the oracle and disjoint mutable parts of the system at once).
+    pub fn distances_arc(&self) -> Arc<DistanceCache> {
+        Arc::clone(&self.dcache)
+    }
+
+    /// Routers hosts may attach to.
+    pub fn stub_routers(&self) -> &[RouterId] {
+        &self.stub_routers
+    }
+
+    /// The node's current physical router.
+    pub fn router_of(&self, key: Key) -> Result<RouterId> {
+        Ok(self.attachments.router(self.node_info(key)?.host))
+    }
+
+    /// Mutable access to the system RNG (workload generators share it).
+    pub fn rng(&mut self) -> &mut Pcg64 {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Location management (§2.3): register / update / publish.
+    // ------------------------------------------------------------------
+
+    /// Picks the stationary-layer entry point a node uses to inject
+    /// messages into the location-management layer: itself when
+    /// stationary, otherwise the physically closest stationary node in
+    /// its routing state (falling back to the stationary owner of its own
+    /// key when it knows none).
+    pub fn entry_stationary_for(&self, from: Key) -> Result<Key> {
+        let info = self.node_info(from)?;
+        if info.mobility == Mobility::Stationary {
+            return Ok(from);
+        }
+        if self.stationary.is_empty() {
+            return Err(BristleError::NoStationaryLayer);
+        }
+        let from_router = self.attachments.router(info.host);
+        let node = self.mobile.node(from)?;
+        let mut best: Option<(u64, Key)> = None;
+        for e in &node.entries {
+            if self.is_mobile(e.key) || !self.stationary.contains(e.key) {
+                continue;
+            }
+            // Stationary nodes never move, so their cached address router
+            // is their actual router.
+            let r = self.attachments.router(self.info[&e.key].host);
+            let d = self.dcache.distance(from_router, r);
+            if best.map(|(b, _)| d < b).unwrap_or(true) {
+                best = Some((d, e.key));
+            }
+        }
+        match best {
+            Some((_, k)) => Ok(k),
+            None => Ok(self.stationary.owner(from)?),
+        }
+    }
+
+    /// Publishes `key`'s current location to the stationary layer
+    /// (replicated `location_replicas` ways). Returns hops spent.
+    pub fn publish_location(&mut self, key: Key) -> Result<usize> {
+        let info = *self.node_info(key)?;
+        if info.mobility != Mobility::Mobile {
+            return Err(BristleError::NotMobile(key));
+        }
+        let record = LocationRecord::fresh(
+            key,
+            info.host,
+            &self.attachments,
+            info.seq,
+            self.clock.now(),
+            self.cfg.location_ttl,
+        );
+        let entry = self.entry_stationary_for(key)?;
+        // First hop: the mobile node hands the record to its entry point.
+        let from_router = self.attachments.router(info.host);
+        let entry_router = self.attachments.router(self.info[&entry].host);
+        self.meter.record(MessageKind::Publish, self.dcache.distance(from_router, entry_router));
+        let mut hops = 1;
+        let set = self.stationary.publish(
+            entry,
+            key,
+            record,
+            self.cfg.location_replicas,
+            &self.attachments,
+            &self.dcache,
+            &mut self.meter,
+        )?;
+        hops += set.len(); // replica pushes
+        Ok(hops)
+    }
+
+    /// Registers `who`'s interest in mobile node `target` (§2.3.1's
+    /// `register`), reporting `who`'s capacity, and grants `who` a lease
+    /// on `target`'s current address.
+    pub fn register_interest(&mut self, who: Key, target: Key) -> Result<()> {
+        let who_info = *self.node_info(who)?;
+        if !self.is_mobile(target) {
+            return Err(BristleError::NotMobile(target));
+        }
+        let target_info = *self.node_info(target)?;
+        let cost = self.dcache.distance(
+            self.attachments.router(who_info.host),
+            self.attachments.router(target_info.host),
+        );
+        self.meter.record(MessageKind::Register, cost);
+        self.registry.register(Registrant::new(who, who_info.capacity), target);
+        self.leases.grant(who, target, self.clock.now(), self.cfg.lease_ttl);
+        Ok(())
+    }
+
+    /// Materializes `key`'s LDT from the current registration state
+    /// without sending anything.
+    ///
+    /// Registrants that abruptly failed since registering are pruned
+    /// here — in protocol terms, the root's sends to them time out and
+    /// it drops them from R(i); the registry itself is lazily cleaned by
+    /// the next [`BristleSystem::sync_registrations`].
+    pub fn build_ldt(&self, key: Key) -> Result<Ldt> {
+        let info = self.node_info(key)?;
+        let root = Registrant::new(key, info.capacity);
+        let registrants: Vec<Registrant> = self
+            .registry
+            .registrants_of(key)
+            .iter()
+            .copied()
+            .filter(|r| self.info.contains_key(&r.key))
+            .collect();
+        let used = |k: Key| self.mobile.node(k).map(|n| n.used).unwrap_or(0);
+        Ok(Ldt::build(root, &registrants, used, self.cfg.unit_cost))
+    }
+
+    /// Disseminates `key`'s current address through its LDT (`update`):
+    /// one message per tree edge, each granting the receiving member a
+    /// fresh lease and patching its cached state-pair.
+    pub fn advertise_update(&mut self, key: Key) -> Result<(Ldt, usize, u64)> {
+        let info = *self.node_info(key)?;
+        let ldt = self.build_ldt(key)?;
+        let new_addr = bristle_overlay::addr::NetAddr::current(info.host, &self.attachments);
+        let now = self.clock.now();
+        let mut sent = 0usize;
+        let mut total_cost = 0u64;
+        let edges: Vec<(Key, Key)> = ldt.edges().collect();
+        for (parent, child) in edges {
+            let pr = self.router_of(parent)?;
+            let cr = self.router_of(child)?;
+            let cost = self.dcache.distance(pr, cr);
+            self.meter.record(MessageKind::Update, cost);
+            sent += 1;
+            total_cost += cost;
+            self.leases.grant(child, key, now, self.cfg.lease_ttl);
+            if let Ok(node) = self.mobile.node_mut(child) {
+                if let Some(pair) = node.entry_mut(key) {
+                    pair.addr = Some(new_addr);
+                }
+            }
+        }
+        Ok((ldt, sent, total_cost))
+    }
+
+    /// Moves a mobile node to a new random attachment point (or `to` if
+    /// given), republishes its location, and pushes the update through its
+    /// LDT. This is the full §2.3 `update` operation.
+    pub fn move_node(&mut self, key: Key, to: Option<RouterId>) -> Result<MoveReport> {
+        let info = *self.node_info(key)?;
+        if info.mobility != Mobility::Mobile {
+            return Err(BristleError::NotMobile(key));
+        }
+        let new_router = match to {
+            Some(r) => {
+                self.attachments.move_host(info.host, r);
+                r
+            }
+            None => {
+                let mut rng = self.rng.split(4);
+                self.attachments.move_host_random(info.host, &self.stub_routers, &mut rng).router
+            }
+        };
+        self.info.get_mut(&key).expect("known").seq += 1;
+        let publish_hops = self.publish_location(key)?;
+        let (ldt, updates_sent, update_cost) = self.advertise_update(key)?;
+        Ok(MoveReport { new_router, publish_hops, ldt, updates_sent, update_cost })
+    }
+
+    /// Drops `key` from the stationary key list (leave/fail bookkeeping).
+    pub(crate) fn retain_stationary(&mut self, key: Key) {
+        self.stationary_keys.retain(|&k| k != key);
+    }
+
+    /// Drops `key` from the mobile key list (leave/fail bookkeeping).
+    pub(crate) fn retain_mobile(&mut self, key: Key) {
+        self.mobile_keys.retain(|&k| k != key);
+    }
+
+    /// Forgets a node's info record (leave/fail bookkeeping).
+    pub(crate) fn forget(&mut self, key: Key) {
+        self.info.remove(&key);
+    }
+
+    /// Sets a node's present workload `Used_i` (consumed capacity units).
+    pub fn set_used(&mut self, key: Key, used: u32) -> Result<()> {
+        self.mobile.node_mut(key)?.used = used;
+        Ok(())
+    }
+
+    /// Advances the virtual clock and purges expired leases.
+    pub fn tick(&mut self, ticks: u64) -> usize {
+        self.clock.advance(ticks);
+        self.leases.purge_expired(self.clock.now())
+    }
+
+    /// Early-binding maintenance round: every mobile node republishes its
+    /// location and re-advertises through its LDT; registrations are
+    /// refreshed from the current routing state.
+    pub fn refresh_bindings(&mut self) -> Result<()> {
+        self.sync_registrations();
+        let keys = self.mobile_keys.clone();
+        for k in keys {
+            self.publish_location(k)?;
+            self.advertise_update(k)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(n_stat: usize, n_mob: usize, seed: u64) -> BristleSystem {
+        BristleBuilder::new(seed)
+            .stationary_nodes(n_stat)
+            .mobile_nodes(n_mob)
+            .topology(TransitStubConfig::tiny())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_creates_requested_population() {
+        let sys = small_system(40, 20, 1);
+        assert_eq!(sys.len(), 60);
+        assert_eq!(sys.stationary_keys().len(), 40);
+        assert_eq!(sys.mobile_keys().len(), 20);
+        assert_eq!(sys.stationary.len(), 40);
+        assert_eq!(sys.mobile.len(), 60);
+    }
+
+    #[test]
+    fn clustered_naming_separates_key_bands() {
+        let sys = small_system(30, 30, 2);
+        let naming = *sys.naming();
+        for &k in sys.stationary_keys() {
+            assert!(naming.permits(k, Mobility::Stationary), "{k}");
+        }
+        for &k in sys.mobile_keys() {
+            assert!(naming.permits(k, Mobility::Mobile), "{k}");
+        }
+    }
+
+    #[test]
+    fn initial_locations_are_published_and_current() {
+        let sys = small_system(30, 10, 3);
+        for &m in sys.mobile_keys() {
+            let owner = sys.stationary.owner(m).unwrap();
+            let rec = sys.stationary.node(owner).unwrap().store.get(&m).expect("published");
+            assert!(rec.is_current(&sys.attachments));
+            assert_eq!(rec.subject, m);
+        }
+    }
+
+    #[test]
+    fn registrations_cover_reverse_pointers_of_mobile_nodes() {
+        let sys = small_system(40, 20, 4);
+        let rev = sys.mobile.reverse_index();
+        for &m in sys.mobile_keys() {
+            let holders = rev.get(&m).map(Vec::len).unwrap_or(0);
+            assert_eq!(sys.registry.registrants_of(m).len(), holders, "target {m}");
+        }
+        // Stationary nodes collect no registrations.
+        for &s in sys.stationary_keys() {
+            assert!(sys.registry.registrants_of(s).is_empty());
+        }
+    }
+
+    #[test]
+    fn registrations_per_mobile_scale_like_log_n() {
+        let sys = small_system(100, 50, 5);
+        let avg = sys.mobile_keys().iter().map(|&m| sys.registry.registrants_of(m).len()).sum::<usize>() as f64
+            / sys.mobile_keys().len() as f64;
+        // O(log N): log2(150) ≈ 7.2, our tables hold ~2–5× that.
+        assert!(avg > 3.0 && avg < 60.0, "avg registrants {avg}");
+    }
+
+    #[test]
+    fn move_node_republishes_and_advertises() {
+        let mut sys = small_system(40, 10, 6);
+        let m = sys.mobile_keys()[0];
+        let before_updates = sys.meter.count(MessageKind::Update);
+        let report = sys.move_node(m, None).unwrap();
+        assert!(report.publish_hops >= 1);
+        assert_eq!(report.updates_sent, report.ldt.edge_count());
+        assert_eq!(sys.meter.count(MessageKind::Update) - before_updates, report.updates_sent as u64);
+        // The published record reflects the *new* attachment.
+        let owner = sys.stationary.owner(m).unwrap();
+        let rec = sys.stationary.node(owner).unwrap().store.get(&m).unwrap();
+        assert!(rec.is_current(&sys.attachments));
+        assert_eq!(rec.addr.router(), report.new_router);
+        assert_eq!(rec.seq, 1);
+    }
+
+    #[test]
+    fn move_to_explicit_router() {
+        let mut sys = small_system(20, 5, 7);
+        let m = sys.mobile_keys()[0];
+        let target = sys.stub_routers()[0];
+        let report = sys.move_node(m, Some(target)).unwrap();
+        assert_eq!(report.new_router, target);
+        assert_eq!(sys.router_of(m).unwrap(), target);
+    }
+
+    #[test]
+    fn moving_stationary_node_is_rejected() {
+        let mut sys = small_system(20, 5, 8);
+        let s = sys.stationary_keys()[0];
+        assert_eq!(sys.move_node(s, None).unwrap_err(), BristleError::NotMobile(s));
+    }
+
+    #[test]
+    fn advertisement_grants_leases_and_patches_entries() {
+        let mut sys = small_system(40, 10, 9);
+        let m = sys.mobile_keys()[0];
+        sys.move_node(m, None).unwrap();
+        let members: Vec<Key> = sys.registry.registrants_of(m).iter().map(|r| r.key).collect();
+        assert!(!members.is_empty());
+        let now = sys.clock.now();
+        for member in members {
+            assert!(sys.leases.is_fresh(member, m, now), "member {member} lease missing");
+            if let Some(pair) = sys.mobile.node(member).unwrap().entry(m) {
+                assert!(pair.is_reachable(&sys.attachments), "entry not patched");
+            }
+        }
+    }
+
+    #[test]
+    fn entry_stationary_for_stationary_is_self() {
+        let sys = small_system(20, 5, 10);
+        let s = sys.stationary_keys()[3];
+        assert_eq!(sys.entry_stationary_for(s).unwrap(), s);
+    }
+
+    #[test]
+    fn entry_stationary_for_mobile_is_stationary() {
+        let sys = small_system(20, 20, 11);
+        for &m in sys.mobile_keys() {
+            let e = sys.entry_stationary_for(m).unwrap();
+            assert!(!sys.is_mobile(e), "entry point {e} must be stationary");
+        }
+    }
+
+    #[test]
+    fn tick_purges_expired_leases() {
+        let mut sys = small_system(20, 5, 12);
+        let m = sys.mobile_keys()[0];
+        sys.advertise_update(m).unwrap();
+        let held = sys.leases.len();
+        assert!(held > 0);
+        let ttl = sys.config().lease_ttl;
+        let purged = sys.tick(ttl + 1);
+        assert_eq!(purged, held);
+    }
+
+    #[test]
+    fn set_used_feeds_ldt_shape() {
+        let mut sys = small_system(30, 10, 13);
+        let m = sys.mobile_keys()[0];
+        let free_depth = sys.build_ldt(m).unwrap().depth();
+        // Saturate every node: the tree must degenerate toward a chain.
+        let keys: Vec<Key> = sys.mobile.keys().collect();
+        for k in keys {
+            let cap = sys.node_info(k).unwrap().capacity;
+            sys.set_used(k, cap).unwrap();
+        }
+        let busy_depth = sys.build_ldt(m).unwrap().depth();
+        assert!(busy_depth >= free_depth, "busy {busy_depth} free {free_depth}");
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = small_system(30, 10, 42);
+        let b = small_system(30, 10, 42);
+        let ka: Vec<Key> = a.mobile.keys().collect();
+        let kb: Vec<Key> = b.mobile.keys().collect();
+        assert_eq!(ka, kb);
+        assert_eq!(a.registry.total_registrations(), b.registry.total_registrations());
+    }
+}

@@ -1,0 +1,93 @@
+//! Virtual simulation time.
+//!
+//! Leases, refresh periods and movement schedules all run on a discrete
+//! virtual clock. One tick has no fixed physical meaning; experiments pick
+//! their own scale (the defaults treat one tick ≈ one second).
+
+/// A point in virtual time (ticks since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// This time advanced by `ticks`.
+    #[inline]
+    pub fn plus(self, ticks: u64) -> SimTime {
+        SimTime(self.0.saturating_add(ticks))
+    }
+
+    /// Ticks elapsed since `earlier` (saturating at zero).
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A monotone virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `ticks` and returns the new time.
+    pub fn advance(&mut self, ticks: u64) -> SimTime {
+        self.now = self.now.plus(ticks);
+        self.now
+    }
+
+    /// Jumps to an absolute time; must not move backwards.
+    pub fn set(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock cannot run backwards ({} -> {})", self.now, t);
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10);
+        assert_eq!(t.plus(5), SimTime(15));
+        assert_eq!(t.since(SimTime(4)), 6);
+        assert_eq!(SimTime(4).since(t), 0, "saturates");
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.advance(3), SimTime(3));
+        c.set(SimTime(10));
+        assert_eq!(c.now(), SimTime(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_rejects_backwards() {
+        let mut c = Clock::new();
+        c.advance(5);
+        c.set(SimTime(2));
+    }
+}

@@ -1,0 +1,39 @@
+//! # bristle-netsim
+//!
+//! Physical-network substrate for the Bristle simulation stack.
+//!
+//! The Bristle paper (Hsiao & King, IPDPS 2003) evaluates the protocol over
+//! a simulated Internet: a GT-ITM *transit-stub* topology in which
+//! application-level (overlay) hops are charged the shortest-path weight
+//! between the routers the two overlay nodes are attached to. This crate
+//! provides exactly that substrate:
+//!
+//! * [`rng::Pcg64`] — a deterministic, seedable PRNG so every experiment is
+//!   bit-for-bit reproducible (no dependency on the `rand` crate in
+//!   simulation code paths).
+//! * [`graph::Graph`] — a compact undirected weighted graph.
+//! * [`dijkstra`] — single-source shortest paths plus a concurrent
+//!   memoizing [`dijkstra::DistanceCache`].
+//! * [`transit_stub`] — a GT-ITM-style 2-level transit/stub topology
+//!   generator.
+//! * [`attach`] — host (overlay node) attachment points and movement, the
+//!   physical face of node mobility.
+//!
+//! The crate is intentionally independent of everything overlay-related:
+//! it knows about routers, links, weights and hosts, nothing else.
+
+#![warn(missing_docs)]
+
+pub mod attach;
+pub mod dijkstra;
+pub mod graph;
+pub mod rng;
+pub mod transit_stub;
+pub mod waxman;
+
+pub use attach::{AttachmentMap, HostId};
+pub use dijkstra::DistanceCache;
+pub use graph::{Graph, RouterId, Weight};
+pub use rng::Pcg64;
+pub use transit_stub::{TransitStubConfig, TransitStubTopology};
+pub use waxman::{WaxmanConfig, WaxmanTopology};

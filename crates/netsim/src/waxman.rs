@@ -1,0 +1,254 @@
+//! Waxman random topologies (Waxman, JSAC 1988).
+//!
+//! GT-ITM builds each of its domains from Waxman-style random graphs; the
+//! flat Waxman model is also the classic "second opinion" topology in
+//! overlay evaluations. Routers are placed uniformly in a unit square and
+//! each pair is connected with probability
+//!
+//! ```text
+//! P(u, v) = alpha * exp(-d(u, v) / (beta * L))
+//! ```
+//!
+//! where `d` is Euclidean distance and `L` the maximum possible distance.
+//! Link weights are proportional to the Euclidean distance, so physical
+//! proximity is meaningful — which is what the locality experiments need
+//! when re-run on this family (see `tests/` for the robustness check).
+
+use crate::graph::{Graph, RouterId, Weight};
+use crate::rng::Pcg64;
+
+/// Parameters of the Waxman generator.
+#[derive(Debug, Clone)]
+pub struct WaxmanConfig {
+    /// Number of routers.
+    pub routers: usize,
+    /// Edge-probability scale α ∈ (0, 1].
+    pub alpha: f64,
+    /// Distance decay β ∈ (0, 1]; larger → more long links.
+    pub beta: f64,
+    /// Weight assigned to a link of maximal length; shorter links scale
+    /// down proportionally (minimum 1).
+    pub max_link_weight: Weight,
+}
+
+impl WaxmanConfig {
+    /// A 400-router topology with the customary α = 0.15, β = 0.2.
+    pub fn small() -> Self {
+        WaxmanConfig { routers: 400, alpha: 0.15, beta: 0.2, max_link_weight: 100 }
+    }
+
+    /// A tiny topology for unit tests.
+    pub fn tiny() -> Self {
+        WaxmanConfig { routers: 60, ..Self::small() }
+    }
+
+    fn validate(&self) {
+        assert!(self.routers >= 2, "need at least two routers");
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha out of (0, 1]");
+        assert!(self.beta > 0.0 && self.beta <= 1.0, "beta out of (0, 1]");
+        assert!(self.max_link_weight >= 1, "weights must be positive");
+    }
+}
+
+/// A generated Waxman topology: the graph plus router coordinates.
+#[derive(Debug, Clone)]
+pub struct WaxmanTopology {
+    graph: Graph,
+    positions: Vec<(f64, f64)>,
+}
+
+impl WaxmanTopology {
+    /// Generates a connected Waxman topology. Connectivity is guaranteed
+    /// by adding a nearest-unconnected-component link wherever the random
+    /// process leaves islands (standard practice; the correction edges
+    /// also get distance-proportional weights).
+    pub fn generate(config: &WaxmanConfig, rng: &mut Pcg64) -> Self {
+        config.validate();
+        let n = config.routers;
+        let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
+        let dist =
+            |a: usize, b: usize| -> f64 {
+                let (ax, ay) = positions[a];
+                let (bx, by) = positions[b];
+                ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+            };
+        let l = 2f64.sqrt(); // max distance in the unit square
+        let weight_of = |d: f64| -> Weight {
+            ((d / l) * config.max_link_weight as f64).round().max(1.0) as Weight
+        };
+
+        let mut graph = Graph::with_vertices(n);
+        for a in 0..n {
+            for b in a + 1..n {
+                let d = dist(a, b);
+                let p = config.alpha * (-d / (config.beta * l)).exp();
+                if rng.chance(p) {
+                    graph.add_edge(RouterId(a as u32), RouterId(b as u32), weight_of(d));
+                }
+            }
+        }
+
+        // Connectivity correction: union-find over components, linking
+        // each component to its nearest outside router.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for v in graph.vertices() {
+            for e in graph.neighbors(v) {
+                let (a, b) = (find(&mut parent, v.index()), find(&mut parent, e.to.index()));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        loop {
+            let root0 = find(&mut parent, 0);
+            let mut best: Option<(f64, usize, usize)> = None;
+            for b in 0..n {
+                if find(&mut parent, b) != root0 {
+                    for a in 0..n {
+                        if find(&mut parent, a) == root0 {
+                            let d = dist(a, b);
+                            if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                                best = Some((d, a, b));
+                            }
+                        }
+                    }
+                }
+            }
+            match best {
+                None => break, // single component
+                Some((d, a, b)) => {
+                    graph.add_edge(RouterId(a as u32), RouterId(b as u32), weight_of(d));
+                    let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                    parent[ra] = rb;
+                }
+            }
+        }
+        WaxmanTopology { graph, positions }
+    }
+
+    /// The physical graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the topology, returning the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Unit-square coordinates of a router.
+    pub fn position(&self, r: RouterId) -> (f64, f64) {
+        self.positions[r.index()]
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// All routers (hosts may attach anywhere in a flat topology).
+    pub fn routers(&self) -> Vec<RouterId> {
+        self.graph.vertices().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::single_source;
+
+    #[test]
+    fn generated_topology_is_connected() {
+        for seed in 0..5 {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let topo = WaxmanTopology::generate(&WaxmanConfig::tiny(), &mut rng);
+            assert!(topo.graph().is_connected(), "seed {seed}");
+            assert_eq!(topo.router_count(), 60);
+        }
+    }
+
+    #[test]
+    fn short_links_dominate() {
+        // The Waxman decay must make short links far more common.
+        let mut rng = Pcg64::seed_from_u64(1);
+        let topo = WaxmanTopology::generate(&WaxmanConfig::small(), &mut rng);
+        let (mut short, mut long) = (0usize, 0usize);
+        for v in topo.graph().vertices() {
+            for e in topo.graph().neighbors(v) {
+                if e.weight < 30 {
+                    short += 1;
+                } else {
+                    long += 1;
+                }
+            }
+        }
+        assert!(short > long * 2, "short {short} long {long}");
+    }
+
+    #[test]
+    fn weights_track_euclidean_distance() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let topo = WaxmanTopology::generate(&WaxmanConfig::tiny(), &mut rng);
+        let l = 2f64.sqrt();
+        for v in topo.graph().vertices() {
+            let (vx, vy) = topo.position(v);
+            for e in topo.graph().neighbors(v) {
+                let (ux, uy) = topo.position(e.to);
+                let d = ((vx - ux).powi(2) + (vy - uy).powi(2)).sqrt();
+                let expect = ((d / l) * 100.0).round().max(1.0) as u32;
+                assert_eq!(e.weight, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_reflect_geometry() {
+        // Physically close routers must be cheaper to reach on average
+        // than far ones — the property locality experiments need.
+        let mut rng = Pcg64::seed_from_u64(3);
+        let topo = WaxmanTopology::generate(&WaxmanConfig::small(), &mut rng);
+        let src = RouterId(0);
+        let d = single_source(topo.graph(), src);
+        let (sx, sy) = topo.position(src);
+        let (mut near_sum, mut near_n, mut far_sum, mut far_n) = (0u64, 0u64, 0u64, 0u64);
+        for r in topo.graph().vertices() {
+            if r == src {
+                continue;
+            }
+            let (rx, ry) = topo.position(r);
+            let geo = ((sx - rx).powi(2) + (sy - ry).powi(2)).sqrt();
+            if geo < 0.25 {
+                near_sum += d[r.index()];
+                near_n += 1;
+            } else if geo > 0.75 {
+                far_sum += d[r.index()];
+                far_n += 1;
+            }
+        }
+        if near_n > 0 && far_n > 0 {
+            assert!(near_sum as f64 / near_n as f64 * 1.5 < far_sum as f64 / far_n as f64);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let g1 = WaxmanTopology::generate(&WaxmanConfig::tiny(), &mut Pcg64::seed_from_u64(7));
+        let g2 = WaxmanTopology::generate(&WaxmanConfig::tiny(), &mut Pcg64::seed_from_u64(7));
+        assert_eq!(g1.graph().edge_count(), g2.graph().edge_count());
+        assert_eq!(g1.graph().total_weight(), g2.graph().total_weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let cfg = WaxmanConfig { alpha: 0.0, ..WaxmanConfig::tiny() };
+        WaxmanTopology::generate(&cfg, &mut Pcg64::seed_from_u64(0));
+    }
+}

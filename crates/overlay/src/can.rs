@@ -1,0 +1,564 @@
+//! A CAN-style d-dimensional overlay (Ratnasamy et al., SIGCOMM 2001).
+//!
+//! The paper lists CAN as a candidate stationary layer and repeatedly
+//! calls out how its costs differ from the ring-structured designs
+//! (§2.3.2): per-node state is O(d) ("each node needs to maintain 2D
+//! neighbors") instead of O(log N), and routes take O(d·N^(1/d)) hops
+//! instead of O(log N). This module implements CAN faithfully enough to
+//! measure exactly those trade-offs next to the ring substrate (see the
+//! `substrates` experiment):
+//!
+//! * the key space is a d-dimensional torus, each coordinate a `u64`;
+//! * every node owns one or more axis-aligned *zones* (more than one
+//!   after takeovers); a join splits the zone containing the joiner's
+//!   point along its longest side;
+//! * neighbors are zone-adjacency: overlap in d−1 dimensions, abutting
+//!   in the remaining one;
+//! * routing greedily forwards to the neighbor whose closest zone is
+//!   nearest (torus L1 distance) to the target point;
+//! * a departing node's zones are taken over by the neighbor with the
+//!   smallest total volume (the standard CAN takeover rule).
+
+use std::collections::HashMap;
+
+use bristle_netsim::attach::HostId;
+use bristle_netsim::rng::Pcg64;
+
+use crate::key::Key;
+
+/// Maximum supported dimensionality.
+pub const MAX_DIMS: usize = 8;
+
+/// A point of the d-dimensional torus (only the first `d` coordinates
+/// are meaningful).
+pub type Point = [u64; MAX_DIMS];
+
+/// Derives a torus point from a ring key by splitmix-style expansion, so
+/// the same `Key` type names data in both substrate families.
+pub fn point_of_key(key: Key, dims: usize) -> Point {
+    assert!((1..=MAX_DIMS).contains(&dims));
+    let mut p = [0u64; MAX_DIMS];
+    let mut z = key.0;
+    for coord in p.iter_mut().take(dims) {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut v = z;
+        v = (v ^ (v >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        v = (v ^ (v >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        *coord = v ^ (v >> 31);
+    }
+    p
+}
+
+/// Torus distance along one axis.
+#[inline]
+fn axis_distance(a: u64, b: u64) -> u64 {
+    let d = a.wrapping_sub(b);
+    d.min(d.wrapping_neg())
+}
+
+/// An axis-aligned zone `[lo, hi)` per dimension. Zones never wrap: the
+/// initial zone covers `[0, 2^64)` via `hi = 0` meaning "wrapped to the
+/// origin", i.e. an exclusive bound of 2^64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zone {
+    lo: Point,
+    hi: Point, // exclusive; 0 in a dimension means 2^64 when lo == 0
+    dims: usize,
+}
+
+impl Zone {
+    /// The whole torus.
+    pub fn whole(dims: usize) -> Zone {
+        assert!((1..=MAX_DIMS).contains(&dims));
+        Zone { lo: [0; MAX_DIMS], hi: [0; MAX_DIMS], dims }
+    }
+
+    #[inline]
+    fn side_len(&self, d: usize) -> u64 {
+        // hi == lo means the full 2^64 extent (only for the whole torus
+        // slice in that dimension); otherwise ordinary subtraction.
+        self.hi[d].wrapping_sub(self.lo[d])
+    }
+
+    /// Whether `p` lies inside the zone.
+    pub fn contains(&self, p: &Point) -> bool {
+        (0..self.dims).all(|d| {
+            let len = self.side_len(d);
+            // len == 0 encodes the full 2^64 extent.
+            len == 0 || p[d].wrapping_sub(self.lo[d]) < len
+        })
+    }
+
+    /// Splits the zone in half along its longest side; returns the two
+    /// halves (lower, upper).
+    pub fn split(&self) -> (Zone, Zone) {
+        let axis = (0..self.dims)
+            .max_by_key(|&d| {
+                let len = self.side_len(d);
+                if len == 0 {
+                    u128::from(u64::MAX) + 1
+                } else {
+                    u128::from(len)
+                }
+            })
+            .expect("at least one dimension");
+        let len = self.side_len(axis);
+        let half = if len == 0 { 1u64 << 63 } else { len / 2 };
+        assert!(half > 0, "zone too small to split");
+        let mid = self.lo[axis].wrapping_add(half);
+        let mut lower = *self;
+        let mut upper = *self;
+        lower.hi[axis] = mid;
+        upper.lo[axis] = mid;
+        (lower, upper)
+    }
+
+    /// L1 torus distance from `p` to the closest point of the zone.
+    pub fn distance_to(&self, p: &Point) -> u128 {
+        let mut total: u128 = 0;
+        for (d, &coord) in p.iter().enumerate().take(self.dims) {
+            let len = self.side_len(d);
+            if len == 0 {
+                continue; // full extent: distance 0 along this axis
+            }
+            let off = coord.wrapping_sub(self.lo[d]);
+            if off < len {
+                continue; // inside along this axis
+            }
+            // Outside: distance to lo or to hi−1, torus-wise.
+            let to_lo = axis_distance(coord, self.lo[d]);
+            let to_hi = axis_distance(coord, self.hi[d].wrapping_sub(1));
+            total += u128::from(to_lo.min(to_hi));
+        }
+        total
+    }
+
+    /// Whether two zones are neighbors: abutting in exactly one
+    /// dimension (torus-wise) and overlapping in all others.
+    pub fn is_neighbor(&self, other: &Zone) -> bool {
+        let mut abut = 0;
+        for d in 0..self.dims {
+            let (a_lo, a_len) = (self.lo[d], self.side_len(d));
+            let (b_lo, b_len) = (other.lo[d], other.side_len(d));
+            let full_a = a_len == 0;
+            let full_b = b_len == 0;
+            let overlaps = full_a || full_b || ranges_overlap(a_lo, a_len, b_lo, b_len);
+            // Torus abutment: one range's exclusive end equals the
+            // other's start, wrapping at 2^64 (wrapping_add handles it).
+            let abuts = !full_a
+                && !full_b
+                && (a_lo.wrapping_add(a_len) == b_lo || b_lo.wrapping_add(b_len) == a_lo);
+            if overlaps {
+                continue;
+            }
+            if abuts {
+                abut += 1;
+            } else {
+                return false; // disjoint and not touching along this axis
+            }
+        }
+        abut == 1
+    }
+
+    /// Zone volume as a fraction of the torus (for takeover decisions).
+    pub fn volume_log2(&self) -> i64 {
+        // Every zone side is a power of two by construction; sum of the
+        // side exponents, with 64 meaning full extent.
+        (0..self.dims)
+            .map(|d| {
+                let len = self.side_len(d);
+                if len == 0 {
+                    64
+                } else {
+                    len.trailing_zeros() as i64
+                }
+            })
+            .sum()
+    }
+}
+
+fn ranges_overlap(a_lo: u64, a_len: u64, b_lo: u64, b_len: u64) -> bool {
+    // Zones never wrap (splits only shrink the origin-anchored torus), so
+    // widening to u128 gives exact exclusive ends even at the 2^64 edge.
+    let a_hi = a_lo as u128 + a_len as u128;
+    let b_hi = b_lo as u128 + b_len as u128;
+    (a_lo as u128) < b_hi && (b_lo as u128) < a_hi
+}
+
+/// One CAN node: identity, host, and the zones it currently owns.
+#[derive(Debug, Clone)]
+pub struct CanNode {
+    /// The node's identity key (also seeds its join point).
+    pub key: Key,
+    /// The physical host.
+    pub host: HostId,
+    /// Zones owned (one normally, several after takeovers).
+    pub zones: Vec<Zone>,
+    /// Keys of neighboring nodes.
+    pub neighbors: Vec<Key>,
+}
+
+/// A CAN overlay over record type `V`.
+#[derive(Debug, Clone)]
+pub struct CanOverlay<V> {
+    dims: usize,
+    nodes: HashMap<Key, CanNode>,
+    store: HashMap<Key, (Key, V)>, // record key -> (owner at publish, value)
+}
+
+impl<V> CanOverlay<V> {
+    /// An empty overlay of the given dimensionality.
+    pub fn new(dims: usize) -> Self {
+        assert!((1..=MAX_DIMS).contains(&dims), "dims out of range");
+        CanOverlay { dims, nodes: HashMap::new(), store: HashMap::new() }
+    }
+
+    /// Dimensionality d.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node state by key.
+    pub fn node(&self, key: Key) -> Option<&CanNode> {
+        self.nodes.get(&key)
+    }
+
+    /// Iterator over all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &CanNode> + '_ {
+        self.nodes.values()
+    }
+
+    /// The node whose zone contains `p`.
+    pub fn owner_of_point(&self, p: &Point) -> Option<Key> {
+        self.nodes
+            .values()
+            .find(|n| n.zones.iter().any(|z| z.contains(p)))
+            .map(|n| n.key)
+    }
+
+    /// The owner of record key `k` (its derived point).
+    pub fn owner(&self, k: Key) -> Option<Key> {
+        self.owner_of_point(&point_of_key(k, self.dims))
+    }
+
+    /// Joins a node: splits the zone containing the joiner's point.
+    /// The first node takes the whole torus.
+    pub fn join(&mut self, key: Key, host: HostId, rng: &mut Pcg64) -> Result<(), crate::ring::RingError> {
+        if self.nodes.contains_key(&key) {
+            return Err(crate::ring::RingError::DuplicateKey(key));
+        }
+        if self.nodes.is_empty() {
+            self.nodes.insert(
+                key,
+                CanNode { key, host, zones: vec![Zone::whole(self.dims)], neighbors: Vec::new() },
+            );
+            return Ok(());
+        }
+        // Split at a random point (the classic protocol); the joiner's
+        // key point would also do, but random points balance better.
+        let mut p = [0u64; MAX_DIMS];
+        for coord in p.iter_mut().take(self.dims) {
+            *coord = rng.next_u64();
+        }
+        let victim = self.owner_of_point(&p).expect("torus fully covered");
+        let victim_node = self.nodes.get_mut(&victim).expect("known");
+        let zone_idx = victim_node
+            .zones
+            .iter()
+            .position(|z| z.contains(&p))
+            .expect("owner contains point");
+        let (lower, upper) = victim_node.zones[zone_idx].split();
+        // The half containing p goes to whoever keeps splitting balanced:
+        // give the joiner the half containing p.
+        let (keep, give) = if upper.contains(&p) { (lower, upper) } else { (upper, lower) };
+        victim_node.zones[zone_idx] = keep;
+        self.nodes
+            .insert(key, CanNode { key, host, zones: vec![give], neighbors: Vec::new() });
+        self.rewire_neighbors();
+        Ok(())
+    }
+
+    /// A departing node's zones are taken over by its smallest neighbor.
+    pub fn leave(&mut self, key: Key) -> Result<(), crate::ring::RingError> {
+        let node = self.nodes.remove(&key).ok_or(crate::ring::RingError::UnknownNode(key))?;
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        // Takeover: the neighbor with the smallest owned volume inherits.
+        let heir = node
+            .neighbors
+            .iter()
+            .filter(|k| self.nodes.contains_key(k))
+            .min_by_key(|k| {
+                let n = &self.nodes[k];
+                n.zones.iter().map(Zone::volume_log2).max().unwrap_or(0)
+            })
+            .copied()
+            .or_else(|| self.nodes.keys().next().copied())
+            .expect("non-empty");
+        self.nodes.get_mut(&heir).expect("known").zones.extend(node.zones);
+        // Re-home the departed node's stored records.
+        let orphans: Vec<Key> =
+            self.store.iter().filter(|(_, (o, _))| *o == key).map(|(k, _)| *k).collect();
+        for k in orphans {
+            if let Some(entry) = self.store.get_mut(&k) {
+                entry.0 = heir;
+            }
+        }
+        self.rewire_neighbors();
+        Ok(())
+    }
+
+    /// Recomputes the neighbor lists from zone adjacency (the simulator's
+    /// omniscient equivalent of CAN's neighbor exchange on split/merge).
+    pub fn rewire_neighbors(&mut self) {
+        let keys: Vec<Key> = self.nodes.keys().copied().collect();
+        let zones: Vec<(Key, Vec<Zone>)> =
+            keys.iter().map(|&k| (k, self.nodes[&k].zones.clone())).collect();
+        for &k in &keys {
+            let mine = &self.nodes[&k].zones.clone();
+            let mut neighbors = Vec::new();
+            for (other, other_zones) in &zones {
+                if *other == k {
+                    continue;
+                }
+                let adjacent = mine
+                    .iter()
+                    .any(|a| other_zones.iter().any(|b| a.is_neighbor(b) || b.is_neighbor(a)));
+                if adjacent {
+                    neighbors.push(*other);
+                }
+            }
+            self.nodes.get_mut(&k).expect("known").neighbors = neighbors;
+        }
+    }
+
+    /// Average neighbors per node — CAN's O(d) state metric.
+    pub fn avg_state(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.values().map(|n| n.neighbors.len()).sum::<usize>() as f64 / self.nodes.len() as f64
+    }
+
+    /// Greedy-routes from `src` toward the point of `target`, returning
+    /// the node sequence visited after `src`.
+    pub fn route(&self, src: Key, target: Key) -> Result<Vec<Key>, crate::ring::RingError> {
+        let p = point_of_key(target, self.dims);
+        let mut cur = self
+            .nodes
+            .get(&src)
+            .ok_or(crate::ring::RingError::UnknownNode(src))?
+            .key;
+        let mut hops = Vec::new();
+        let mut cur_dist = self.node_distance(cur, &p);
+        let limit = 16 * (self.nodes.len() + 4);
+        while cur_dist > 0 {
+            let cur_node = &self.nodes[&cur];
+            let next = cur_node
+                .neighbors
+                .iter()
+                .filter(|k| self.nodes.contains_key(k))
+                .map(|&k| (self.node_distance(k, &p), k))
+                .min();
+            match next {
+                Some((d, k)) if d < cur_dist => {
+                    hops.push(k);
+                    cur = k;
+                    cur_dist = d;
+                }
+                _ => break, // local minimum (can only happen mid-repair)
+            }
+            assert!(hops.len() <= limit, "CAN route did not converge");
+        }
+        Ok(hops)
+    }
+
+    fn node_distance(&self, key: Key, p: &Point) -> u128 {
+        self.nodes[&key]
+            .zones
+            .iter()
+            .map(|z| z.distance_to(p))
+            .min()
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Stores a record at the owner of `k`.
+    pub fn put(&mut self, k: Key, value: V) -> Option<Key> {
+        let owner = self.owner(k)?;
+        self.store.insert(k, (owner, value));
+        Some(owner)
+    }
+
+    /// Fetches a record (with the node currently answering for it).
+    pub fn get(&self, k: Key) -> Option<(&Key, &V)> {
+        self.store.get(&k).map(|(o, v)| (o, v))
+    }
+
+    /// Total torus coverage sanity check: sums zone volumes in log space
+    /// and confirms they tile the whole torus exactly.
+    pub fn covers_torus(&self) -> bool {
+        // Volumes are dyadic: count each zone as 2^(volume_log2 - base).
+        let full = 64 * self.dims as i64;
+        let mut acc: f64 = 0.0;
+        for n in self.nodes.values() {
+            for z in &n.zones {
+                acc += ((z.volume_log2() - full) as f64).exp2();
+            }
+        }
+        (acc - 1.0).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, dims: usize, seed: u64) -> CanOverlay<u32> {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let mut can = CanOverlay::new(dims);
+        for i in 0..n {
+            can.join(Key::random(&mut rng), HostId(i as u32), &mut rng).unwrap();
+        }
+        can
+    }
+
+    #[test]
+    fn zones_tile_the_torus() {
+        for dims in [1, 2, 3] {
+            let can = build(50, dims, dims as u64);
+            assert!(can.covers_torus(), "dims {dims}");
+        }
+    }
+
+    #[test]
+    fn every_point_has_exactly_one_owner() {
+        let can = build(40, 2, 7);
+        let mut rng = Pcg64::seed_from_u64(8);
+        for _ in 0..200 {
+            let mut p = [0u64; MAX_DIMS];
+            p[0] = rng.next_u64();
+            p[1] = rng.next_u64();
+            let owners: Vec<Key> = can
+                .iter()
+                .filter(|n| n.zones.iter().any(|z| z.contains(&p)))
+                .map(|n| n.key)
+                .collect();
+            assert_eq!(owners.len(), 1, "point owned by {owners:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric() {
+        let can = build(40, 2, 9);
+        for n in can.iter() {
+            for other in &n.neighbors {
+                assert!(
+                    can.node(*other).unwrap().neighbors.contains(&n.key),
+                    "asymmetric neighborhood"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner() {
+        let can = build(60, 2, 10);
+        let keys: Vec<Key> = can.iter().map(|n| n.key).collect();
+        let mut rng = Pcg64::seed_from_u64(11);
+        for _ in 0..100 {
+            let src = *rng.choose(&keys);
+            let target = Key::random(&mut rng);
+            let hops = can.route(src, target).unwrap();
+            let terminus = hops.last().copied().unwrap_or(src);
+            assert_eq!(Some(terminus), can.owner(target), "route must end at the owner");
+        }
+    }
+
+    #[test]
+    fn state_is_constant_in_n_route_grows_polynomially() {
+        // CAN's signature trade-off (paper §2.3.2): O(d) state but
+        // O(d·N^(1/d)) routes.
+        let small = build(32, 2, 12);
+        let large = build(256, 2, 13);
+        // State: grows far slower than 8× (it is ~O(d)).
+        assert!(large.avg_state() < small.avg_state() * 3.0);
+        // Routes: 8× nodes in 2-d → ~2.8× hops; must grow at least somewhat.
+        let avg_hops = |can: &CanOverlay<u32>, seed: u64| {
+            let keys: Vec<Key> = can.iter().map(|n| n.key).collect();
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let mut total = 0usize;
+            for _ in 0..200 {
+                let src = *rng.choose(&keys);
+                let dst = Key::random(&mut rng);
+                total += can.route(src, dst).unwrap().len();
+            }
+            total as f64 / 200.0
+        };
+        let (hs, hl) = (avg_hops(&small, 1), avg_hops(&large, 2));
+        assert!(hl > hs * 1.5, "small {hs} large {hl}");
+    }
+
+    #[test]
+    fn leave_transfers_zones_and_records() {
+        let mut can = build(30, 2, 14);
+        let mut rng = Pcg64::seed_from_u64(15);
+        let record = Key::random(&mut rng);
+        let owner = can.owner(record).unwrap();
+        can.put(record, 42);
+        can.leave(owner).unwrap();
+        assert!(can.covers_torus(), "takeover must keep the torus tiled");
+        let (answering, v) = can.get(record).unwrap();
+        assert_eq!(*v, 42);
+        assert!(can.node(*answering).is_some(), "record re-homed to a live node");
+    }
+
+    #[test]
+    fn mass_departure_keeps_coverage() {
+        let mut can = build(50, 2, 16);
+        let keys: Vec<Key> = can.iter().map(|n| n.key).collect();
+        for k in keys.iter().take(35) {
+            can.leave(*k).unwrap();
+        }
+        assert_eq!(can.len(), 15);
+        assert!(can.covers_torus());
+        // Routing still works.
+        let alive: Vec<Key> = can.iter().map(|n| n.key).collect();
+        let mut rng = Pcg64::seed_from_u64(17);
+        for _ in 0..50 {
+            let src = *rng.choose(&alive);
+            let t = Key::random(&mut rng);
+            let hops = can.route(src, t).unwrap();
+            assert_eq!(Some(hops.last().copied().unwrap_or(src)), can.owner(t));
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let mut rng = Pcg64::seed_from_u64(18);
+        let mut can: CanOverlay<()> = CanOverlay::new(3);
+        let k = Key(5);
+        can.join(k, HostId(0), &mut rng).unwrap();
+        assert_eq!(can.owner(Key::random(&mut rng)), Some(k));
+        assert!(can.route(k, Key::random(&mut rng)).unwrap().is_empty());
+        assert!(can.covers_torus());
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut rng = Pcg64::seed_from_u64(19);
+        let mut can: CanOverlay<()> = CanOverlay::new(2);
+        can.join(Key(1), HostId(0), &mut rng).unwrap();
+        assert!(can.join(Key(1), HostId(1), &mut rng).is_err());
+    }
+}

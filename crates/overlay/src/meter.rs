@@ -1,0 +1,177 @@
+//! Message and cost accounting.
+//!
+//! Every protocol operation in the stack reports what it sent through a
+//! [`Meter`], so experiments can answer the paper's overhead questions
+//! (registrations issued, update messages, discovery traffic, ...) without
+//! the protocols knowing which experiment is running.
+
+/// Category of a protocol message, following the paper's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// One application-level forwarding hop of a route.
+    RouteHop,
+    /// A `_discovery` query hop in the stationary layer (address resolution).
+    DiscoveryHop,
+    /// A registration (`register`) from an interested node to a target.
+    Register,
+    /// A location update pushed along an LDT edge (`update`).
+    Update,
+    /// A state publication to the location-management layer.
+    Publish,
+    /// Join-protocol traffic (Fig. 5).
+    Join,
+    /// Leave notifications.
+    Leave,
+    /// Periodic state refresh.
+    Refresh,
+    /// Data replication between replicas.
+    Replicate,
+}
+
+const KIND_COUNT: usize = 9;
+
+fn kind_index(k: MessageKind) -> usize {
+    match k {
+        MessageKind::RouteHop => 0,
+        MessageKind::DiscoveryHop => 1,
+        MessageKind::Register => 2,
+        MessageKind::Update => 3,
+        MessageKind::Publish => 4,
+        MessageKind::Join => 5,
+        MessageKind::Leave => 6,
+        MessageKind::Refresh => 7,
+        MessageKind::Replicate => 8,
+    }
+}
+
+/// All message kinds, for iteration in reports.
+pub const ALL_KINDS: [MessageKind; KIND_COUNT] = [
+    MessageKind::RouteHop,
+    MessageKind::DiscoveryHop,
+    MessageKind::Register,
+    MessageKind::Update,
+    MessageKind::Publish,
+    MessageKind::Join,
+    MessageKind::Leave,
+    MessageKind::Refresh,
+    MessageKind::Replicate,
+];
+
+/// Tallies message counts and physical path cost by message kind.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    counts: [u64; KIND_COUNT],
+    costs: [u64; KIND_COUNT],
+}
+
+impl Meter {
+    /// A fresh, zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of the given kind with a physical path cost.
+    #[inline]
+    pub fn record(&mut self, kind: MessageKind, cost: u64) {
+        let i = kind_index(kind);
+        self.counts[i] += 1;
+        self.costs[i] += cost;
+    }
+
+    /// Records `n` messages of a kind with zero path cost (pure counting).
+    #[inline]
+    pub fn bump(&mut self, kind: MessageKind, n: u64) {
+        self.counts[kind_index(kind)] += n;
+    }
+
+    /// Message count for a kind.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.counts[kind_index(kind)]
+    }
+
+    /// Accumulated physical cost for a kind.
+    pub fn cost(&self, kind: MessageKind) -> u64 {
+        self.costs[kind_index(kind)]
+    }
+
+    /// Total messages across all kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total physical cost across all kinds.
+    pub fn total_cost(&self) -> u64 {
+        self.costs.iter().sum()
+    }
+
+    /// Adds another meter into this one.
+    pub fn merge(&mut self, other: &Meter) {
+        for i in 0..KIND_COUNT {
+            self.counts[i] += other.counts[i];
+            self.costs[i] += other.costs[i];
+        }
+    }
+
+    /// Resets all tallies to zero.
+    pub fn reset(&mut self) {
+        *self = Meter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut m = Meter::new();
+        m.record(MessageKind::RouteHop, 10);
+        m.record(MessageKind::RouteHop, 5);
+        m.record(MessageKind::Register, 1);
+        assert_eq!(m.count(MessageKind::RouteHop), 2);
+        assert_eq!(m.cost(MessageKind::RouteHop), 15);
+        assert_eq!(m.count(MessageKind::Register), 1);
+        assert_eq!(m.count(MessageKind::Update), 0);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_cost(), 16);
+    }
+
+    #[test]
+    fn bump_counts_without_cost() {
+        let mut m = Meter::new();
+        m.bump(MessageKind::Publish, 7);
+        assert_eq!(m.count(MessageKind::Publish), 7);
+        assert_eq!(m.cost(MessageKind::Publish), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Meter::new();
+        let mut b = Meter::new();
+        a.record(MessageKind::Join, 3);
+        b.record(MessageKind::Join, 4);
+        b.record(MessageKind::Leave, 1);
+        a.merge(&b);
+        assert_eq!(a.count(MessageKind::Join), 2);
+        assert_eq!(a.cost(MessageKind::Join), 7);
+        assert_eq!(a.count(MessageKind::Leave), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = Meter::new();
+        m.record(MessageKind::Refresh, 9);
+        m.reset();
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.total_cost(), 0);
+    }
+
+    #[test]
+    fn all_kinds_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ALL_KINDS {
+            assert!(seen.insert(kind_index(k)));
+        }
+        assert_eq!(seen.len(), KIND_COUNT);
+    }
+}

@@ -1,0 +1,637 @@
+//! The ring DHT: the HS-P2P substrate both Bristle layers run on.
+//!
+//! This is the in-tree stand-in for Tornado (the authors' own HS-P2P that
+//! Bristle is built on — see DESIGN.md §2 for the substitution argument).
+//! It is a ring-structured overlay:
+//!
+//! * Every node owns the arc of key space ending at its key; a key's
+//!   *owner* is its clockwise successor node.
+//! * Routing is **monotone clockwise**: each hop moves strictly closer to
+//!   the target (never overshooting), which is exactly the property the
+//!   paper's §3 clustered-naming analysis (eq. 1, the ∇ ≥ 1/2 bound)
+//!   requires.
+//! * Routing state per node: a *leaf set* (the `leaf_radius` nearest
+//!   successors and predecessors) plus *digit fingers* — for every level
+//!   `i` and digit value `j ∈ 1..2^b`, one neighbor in the key interval
+//!   `[x + j·2^(b·i), x + (j+1)·2^(b·i))`. With base 4 this yields
+//!   O(log₄ N) routes, matching the ≈5–6 hop magnitudes of the paper's
+//!   Fig. 7 at N = 2 000.
+//! * Finger slots choose among several key-wise-equivalent candidates by a
+//!   [`NeighborSelection`] policy; `Proximity` picks the physically
+//!   nearest, giving the locality properties the paper measures in Fig. 9.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use bristle_netsim::attach::{AttachmentMap, HostId};
+use bristle_netsim::dijkstra::DistanceCache;
+use bristle_netsim::rng::Pcg64;
+
+use crate::addr::{NetAddr, StatePair};
+use crate::config::{NeighborSelection, RingConfig};
+use crate::key::Key;
+use crate::node::NodeState;
+
+/// Errors from structural DHT operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// A node with that key is already present.
+    DuplicateKey(Key),
+    /// The referenced node does not exist.
+    UnknownNode(Key),
+    /// The overlay has no nodes at all.
+    Empty,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            RingError::UnknownNode(k) => write!(f, "unknown node {k}"),
+            RingError::Empty => write!(f, "overlay is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// The ring DHT over record type `V`.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_netsim::attach::HostId;
+/// use bristle_overlay::config::RingConfig;
+/// use bristle_overlay::key::Key;
+/// use bristle_overlay::ring::RingDht;
+///
+/// let mut dht: RingDht<String> = RingDht::new(RingConfig::tornado());
+/// dht.insert(Key(100), HostId(0), 1).unwrap();
+/// dht.insert(Key(200), HostId(1), 1).unwrap();
+///
+/// // Ownership is the clockwise successor (inclusive), wrapping.
+/// assert_eq!(dht.owner(Key(150)).unwrap(), Key(200));
+/// assert_eq!(dht.owner(Key(201)).unwrap(), Key(100));
+/// assert_eq!(dht.replica_set(Key(150), 2).unwrap(), vec![Key(200), Key(100)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingDht<V> {
+    cfg: RingConfig,
+    nodes: BTreeMap<u64, NodeState<V>>,
+}
+
+impl<V> RingDht<V> {
+    /// Creates an empty overlay with the given configuration.
+    pub fn new(cfg: RingConfig) -> Self {
+        cfg.validate();
+        RingDht { cfg, nodes: BTreeMap::new() }
+    }
+
+    /// The overlay's configuration.
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    /// Number of participating nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether a node with key `k` participates.
+    pub fn contains(&self, k: Key) -> bool {
+        self.nodes.contains_key(&k.0)
+    }
+
+    /// Adds a node. Routing state is built separately (see
+    /// [`RingDht::rebuild_node`] / [`RingDht::build_all_tables`]).
+    pub fn insert(&mut self, key: Key, host: HostId, capacity: u32) -> Result<(), RingError> {
+        if self.nodes.contains_key(&key.0) {
+            return Err(RingError::DuplicateKey(key));
+        }
+        self.nodes.insert(key.0, NodeState::new(key, host, capacity));
+        Ok(())
+    }
+
+    /// Removes a node, returning its state (stores and all).
+    pub fn remove(&mut self, key: Key) -> Option<NodeState<V>> {
+        self.nodes.remove(&key.0)
+    }
+
+    /// Immutable access to a node's state.
+    pub fn node(&self, key: Key) -> Result<&NodeState<V>, RingError> {
+        self.nodes.get(&key.0).ok_or(RingError::UnknownNode(key))
+    }
+
+    /// Mutable access to a node's state.
+    pub fn node_mut(&mut self, key: Key) -> Result<&mut NodeState<V>, RingError> {
+        self.nodes.get_mut(&key.0).ok_or(RingError::UnknownNode(key))
+    }
+
+    /// Iterator over node keys in ring order starting at key 0.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.nodes.keys().map(|&k| Key(k))
+    }
+
+    /// Iterator over node states.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeState<V>> + '_ {
+        self.nodes.values()
+    }
+
+    /// The first node at or clockwise-after `k` — the *owner* of key `k`.
+    pub fn successor_of(&self, k: Key) -> Result<Key, RingError> {
+        if self.nodes.is_empty() {
+            return Err(RingError::Empty);
+        }
+        match self.nodes.range(k.0..).next() {
+            Some((&key, _)) => Ok(Key(key)),
+            None => Ok(Key(*self.nodes.keys().next().expect("non-empty"))),
+        }
+    }
+
+    /// Alias for [`RingDht::successor_of`], in the paper's vocabulary: the
+    /// peer "whose hash key is the closest to k" in routing order.
+    pub fn owner(&self, k: Key) -> Result<Key, RingError> {
+        self.successor_of(k)
+    }
+
+    /// The first node strictly clockwise-before `k`.
+    pub fn predecessor_of(&self, k: Key) -> Result<Key, RingError> {
+        if self.nodes.is_empty() {
+            return Err(RingError::Empty);
+        }
+        match self.nodes.range(..k.0).next_back() {
+            Some((&key, _)) => Ok(Key(key)),
+            None => Ok(Key(*self.nodes.keys().next_back().expect("non-empty"))),
+        }
+    }
+
+    /// The owner of `k` followed by the next `count − 1` distinct nodes
+    /// clockwise — the natural replica set for key `k`.
+    pub fn replica_set(&self, k: Key, count: usize) -> Result<Vec<Key>, RingError> {
+        if self.nodes.is_empty() {
+            return Err(RingError::Empty);
+        }
+        let take = count.min(self.nodes.len());
+        let mut out = Vec::with_capacity(take);
+        for (&key, _) in self.nodes.range(k.0..).chain(self.nodes.range(..k.0)) {
+            out.push(Key(key));
+            if out.len() == take {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Up to `count` nodes clockwise from `start` (inclusive) whose keys lie
+    /// within `span` of `start`. Candidate enumeration for finger slots.
+    fn slot_candidates(&self, start: Key, span: u64, exclude: Key, count: usize) -> Vec<Key> {
+        let mut out = Vec::new();
+        for (&key, _) in self.nodes.range(start.0..).chain(self.nodes.range(..start.0)) {
+            let k = Key(key);
+            if start.clockwise_to(k) >= span {
+                break;
+            }
+            if k != exclude {
+                out.push(k);
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes (does not install) the routing state for a node at `key`:
+    /// the deduplicated entry list and the leaf-set keys.
+    ///
+    /// This is the omniscient steady-state build the simulation uses; the
+    /// protocol-faithful incremental join (paper Fig. 5) lives in
+    /// `bristle-core::join` and produces the same tables via messages.
+    pub fn compute_tables(
+        &self,
+        key: Key,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        rng: &mut Pcg64,
+    ) -> Result<(Vec<StatePair>, Vec<Key>), RingError> {
+        let me = self.node(key)?;
+        let my_router = attachments.router(me.host);
+        let mut chosen: Vec<Key> = Vec::new();
+
+        // Digit fingers: for each level and non-zero digit value, one
+        // neighbor in [key + j·span, key + (j+1)·span).
+        let bits = self.cfg.bits_per_digit;
+        let base = self.cfg.base();
+        for level in 0..self.cfg.levels() {
+            let shift = level * bits;
+            if shift >= 64 {
+                break;
+            }
+            let span = 1u64 << shift;
+            for j in 1..base {
+                let start = key.offset(j.wrapping_mul(span));
+                let cands = self.slot_candidates(start, span, key, self.cfg.candidate_window);
+                if cands.is_empty() {
+                    continue;
+                }
+                let pick = match self.cfg.selection {
+                    NeighborSelection::First => cands[0],
+                    NeighborSelection::Random => *rng.choose(&cands),
+                    NeighborSelection::Proximity => {
+                        let mut best = cands[0];
+                        let mut best_d = u64::MAX;
+                        for &c in &cands {
+                            let host = self.node(c)?.host;
+                            let d = dcache.distance(my_router, attachments.router(host));
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
+                        best
+                    }
+                };
+                chosen.push(pick);
+            }
+        }
+
+        // Leaf set: nearest successors and predecessors (key order, no
+        // selection policy — leaves pin down ownership and must be exact).
+        use std::ops::Bound;
+        let after = (Bound::Excluded(key.0), Bound::Unbounded);
+        let mut leaf_keys = Vec::with_capacity(self.cfg.leaf_radius * 2);
+        let max_leaves = self.cfg.leaf_radius.min(self.nodes.len().saturating_sub(1));
+        for (&k, _) in self.nodes.range(after).chain(self.nodes.range(..key.0)) {
+            if leaf_keys.len() == max_leaves {
+                break;
+            }
+            leaf_keys.push(Key(k));
+        }
+        let mut preds = Vec::with_capacity(max_leaves);
+        for (&k, _) in self.nodes.range(..key.0).rev().chain(self.nodes.range(after).rev()) {
+            if preds.len() == max_leaves {
+                break;
+            }
+            if !leaf_keys.contains(&Key(k)) {
+                preds.push(Key(k));
+            }
+        }
+        leaf_keys.extend(preds);
+
+        chosen.extend(leaf_keys.iter().copied());
+        chosen.sort_unstable();
+        chosen.dedup();
+
+        let entries = chosen
+            .into_iter()
+            .map(|k| {
+                let host = self.node(k)?.host;
+                Ok(StatePair::resolved(k, NetAddr::current(host, attachments)))
+            })
+            .collect::<Result<Vec<_>, RingError>>()?;
+        Ok((entries, leaf_keys))
+    }
+
+    /// Rebuilds one node's routing state in place.
+    pub fn rebuild_node(
+        &mut self,
+        key: Key,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        rng: &mut Pcg64,
+    ) -> Result<usize, RingError> {
+        let (entries, leaf_keys) = self.compute_tables(key, attachments, dcache, rng)?;
+        let count = entries.len();
+        let node = self.node_mut(key)?;
+        node.entries = entries;
+        node.leaf_keys = leaf_keys;
+        Ok(count)
+    }
+
+    /// Rebuilds every node's routing state (steady-state snapshot).
+    pub fn build_all_tables(&mut self, attachments: &AttachmentMap, dcache: &DistanceCache, rng: &mut Pcg64) {
+        let keys: Vec<Key> = self.keys().collect();
+        for k in keys {
+            self.rebuild_node(k, attachments, dcache, rng).expect("known key");
+        }
+    }
+
+    /// The next hop from `cur` toward `target`, or `None` when `cur` is the
+    /// owner of `target`.
+    ///
+    /// Monotone clockwise: the returned node always lies in `(cur, target]`
+    /// unless the final fallback to the immediate successor fires (in which
+    /// case the successor is the owner). Entries pointing at departed nodes
+    /// are skipped, modelling failure detection by timeout.
+    pub fn next_hop(&self, cur: Key, target: Key) -> Result<Option<Key>, RingError> {
+        let owner = self.owner(target)?;
+        if cur == owner {
+            return Ok(None);
+        }
+        let node = self.node(cur)?;
+        let d = cur.clockwise_to(target);
+        let mut best: Option<(u64, Key)> = None;
+        for e in &node.entries {
+            if !self.contains(e.key) {
+                continue; // departed neighbor
+            }
+            let adv = cur.clockwise_to(e.key);
+            if adv == 0 || adv > d {
+                continue; // self or overshoot
+            }
+            if best.map(|(b, _)| adv > b).unwrap_or(true) {
+                best = Some((adv, e.key));
+            }
+        }
+        match best {
+            Some((_, k)) => Ok(Some(k)),
+            None => {
+                // target ∈ (cur, successor(cur)]: the successor owns it.
+                let succ = self.successor_of(cur.offset(1))?;
+                Ok(Some(succ))
+            }
+        }
+    }
+
+    /// Builds the reverse-pointer index: for each node, the set of nodes
+    /// whose routing state contains it. These are exactly the peers that
+    /// *register* to a node in Bristle (§2.3.1: "X registers itself to
+    /// nodes whose state-pairs are replicated in X").
+    pub fn reverse_index(&self) -> HashMap<Key, Vec<Key>> {
+        let mut index: HashMap<Key, Vec<Key>> = HashMap::with_capacity(self.nodes.len());
+        for node in self.nodes.values() {
+            for e in &node.entries {
+                index.entry(e.key).or_default().push(node.key);
+            }
+        }
+        index
+    }
+
+    /// Total routing-state rows across all nodes (scalability metric).
+    pub fn total_state(&self) -> usize {
+        self.nodes.values().map(|n| n.entries.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_netsim::graph::RouterId;
+    use bristle_netsim::transit_stub::{TransitStubConfig, TransitStubTopology};
+    use std::sync::Arc;
+
+    /// Builds a populated overlay over a tiny physical network.
+    fn setup(n: usize, seed: u64, cfg: RingConfig) -> (RingDht<u32>, AttachmentMap, DistanceCache) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let topo = TransitStubTopology::generate(&TransitStubConfig::tiny(), &mut rng);
+        let stubs = topo.stub_routers().to_vec();
+        let dcache = DistanceCache::new(Arc::new(topo.into_graph()), 256);
+        let mut attachments = AttachmentMap::new();
+        let mut dht = RingDht::new(cfg);
+        for _ in 0..n {
+            let host = attachments.attach_new(*rng.choose(&stubs));
+            let mut key = Key::random(&mut rng);
+            while dht.contains(key) {
+                key = Key::random(&mut rng);
+            }
+            dht.insert(key, host, 1 + rng.below(15) as u32).unwrap();
+        }
+        dht.build_all_tables(&attachments, &dcache, &mut rng);
+        (dht, attachments, dcache)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut dht: RingDht<()> = RingDht::new(RingConfig::tornado());
+        assert!(dht.is_empty());
+        dht.insert(Key(10), HostId(0), 1).unwrap();
+        assert!(dht.contains(Key(10)));
+        assert_eq!(dht.insert(Key(10), HostId(1), 1), Err(RingError::DuplicateKey(Key(10))));
+        assert!(dht.remove(Key(10)).is_some());
+        assert!(dht.remove(Key(10)).is_none());
+        assert!(dht.is_empty());
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let mut dht: RingDht<()> = RingDht::new(RingConfig::tornado());
+        for k in [10u64, 20, 30] {
+            dht.insert(Key(k), HostId(k as u32), 1).unwrap();
+        }
+        assert_eq!(dht.successor_of(Key(10)).unwrap(), Key(10), "inclusive");
+        assert_eq!(dht.successor_of(Key(11)).unwrap(), Key(20));
+        assert_eq!(dht.successor_of(Key(31)).unwrap(), Key(10), "wraps");
+        assert_eq!(dht.predecessor_of(Key(10)).unwrap(), Key(30), "wraps back");
+        assert_eq!(dht.predecessor_of(Key(25)).unwrap(), Key(20));
+    }
+
+    #[test]
+    fn empty_overlay_errors() {
+        let dht: RingDht<()> = RingDht::new(RingConfig::tornado());
+        assert_eq!(dht.successor_of(Key(0)), Err(RingError::Empty));
+        assert_eq!(dht.node(Key(0)).err(), Some(RingError::UnknownNode(Key(0))));
+    }
+
+    #[test]
+    fn replica_set_distinct_and_ordered() {
+        let mut dht: RingDht<()> = RingDht::new(RingConfig::tornado());
+        for k in [10u64, 20, 30] {
+            dht.insert(Key(k), HostId(k as u32), 1).unwrap();
+        }
+        assert_eq!(dht.replica_set(Key(15), 2).unwrap(), vec![Key(20), Key(30)]);
+        // Requesting more replicas than nodes returns all nodes once.
+        assert_eq!(dht.replica_set(Key(25), 9).unwrap(), vec![Key(30), Key(10), Key(20)]);
+    }
+
+    #[test]
+    fn tables_have_logarithmic_size() {
+        let (dht, _, _) = setup(256, 1, RingConfig::tornado());
+        let avg = dht.total_state() as f64 / dht.len() as f64;
+        // log4(256) = 4 levels × 3 slots + 8 leaves ≈ 20, allow a wide band.
+        assert!(avg > 8.0 && avg < 64.0, "avg state size {avg}");
+    }
+
+    #[test]
+    fn leaf_keys_present_and_exact() {
+        let (dht, _, _) = setup(64, 2, RingConfig::tornado());
+        for node in dht.iter() {
+            // Every node's first leaf must be its exact successor.
+            let succ = dht.successor_of(node.key.offset(1)).unwrap();
+            assert!(node.leaf_keys.contains(&succ), "node {} missing successor {succ}", node.key);
+            assert_eq!(node.leaf_keys.len(), 8, "radius 4 both ways");
+            for &l in &node.leaf_keys {
+                assert!(node.knows(l));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_terminate_at_owner_and_are_monotone() {
+        let (dht, _, _) = setup(128, 3, RingConfig::tornado());
+        let keys: Vec<Key> = dht.keys().collect();
+        let mut rng = Pcg64::seed_from_u64(9);
+        for _ in 0..200 {
+            let src = *rng.choose(&keys);
+            let target = Key::random(&mut rng);
+            let owner = dht.owner(target).unwrap();
+            let mut cur = src;
+            let mut hops = 0;
+            let mut last_d = cur.clockwise_to(target);
+            while let Some(next) = dht.next_hop(cur, target).unwrap() {
+                let nd = next.clockwise_to(target);
+                // Monotone: strictly closer, except the final owner hop
+                // which may sit just past the target.
+                assert!(nd < last_d || next == owner, "overshoot at hop {hops}");
+                cur = next;
+                last_d = nd;
+                hops += 1;
+                assert!(hops <= 64, "route did not terminate");
+            }
+            assert_eq!(cur, owner);
+        }
+    }
+
+    #[test]
+    fn route_lengths_scale_logarithmically() {
+        let mut totals = Vec::new();
+        for n in [64usize, 512] {
+            let (dht, _, _) = setup(n, 4, RingConfig::tornado());
+            let keys: Vec<Key> = dht.keys().collect();
+            let mut rng = Pcg64::seed_from_u64(5);
+            let mut hops_sum = 0usize;
+            let samples = 300;
+            for _ in 0..samples {
+                let src = *rng.choose(&keys);
+                let target = *rng.choose(&keys);
+                let mut cur = src;
+                let mut hops = 0;
+                while let Some(next) = dht.next_hop(cur, target).unwrap() {
+                    cur = next;
+                    hops += 1;
+                }
+                hops_sum += hops;
+            }
+            totals.push(hops_sum as f64 / samples as f64);
+        }
+        // 8× more nodes must cost far less than 8× more hops.
+        assert!(totals[1] < totals[0] * 2.5, "hops {totals:?} not logarithmic");
+        assert!(totals[1] >= totals[0] * 0.9, "more nodes cannot shorten routes much");
+    }
+
+    #[test]
+    fn chord_config_routes_longer_than_tornado() {
+        let (t, _, _) = setup(256, 6, RingConfig::tornado());
+        let (c, _, _) = setup(256, 6, RingConfig::chord());
+        let avg = |dht: &RingDht<u32>| {
+            let keys: Vec<Key> = dht.keys().collect();
+            let mut rng = Pcg64::seed_from_u64(7);
+            let mut sum = 0usize;
+            for _ in 0..200 {
+                let (src, dst) = (*rng.choose(&keys), *rng.choose(&keys));
+                let mut cur = src;
+                while let Some(next) = dht.next_hop(cur, dst).unwrap() {
+                    cur = next;
+                    sum += 1;
+                }
+            }
+            sum as f64 / 200.0
+        };
+        let (ta, ca) = (avg(&t), avg(&c));
+        assert!(ta < ca, "tornado {ta} should beat chord {ca} (base 4 vs 2)");
+    }
+
+    #[test]
+    fn next_hop_skips_departed_neighbors() {
+        let (mut dht, _, _) = setup(64, 8, RingConfig::tornado());
+        let keys: Vec<Key> = dht.keys().collect();
+        // Remove a third of the nodes *without* rebuilding tables: entries
+        // now dangle, and routing must still terminate.
+        for k in keys.iter().step_by(3) {
+            dht.remove(*k);
+        }
+        let alive: Vec<Key> = dht.keys().collect();
+        let mut rng = Pcg64::seed_from_u64(11);
+        for _ in 0..100 {
+            let src = *rng.choose(&alive);
+            let target = Key::random(&mut rng);
+            let mut cur = src;
+            let mut hops = 0;
+            while let Some(next) = dht.next_hop(cur, target).unwrap() {
+                assert!(dht.contains(next), "routed to a dead node");
+                cur = next;
+                hops += 1;
+                assert!(hops <= 128, "no termination under staleness");
+            }
+            assert_eq!(cur, dht.owner(target).unwrap());
+        }
+    }
+
+    #[test]
+    fn reverse_index_matches_forward_tables() {
+        let (dht, _, _) = setup(96, 12, RingConfig::tornado());
+        let rev = dht.reverse_index();
+        for node in dht.iter() {
+            for e in &node.entries {
+                assert!(rev[&e.key].contains(&node.key));
+            }
+        }
+        let total: usize = rev.values().map(Vec::len).sum();
+        assert_eq!(total, dht.total_state());
+    }
+
+    #[test]
+    fn reverse_index_size_is_logarithmic() {
+        let (dht, _, _) = setup(512, 13, RingConfig::tornado());
+        let rev = dht.reverse_index();
+        let avg = rev.values().map(Vec::len).sum::<usize>() as f64 / rev.len() as f64;
+        assert!(avg > 8.0 && avg < 64.0, "avg registrant count {avg}");
+    }
+
+    #[test]
+    fn proximity_selection_prefers_close_neighbors() {
+        // Compare average physical distance of finger entries under
+        // Proximity vs First selection on identical populations.
+        let avg_dist = |cfg: RingConfig| {
+            let (dht, attachments, dcache) = setup(200, 14, cfg);
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            for node in dht.iter() {
+                let my_router = attachments.router(node.host);
+                for e in &node.entries {
+                    let other = dht.node(e.key).unwrap().host;
+                    sum += dcache.distance(my_router, attachments.router(other));
+                    n += 1;
+                }
+            }
+            sum as f64 / n as f64
+        };
+        let prox = avg_dist(RingConfig::tornado());
+        let first = avg_dist(RingConfig { selection: NeighborSelection::First, ..RingConfig::tornado() });
+        assert!(prox < first, "proximity {prox} must beat first {first}");
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything() {
+        let mut dht: RingDht<()> = RingDht::new(RingConfig::tornado());
+        dht.insert(Key(42), HostId(0), 1).unwrap();
+        assert_eq!(dht.owner(Key(7)).unwrap(), Key(42));
+        assert_eq!(dht.owner(Key(42)).unwrap(), Key(42));
+        assert_eq!(dht.next_hop(Key(42), Key(7)).unwrap(), None);
+        // Attachment-free table build on a singleton: no neighbors.
+        let mut rng = Pcg64::seed_from_u64(0);
+        let mut attachments = AttachmentMap::new();
+        attachments.attach_new(RouterId(0));
+        let mut g = bristle_netsim::graph::Graph::with_vertices(1);
+        let _ = &mut g;
+        let dc = DistanceCache::new(Arc::new(g), 1);
+        let mut dht2: RingDht<()> = RingDht::new(RingConfig::tornado());
+        dht2.insert(Key(42), HostId(0), 1).unwrap();
+        dht2.rebuild_node(Key(42), &attachments, &dc, &mut rng).unwrap();
+        assert_eq!(dht2.node(Key(42)).unwrap().state_size(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Route execution and cost accounting.
+//!
+//! A [`Route`] records what the paper measures per sampled route: the
+//! *application-level hops* (overlay forwardings) and the *path cost* — the
+//! sum over hops of the physical shortest-path weight between the two
+//! attachment routers (computed with Dijkstra, paper §4.1).
+
+use bristle_netsim::attach::AttachmentMap;
+use bristle_netsim::dijkstra::DistanceCache;
+
+use crate::key::Key;
+use crate::meter::{MessageKind, Meter};
+use crate::ring::{RingDht, RingError};
+
+/// The outcome of routing a message through the overlay.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Originating node.
+    pub source: Key,
+    /// The key the message was addressed to.
+    pub target: Key,
+    /// Nodes visited after the source; the last one is the owner of
+    /// `target`. Empty when the source already owns the target.
+    pub hops: Vec<Key>,
+    /// Sum of per-hop physical shortest-path weights.
+    pub path_cost: u64,
+}
+
+impl Route {
+    /// Number of application-level hops.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The node that owns the target key (the route's endpoint).
+    pub fn terminus(&self) -> Key {
+        *self.hops.last().unwrap_or(&self.source)
+    }
+}
+
+/// Hard bound on route length; hitting it indicates a broken overlay and
+/// is reported as [`RingError::UnknownNode`]-free panic in debug builds.
+const MAX_HOPS: usize = 4096;
+
+impl<V> RingDht<V> {
+    /// Routes from `src` toward `target`, charging hops and physical costs
+    /// to `meter` under the given message kind.
+    pub fn route_as(
+        &self,
+        src: Key,
+        target: Key,
+        kind: MessageKind,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        meter: &mut Meter,
+    ) -> Result<Route, RingError> {
+        let mut hops = Vec::new();
+        let mut path_cost = 0u64;
+        let mut cur = src;
+        let mut cur_router = attachments.router(self.node(src)?.host);
+        while let Some(next) = self.next_hop(cur, target)? {
+            let next_router = attachments.router(self.node(next)?.host);
+            let cost = dcache.distance(cur_router, next_router);
+            meter.record(kind, cost);
+            path_cost += cost;
+            hops.push(next);
+            cur = next;
+            cur_router = next_router;
+            assert!(hops.len() <= MAX_HOPS, "route exceeded {MAX_HOPS} hops: overlay corrupt");
+        }
+        Ok(Route { source: src, target, hops, path_cost })
+    }
+
+    /// Routes an ordinary application message (kind [`MessageKind::RouteHop`]).
+    pub fn route(
+        &self,
+        src: Key,
+        target: Key,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        meter: &mut Meter,
+    ) -> Result<Route, RingError> {
+        self.route_as(src, target, MessageKind::RouteHop, attachments, dcache, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RingConfig;
+    use bristle_netsim::rng::Pcg64;
+    use bristle_netsim::transit_stub::{TransitStubConfig, TransitStubTopology};
+    use std::sync::Arc;
+
+    fn setup(n: usize, seed: u64) -> (RingDht<()>, AttachmentMap, DistanceCache) {
+        let mut rng = Pcg64::seed_from_u64(seed);
+        let topo = TransitStubTopology::generate(&TransitStubConfig::tiny(), &mut rng);
+        let stubs = topo.stub_routers().to_vec();
+        let dcache = DistanceCache::new(Arc::new(topo.into_graph()), 256);
+        let mut attachments = AttachmentMap::new();
+        let mut dht = RingDht::new(RingConfig::tornado());
+        for _ in 0..n {
+            let host = attachments.attach_new(*rng.choose(&stubs));
+            let key = Key::random(&mut rng);
+            dht.insert(key, host, 1).unwrap();
+        }
+        dht.build_all_tables(&attachments, &dcache, &mut rng);
+        (dht, attachments, dcache)
+    }
+
+    #[test]
+    fn route_reaches_owner_and_meters_hops() {
+        let (dht, attachments, dcache) = setup(100, 1);
+        let keys: Vec<Key> = dht.keys().collect();
+        let mut meter = Meter::new();
+        let target = Key::random(&mut Pcg64::seed_from_u64(2));
+        let route = dht.route(keys[0], target, &attachments, &dcache, &mut meter).unwrap();
+        assert_eq!(route.terminus(), dht.owner(target).unwrap());
+        assert_eq!(meter.count(MessageKind::RouteHop) as usize, route.hop_count());
+        assert_eq!(meter.cost(MessageKind::RouteHop), route.path_cost);
+    }
+
+    #[test]
+    fn route_to_self_owned_key_is_free() {
+        let (dht, attachments, dcache) = setup(50, 3);
+        let some = dht.keys().next().unwrap();
+        let mut meter = Meter::new();
+        // A node's own key is owned by itself.
+        let route = dht.route(some, some, &attachments, &dcache, &mut meter).unwrap();
+        assert_eq!(route.hop_count(), 0);
+        assert_eq!(route.path_cost, 0);
+        assert_eq!(route.terminus(), some);
+    }
+
+    #[test]
+    fn discovery_kind_is_metered_separately() {
+        let (dht, attachments, dcache) = setup(80, 4);
+        let keys: Vec<Key> = dht.keys().collect();
+        let mut meter = Meter::new();
+        dht.route_as(keys[0], keys[keys.len() / 2], MessageKind::DiscoveryHop, &attachments, &dcache, &mut meter)
+            .unwrap();
+        assert_eq!(meter.count(MessageKind::RouteHop), 0);
+        assert!(meter.count(MessageKind::DiscoveryHop) > 0);
+    }
+
+    #[test]
+    fn path_cost_respects_triangle_via_direct_distance() {
+        // Route cost can exceed the direct src→owner distance (overlay
+        // stretch) but each hop is itself a shortest path, so the total is
+        // at least the direct distance.
+        let (dht, attachments, dcache) = setup(100, 5);
+        let keys: Vec<Key> = dht.keys().collect();
+        let mut rng = Pcg64::seed_from_u64(6);
+        let mut meter = Meter::new();
+        for _ in 0..50 {
+            let src = *rng.choose(&keys);
+            let dst = *rng.choose(&keys);
+            let route = dht.route(src, dst, &attachments, &dcache, &mut meter).unwrap();
+            let direct = dcache.distance(
+                attachments.router(dht.node(src).unwrap().host),
+                attachments.router(dht.node(route.terminus()).unwrap().host),
+            );
+            assert!(route.path_cost >= direct, "route cheaper than direct path");
+        }
+    }
+}

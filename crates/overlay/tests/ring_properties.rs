@@ -1,0 +1,122 @@
+//! Property-based tests of the ring DHT over arbitrary populations.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use bristle_netsim::attach::AttachmentMap;
+use bristle_netsim::dijkstra::DistanceCache;
+use bristle_netsim::graph::{Graph, RouterId};
+use bristle_netsim::rng::Pcg64;
+use bristle_overlay::config::{NeighborSelection, RingConfig};
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::Meter;
+use bristle_overlay::ring::RingDht;
+
+/// Builds an overlay from an arbitrary key set (flat physical network).
+fn overlay_of(keys: &[u64], bits: u32) -> (RingDht<u32>, AttachmentMap, DistanceCache) {
+    let mut g = Graph::with_vertices(2);
+    g.add_edge(RouterId(0), RouterId(1), 1);
+    let dcache = DistanceCache::new(Arc::new(g), 4);
+    let mut attachments = AttachmentMap::new();
+    let cfg = RingConfig {
+        bits_per_digit: bits,
+        leaf_radius: 3,
+        candidate_window: 2,
+        selection: NeighborSelection::First,
+    };
+    let mut dht = RingDht::new(cfg);
+    for &k in keys {
+        let host = attachments.attach_new(RouterId(0));
+        let _ = dht.insert(Key(k), host, 1); // duplicates silently dropped
+    }
+    let mut rng = Pcg64::seed_from_u64(1);
+    dht.build_all_tables(&attachments, &dcache, &mut rng);
+    (dht, attachments, dcache)
+}
+
+fn key_set() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(any::<u64>(), 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn owner_is_clockwise_closest(keys in key_set(), probe: u64) {
+        let (dht, _, _) = overlay_of(&keys, 2);
+        let owner = dht.owner(Key(probe)).unwrap();
+        // No other node lies strictly between the probe and its owner.
+        let gap = Key(probe).clockwise_to(owner);
+        for k in dht.keys() {
+            if k != owner {
+                prop_assert!(Key(probe).clockwise_to(k) > gap, "{k} closer than owner {owner}");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_terminate_at_owner(keys in key_set(), probe: u64, src_idx: usize, bits in 1u32..=4) {
+        let (dht, attachments, dcache) = overlay_of(&keys, bits);
+        let all: Vec<Key> = dht.keys().collect();
+        let src = all[src_idx % all.len()];
+        let mut meter = Meter::new();
+        let route = dht.route(src, Key(probe), &attachments, &dcache, &mut meter).unwrap();
+        prop_assert_eq!(route.terminus(), dht.owner(Key(probe)).unwrap());
+        // Route length bounded by population (monotone ⇒ no revisits).
+        prop_assert!(route.hop_count() <= all.len());
+        // No node visited twice.
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(src);
+        for h in &route.hops {
+            prop_assert!(seen.insert(*h), "revisit of {h}");
+        }
+    }
+
+    #[test]
+    fn replica_sets_are_prefix_closed(keys in key_set(), probe: u64, k1 in 1usize..5, k2 in 1usize..5) {
+        let (dht, _, _) = overlay_of(&keys, 2);
+        let (small, large) = (k1.min(k2), k1.max(k2));
+        let a = dht.replica_set(Key(probe), small).unwrap();
+        let b = dht.replica_set(Key(probe), large).unwrap();
+        prop_assert_eq!(&b[..a.len()], &a[..], "smaller set is a prefix of the larger");
+        let mut dedup = b.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), b.len(), "replica set has no duplicates");
+    }
+
+    #[test]
+    fn leaf_sets_contain_true_neighbors(keys in key_set()) {
+        let (dht, _, _) = overlay_of(&keys, 2);
+        if dht.len() < 2 {
+            return Ok(());
+        }
+        for node in dht.iter() {
+            let succ = dht.successor_of(node.key.offset(1)).unwrap();
+            let pred = dht.predecessor_of(node.key).unwrap();
+            prop_assert!(node.leaf_keys.contains(&succ), "{} missing successor", node.key);
+            prop_assert!(node.leaf_keys.contains(&pred), "{} missing predecessor", node.key);
+        }
+    }
+
+    #[test]
+    fn reverse_index_total_matches_forward(keys in key_set()) {
+        let (dht, _, _) = overlay_of(&keys, 2);
+        let rev = dht.reverse_index();
+        let total: usize = rev.values().map(Vec::len).sum();
+        prop_assert_eq!(total, dht.total_state());
+    }
+
+    #[test]
+    fn redundant_route_dominates_single_path(keys in key_set(), probe: u64, src_idx: usize) {
+        let (dht, _, _) = overlay_of(&keys, 2);
+        let all: Vec<Key> = dht.keys().collect();
+        let src = all[src_idx % all.len()];
+        let mut meter = Meter::new();
+        let narrow = dht.route_redundant(src, Key(probe), 1, |_| true, &mut meter).unwrap();
+        let wide = dht.route_redundant(src, Key(probe), 3, |_| true, &mut meter).unwrap();
+        prop_assert!(narrow.delivered, "healthy overlay always delivers");
+        prop_assert!(wide.delivered);
+        // Wider never takes more hops to first success.
+        prop_assert!(wide.winning_hops.unwrap() <= narrow.winning_hops.unwrap());
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs the ablation studies (substrate comparison, LDT fan-out, binding
+//! modes). `--paper` for larger populations.
+use bristle_sim::experiments::{ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let cfg = match scale {
+        Scale::Quick => ablation::AblationConfig::quick(),
+        Scale::Paper => ablation::AblationConfig::paper(),
+    };
+    eprintln!("ablation: {} nodes, {} routes", cfg.n_nodes, cfg.routes);
+    let result = ablation::run(&cfg);
+    ablation::to_table_substrates(&result).print();
+    println!();
+    ablation::to_table_fanout(&result).print();
+    println!();
+    ablation::to_table_binding(&result).print();
+    println!();
+    ablation::to_table_query_modes(&result).print();
+}

@@ -1,0 +1,34 @@
+//! Regenerates every table and figure of the paper in sequence.
+//! `--paper` for full scale.
+use bristle_sim::experiments::{fig3, fig7, fig8, fig9, table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let paper = scale == Scale::Paper;
+    eprintln!("running all experiments at {:?} scale", scale);
+
+    let t1 = if paper { table1::Table1Config::paper() } else { table1::Table1Config::quick() };
+    table1::to_table(&table1::run(&t1)).print();
+    println!();
+
+    let f3 = if paper { fig3::Fig3Config::paper() } else { fig3::Fig3Config::quick() };
+    fig3::to_table(&fig3::run(&f3)).print();
+    println!();
+
+    let f7 = if paper { fig7::Fig7Config::paper() } else { fig7::Fig7Config::quick() };
+    let r7 = fig7::run(&f7);
+    fig7::to_table_hops(&r7).print();
+    println!();
+    fig7::to_table_rdp(&r7).print();
+    println!();
+
+    let f8 = if paper { fig8::Fig8Config::paper() } else { fig8::Fig8Config::quick() };
+    let r8 = fig8::run(&f8);
+    fig8::to_table_levels(&r8).print();
+    println!();
+    fig8::to_table_detail(&r8).print();
+    println!();
+
+    let f9 = if paper { fig9::Fig9Config::paper() } else { fig9::Fig9Config::quick() };
+    fig9::to_table(&fig9::run(&f9)).print();
+}

@@ -1,0 +1,32 @@
+//! Runs a full dynamic scenario: movement + churn + lookups + upkeep on
+//! one virtual timeline, printing the per-interval health table.
+//! `--paper` for a larger population and longer horizon.
+use bristle_core::system::BristleBuilder;
+use bristle_netsim::transit_stub::TransitStubConfig;
+use bristle_sim::experiments::Scale;
+use bristle_sim::scenario::{self, ScenarioConfig};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let (n_stat, n_mob, horizon) = match scale {
+        Scale::Quick => (120, 60, 3_000),
+        Scale::Paper => (700, 300, 12_000),
+    };
+    eprintln!("dynamics: {n_stat}+{n_mob} nodes over {horizon} ticks");
+    let mut sys = BristleBuilder::new(4242)
+        .stationary_nodes(n_stat)
+        .mobile_nodes(n_mob)
+        .topology(TransitStubConfig::small())
+        .build()
+        .expect("system builds");
+    let cfg = ScenarioConfig::standard(horizon);
+    let outcome = scenario::run(&mut sys, &cfg);
+    scenario::to_table(&outcome).print();
+    println!(
+        "overall delivery {:.1}%  final population {}+{}  events {}",
+        outcome.overall_delivery() * 100.0,
+        outcome.final_population.0,
+        outcome.final_population.1,
+        outcome.events
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **Figure 3** (LDT responsibility). `--paper`
+//! for full scale.
+use bristle_sim::experiments::{fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let cfg = match scale {
+        Scale::Quick => fig3::Fig3Config::quick(),
+        Scale::Paper => fig3::Fig3Config::paper(),
+    };
+    eprintln!("fig3: analytic N = {}, measured overlay = {} nodes", cfg.analytic_n, cfg.measured_n);
+    let result = fig3::run(&cfg);
+    fig3::to_table(&result).print();
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's **Figure 7** (state discovery: hops and RDP,
+//! scrambled vs clustered naming). `--paper` for full scale.
+use bristle_sim::experiments::{fig7, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let cfg = match scale {
+        Scale::Quick => fig7::Fig7Config::quick(),
+        Scale::Paper => fig7::Fig7Config::paper(),
+    };
+    eprintln!("fig7: {} stationary nodes, {} routes/point", cfg.n_stationary, cfg.routes);
+    let result = fig7::run(&cfg);
+    fig7::to_table_hops(&result).print();
+    println!();
+    fig7::to_table_rdp(&result).print();
+}

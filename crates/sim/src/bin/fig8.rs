@@ -1,0 +1,16 @@
+//! Regenerates the paper's **Figure 8** (LDT adaptation and node
+//! heterogeneity). `--paper` for full scale.
+use bristle_sim::experiments::{fig8, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let cfg = match scale {
+        Scale::Quick => fig8::Fig8Config::quick(),
+        Scale::Paper => fig8::Fig8Config::paper(),
+    };
+    eprintln!("fig8: {} nodes, MAX capacities {:?}", cfg.n_nodes, cfg.max_capacities);
+    let result = fig8::run(&cfg);
+    fig8::to_table_levels(&result).print();
+    println!();
+    fig8::to_table_detail(&result).print();
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **Figure 9** (LDT cost with/without network
+//! locality). `--paper` for full scale.
+use bristle_sim::experiments::{fig9, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let cfg = match scale {
+        Scale::Quick => fig9::Fig9Config::quick(),
+        Scale::Paper => fig9::Fig9Config::paper(),
+    };
+    eprintln!("fig9: up to {} nodes on {:?}-router topology", cfg.max_nodes, cfg.topology.total_routers());
+    let result = fig9::run(&cfg);
+    fig9::to_table(&result).print();
+}

@@ -1,0 +1,17 @@
+//! Regenerates the paper's **Table 1** (Type A / Type B / Bristle,
+//! measured). `--paper` for full scale.
+use bristle_sim::experiments::{table1, Scale};
+
+fn main() {
+    let scale = Scale::from_args(std::env::args().skip(1));
+    let cfg = match scale {
+        Scale::Quick => table1::Table1Config::quick(),
+        Scale::Paper => table1::Table1Config::paper(),
+    };
+    eprintln!(
+        "table1: {}+{} nodes, {} moves, {} lookups",
+        cfg.n_stationary, cfg.n_mobile, cfg.moves, cfg.lookups
+    );
+    let result = table1::run(&cfg);
+    table1::to_table(&result).print();
+}

@@ -1,0 +1,125 @@
+//! Population churn models: joins, graceful leaves, and abrupt failures.
+
+use bristle_netsim::rng::Pcg64;
+
+/// What a churn event does to the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChurnAction {
+    /// A new node joins.
+    Join,
+    /// An existing node leaves gracefully.
+    Leave,
+    /// An existing node dies without notice.
+    Fail,
+}
+
+/// A churn process: events arrive with a mean interval, split among
+/// joins, graceful leaves, and failures by the given weights.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnModel {
+    /// Mean ticks between churn events across the whole system (≥ 1).
+    pub mean_interval: u64,
+    /// Relative weight of joins.
+    pub join_weight: u32,
+    /// Relative weight of graceful leaves.
+    pub leave_weight: u32,
+    /// Relative weight of abrupt failures.
+    pub fail_weight: u32,
+}
+
+impl ChurnModel {
+    /// A balanced model: equal joins and leaves, occasional failures.
+    pub fn balanced(mean_interval: u64) -> Self {
+        ChurnModel { mean_interval: mean_interval.max(1), join_weight: 4, leave_weight: 3, fail_weight: 1 }
+    }
+
+    /// A model with no churn at all (useful as a control).
+    pub fn none() -> Self {
+        ChurnModel { mean_interval: u64::MAX, join_weight: 0, leave_weight: 0, fail_weight: 0 }
+    }
+
+    /// Whether this model ever produces events.
+    pub fn is_active(&self) -> bool {
+        self.join_weight + self.leave_weight + self.fail_weight > 0 && self.mean_interval != u64::MAX
+    }
+
+    /// Draws the delay until the next churn event (exponential, ≥ 1).
+    pub fn next_delay(&self, rng: &mut Pcg64) -> u64 {
+        let u = rng.f64().max(1e-12);
+        ((-u.ln()) * self.mean_interval as f64).round().max(1.0) as u64
+    }
+
+    /// Draws which action the next event performs.
+    ///
+    /// # Panics
+    /// Panics when all weights are zero.
+    pub fn next_action(&self, rng: &mut Pcg64) -> ChurnAction {
+        let total = (self.join_weight + self.leave_weight + self.fail_weight) as u64;
+        assert!(total > 0, "churn model has no actions");
+        let pick = rng.below(total) as u32;
+        if pick < self.join_weight {
+            ChurnAction::Join
+        } else if pick < self.join_weight + self.leave_weight {
+            ChurnAction::Leave
+        } else {
+            ChurnAction::Fail
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_mix_matches_weights() {
+        let model = ChurnModel { mean_interval: 10, join_weight: 6, leave_weight: 3, fail_weight: 1 };
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            match model.next_action(&mut rng) {
+                ChurnAction::Join => counts[0] += 1,
+                ChurnAction::Leave => counts[1] += 1,
+                ChurnAction::Fail => counts[2] += 1,
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.6).abs() < 0.02);
+        assert!((frac(counts[1]) - 0.3).abs() < 0.02);
+        assert!((frac(counts[2]) - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn balanced_has_all_actions() {
+        let m = ChurnModel::balanced(100);
+        assert!(m.is_active());
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(m.next_action(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!ChurnModel::none().is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "no actions")]
+    fn none_cannot_draw_actions() {
+        ChurnModel::none().next_action(&mut Pcg64::seed_from_u64(3));
+    }
+
+    #[test]
+    fn delays_track_mean() {
+        let m = ChurnModel::balanced(200);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| m.next_delay(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 10.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment drivers — one module per table/figure of the paper.
+//!
+//! Every driver follows the same shape: a `*Config` with `quick()` (CI- and
+//! laptop-friendly) and `paper()` (the paper's scale) constructors, a
+//! `run()` producing a typed result, and a `to_table()` rendering the rows
+//! the paper's figure plots. The binaries in `src/bin/` are thin wrappers.
+
+pub mod ablation;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+
+/// Experiment scale selector shared by the binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced populations; finishes in seconds, preserves every shape.
+    Quick,
+    /// The paper's populations (minutes of runtime).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--paper` style CLI arguments (anything else → quick).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+        for a in args {
+            if a == "--paper" {
+                return Scale::Paper;
+            }
+        }
+        Scale::Quick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_flag() {
+        assert_eq!(Scale::from_args(vec!["--paper".to_string()]), Scale::Paper);
+        assert_eq!(Scale::from_args(vec!["--quick".to_string()]), Scale::Quick);
+        assert_eq!(Scale::from_args(Vec::<String>::new()), Scale::Quick);
+    }
+}

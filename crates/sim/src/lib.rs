@@ -1,0 +1,42 @@
+//! # bristle-sim
+//!
+//! The experiment harness for the Bristle reproduction: a discrete-event
+//! engine, movement/churn workload models, the Type A and Type B baseline
+//! architectures of the paper's Table 1, statistics and table rendering,
+//! and one experiment driver per table/figure of the paper's evaluation:
+//!
+//! | binary  | regenerates |
+//! |---------|-------------|
+//! | `fig3`  | Figure 3 — LDT responsibility, member-only vs non-member-only |
+//! | `fig7`  | Figure 7 — hops and RDP, scrambled vs clustered naming |
+//! | `fig8`  | Figure 8 — LDT adaptation and heterogeneity |
+//! | `fig9`  | Figure 9 — LDT cost with/without locality |
+//! | `table1`| Table 1 — Type A / Type B / Bristle comparison |
+//! | `all`   | everything above in sequence |
+//!
+//! Run any of them with `--paper` for the paper's populations; the
+//! default "quick" scale preserves every qualitative shape in seconds.
+
+#![warn(missing_docs)]
+
+pub mod baseline_type_a;
+pub mod baseline_type_b;
+pub mod churn;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod mobility;
+pub mod report;
+pub mod scenario;
+pub mod workload;
+
+pub use baseline_type_a::TypeASystem;
+pub use baseline_type_b::TypeBSystem;
+pub use churn::{ChurnAction, ChurnModel};
+pub use engine::EventQueue;
+pub use experiments::Scale;
+pub use metrics::{Histogram, Samples};
+pub use mobility::MobilityModel;
+pub use report::Table;
+pub use scenario::{ScenarioConfig, ScenarioOutcome};
+pub use workload::{measure_routes, sample_any_pairs, sample_stationary_pairs, RouteAggregate};

@@ -1,0 +1,76 @@
+//! Movement workload models.
+//!
+//! The paper's mobile nodes re-attach at random network points; how often
+//! they do so is the experiment's knob. We model inter-move times as
+//! exponentially distributed around a configurable mean (a discrete
+//! Poisson movement process), the standard assumption for session-scale
+//! mobility studies.
+
+use bristle_netsim::rng::Pcg64;
+
+/// A Poisson movement process: moves arrive with the given mean interval.
+#[derive(Debug, Clone, Copy)]
+pub struct MobilityModel {
+    /// Mean ticks between two moves of the same node (≥ 1).
+    pub mean_interval: u64,
+}
+
+impl MobilityModel {
+    /// Creates a model; `mean_interval` is clamped to ≥ 1.
+    pub fn new(mean_interval: u64) -> Self {
+        MobilityModel { mean_interval: mean_interval.max(1) }
+    }
+
+    /// Draws the delay until a node's next move (exponential, ≥ 1 tick).
+    pub fn next_delay(&self, rng: &mut Pcg64) -> u64 {
+        let u = rng.f64().max(1e-12);
+        let d = (-u.ln()) * self.mean_interval as f64;
+        (d.round() as u64).max(1)
+    }
+
+    /// Draws an initial phase for each of `n` nodes so moves do not
+    /// synchronize at simulation start.
+    pub fn initial_phases(&self, n: usize, rng: &mut Pcg64) -> Vec<u64> {
+        (0..n).map(|_| self.next_delay(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_positive_and_mean_close() {
+        let model = MobilityModel::new(100);
+        let mut rng = Pcg64::seed_from_u64(1);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| model.next_delay(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn minimum_delay_is_one_tick() {
+        let model = MobilityModel::new(1);
+        let mut rng = Pcg64::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(model.next_delay(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn zero_interval_clamped() {
+        assert_eq!(MobilityModel::new(0).mean_interval, 1);
+    }
+
+    #[test]
+    fn initial_phases_cover_population() {
+        let model = MobilityModel::new(50);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let phases = model.initial_phases(100, &mut rng);
+        assert_eq!(phases.len(), 100);
+        assert!(phases.iter().all(|&p| p >= 1));
+        // Not all identical (they desynchronize).
+        assert!(phases.iter().any(|&p| p != phases[0]));
+    }
+}

@@ -1,0 +1,331 @@
+//! Full dynamic scenarios: movement + churn + lookups + periodic upkeep
+//! on one virtual timeline.
+//!
+//! This is the harness behind the `dynamics` binary and the longevity
+//! integration tests: it drives a [`BristleSystem`] through the
+//! discrete-event engine for a configurable horizon, with Poisson
+//! movement per mobile node, Poisson churn over the population, a
+//! steady lookup workload, and upkeep rounds on a fixed period — then
+//! reports per-interval health (delivery rate, discovery rate, traffic)
+//! so degradation or recovery over time is visible.
+
+use bristle_core::naming::Mobility;
+use bristle_core::system::BristleSystem;
+use bristle_core::time::SimTime;
+
+use crate::churn::{ChurnAction, ChurnModel};
+use crate::engine::{run as run_events, EventQueue};
+use crate::mobility::MobilityModel;
+use crate::report::{f2, pct, Table};
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Virtual-time horizon.
+    pub horizon: u64,
+    /// Movement process per mobile node.
+    pub mobility: MobilityModel,
+    /// Churn process over the whole population.
+    pub churn: ChurnModel,
+    /// Mean ticks between lookups.
+    pub lookup_interval: u64,
+    /// Upkeep period (0 disables upkeep).
+    pub upkeep_period: u64,
+    /// Number of reporting intervals.
+    pub intervals: usize,
+}
+
+impl ScenarioConfig {
+    /// A balanced default: moderate movement, light churn, periodic
+    /// upkeep at half the lease TTL.
+    pub fn standard(horizon: u64) -> Self {
+        ScenarioConfig {
+            horizon,
+            mobility: MobilityModel::new(horizon / 10),
+            churn: ChurnModel::balanced(horizon / 20),
+            lookup_interval: (horizon / 200).max(1),
+            upkeep_period: 150,
+            intervals: 10,
+        }
+    }
+}
+
+/// Metrics for one reporting interval.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalStats {
+    /// Interval end time.
+    pub until: SimTime,
+    /// Lookups attempted.
+    pub lookups: usize,
+    /// Lookups that found their record.
+    pub delivered: usize,
+    /// `_discovery` operations across the interval's lookups.
+    pub discoveries: usize,
+    /// Moves executed.
+    pub moves: usize,
+    /// Churn events executed.
+    pub churn_events: usize,
+    /// Protocol messages sent during the interval.
+    pub messages: u64,
+}
+
+impl IntervalStats {
+    /// Delivery rate within the interval (1.0 when no lookups ran).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The completed scenario timeline.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Per-interval health metrics.
+    pub intervals: Vec<IntervalStats>,
+    /// Final population (stationary, mobile).
+    pub final_population: (usize, usize),
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl ScenarioOutcome {
+    /// Overall delivery rate across the whole run.
+    pub fn overall_delivery(&self) -> f64 {
+        let (ok, total) = self
+            .intervals
+            .iter()
+            .fold((0usize, 0usize), |(ok, t), iv| (ok + iv.delivered, t + iv.lookups));
+        if total == 0 {
+            1.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+}
+
+enum Ev {
+    Move(u64),
+    Churn,
+    Lookup(u64),
+    Upkeep,
+}
+
+/// Runs the scenario against an already-built system.
+pub fn run(sys: &mut BristleSystem, cfg: &ScenarioConfig) -> ScenarioOutcome {
+    assert!(cfg.intervals >= 1 && cfg.horizon >= cfg.intervals as u64);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    {
+        let mobility = cfg.mobility;
+        let rng = sys.rng();
+        // One movement process per initially-mobile slot; each event
+        // re-schedules itself, so the process outlives churn of specific
+        // nodes (the slot picks a live mobile node at fire time).
+        let initial_mobile = 8u64;
+        for slot in 0..initial_mobile {
+            queue.schedule_at(SimTime(mobility.next_delay(rng)), Ev::Move(slot));
+        }
+        if cfg.churn.is_active() {
+            queue.schedule_at(SimTime(cfg.churn.next_delay(rng)), Ev::Churn);
+        }
+        queue.schedule_at(SimTime(1), Ev::Lookup(0));
+        if cfg.upkeep_period > 0 {
+            queue.schedule_at(SimTime(cfg.upkeep_period), Ev::Upkeep);
+        }
+    }
+
+    let interval_len = cfg.horizon / cfg.intervals as u64;
+    let mut intervals: Vec<IntervalStats> = (1..=cfg.intervals)
+        .map(|i| IntervalStats { until: SimTime(interval_len * i as u64), ..Default::default() })
+        .collect();
+    let mut msgs_at_interval_start = sys.meter.total_messages();
+    let mut current_interval = 0usize;
+    let mobility = cfg.mobility;
+    let churn = cfg.churn;
+    let lookup_interval = cfg.lookup_interval;
+    let upkeep_period = cfg.upkeep_period;
+    let horizon = SimTime(cfg.horizon);
+
+    let events = run_events(&mut queue, horizon, 2_000_000, |q, t, ev| {
+        // Advance system time and interval bookkeeping.
+        if sys.clock.now() < t {
+            let dt = t.since(sys.clock.now());
+            sys.tick(dt);
+        }
+        while current_interval + 1 < intervals.len() && t > intervals[current_interval].until {
+            intervals[current_interval].messages =
+                sys.meter.total_messages() - msgs_at_interval_start;
+            msgs_at_interval_start = sys.meter.total_messages();
+            current_interval += 1;
+        }
+        let iv = &mut intervals[current_interval];
+        match ev {
+            Ev::Move(slot) => {
+                let mobiles = sys.mobile_keys();
+                if !mobiles.is_empty() {
+                    let m = mobiles[slot as usize % mobiles.len()];
+                    sys.move_node(m, None).expect("move");
+                    iv.moves += 1;
+                }
+                let delay = mobility.next_delay(sys.rng());
+                q.schedule_in(delay, Ev::Move(slot));
+            }
+            Ev::Churn => {
+                let action = churn.next_action(sys.rng());
+                match action {
+                    ChurnAction::Join => {
+                        let mobility_class = if sys.rng().chance(0.5) {
+                            Mobility::Mobile
+                        } else {
+                            Mobility::Stationary
+                        };
+                        sys.join_node(mobility_class).expect("join");
+                    }
+                    ChurnAction::Leave => {
+                        let mobiles = sys.mobile_keys().to_vec();
+                        if mobiles.len() > 2 {
+                            let idx = sys.rng().index(mobiles.len());
+                            sys.leave_node(mobiles[idx]).expect("leave");
+                        }
+                    }
+                    ChurnAction::Fail => {
+                        // Fail a stationary node (the harsher case: it may
+                        // hold location records).
+                        let stationaries = sys.stationary_keys().to_vec();
+                        if stationaries.len() > 4 {
+                            let idx = sys.rng().index(stationaries.len());
+                            sys.fail_node(stationaries[idx]).expect("fail");
+                        }
+                    }
+                }
+                iv.churn_events += 1;
+                let delay = churn.next_delay(sys.rng());
+                q.schedule_in(delay, Ev::Churn);
+            }
+            Ev::Lookup(n) => {
+                let stationaries = sys.stationary_keys().to_vec();
+                let mobiles = sys.mobile_keys().to_vec();
+                if !stationaries.is_empty() && !mobiles.is_empty() {
+                    let src = stationaries[n as usize % stationaries.len()];
+                    let dst = mobiles[(n as usize * 3) % mobiles.len()];
+                    let rep = sys.route_mobile(src, dst).expect("route");
+                    iv.lookups += 1;
+                    iv.discoveries += rep.discoveries;
+                    if rep.terminus == dst {
+                        iv.delivered += 1;
+                    }
+                }
+                q.schedule_in(lookup_interval, Ev::Lookup(n + 1));
+            }
+            Ev::Upkeep => {
+                sys.run_upkeep().expect("upkeep");
+                q.schedule_in(upkeep_period, Ev::Upkeep);
+            }
+        }
+    });
+    intervals[current_interval].messages += sys.meter.total_messages() - msgs_at_interval_start;
+
+    ScenarioOutcome {
+        intervals,
+        final_population: (sys.stationary_keys().len(), sys.mobile_keys().len()),
+        events,
+    }
+}
+
+/// Renders the timeline.
+pub fn to_table(outcome: &ScenarioOutcome) -> Table {
+    let mut t = Table::new(
+        "Dynamic scenario timeline",
+        &["until", "lookups", "delivery", "disc/lookup", "moves", "churn", "messages"],
+    );
+    for iv in &outcome.intervals {
+        let disc = if iv.lookups == 0 { 0.0 } else { iv.discoveries as f64 / iv.lookups as f64 };
+        t.row(vec![
+            iv.until.to_string(),
+            iv.lookups.to_string(),
+            pct(iv.delivery_rate()),
+            f2(disc),
+            iv.moves.to_string(),
+            iv.churn_events.to_string(),
+            iv.messages.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_core::system::BristleBuilder;
+    use bristle_netsim::transit_stub::TransitStubConfig;
+
+    fn system(seed: u64) -> BristleSystem {
+        BristleBuilder::new(seed)
+            .stationary_nodes(50)
+            .mobile_nodes(20)
+            .topology(TransitStubConfig::tiny())
+            .build()
+            .unwrap()
+    }
+
+    fn quick_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            horizon: 1_000,
+            mobility: MobilityModel::new(120),
+            churn: ChurnModel::balanced(150),
+            lookup_interval: 10,
+            upkeep_period: 200,
+            intervals: 5,
+        }
+    }
+
+    #[test]
+    fn scenario_delivers_through_movement_and_churn() {
+        let mut sys = system(1);
+        let outcome = run(&mut sys, &quick_cfg());
+        assert!(outcome.events > 50, "scenario must actually run ({} events)", outcome.events);
+        assert!(outcome.overall_delivery() > 0.95, "delivery {}", outcome.overall_delivery());
+        let total_moves: usize = outcome.intervals.iter().map(|i| i.moves).sum();
+        assert!(total_moves > 0);
+        let total_churn: usize = outcome.intervals.iter().map(|i| i.churn_events).sum();
+        assert!(total_churn > 0);
+    }
+
+    #[test]
+    fn no_upkeep_still_delivers_via_late_discovery() {
+        let mut sys = system(2);
+        let cfg = ScenarioConfig { upkeep_period: 0, ..quick_cfg() };
+        let outcome = run(&mut sys, &cfg);
+        assert!(outcome.overall_delivery() > 0.9, "delivery {}", outcome.overall_delivery());
+    }
+
+    #[test]
+    fn timeline_has_requested_intervals_and_table_renders() {
+        let mut sys = system(3);
+        let cfg = quick_cfg();
+        let outcome = run(&mut sys, &cfg);
+        assert_eq!(outcome.intervals.len(), cfg.intervals);
+        assert_eq!(to_table(&outcome).len(), cfg.intervals);
+    }
+
+    #[test]
+    fn population_changes_under_churn() {
+        let mut sys = system(4);
+        let before = (sys.stationary_keys().len(), sys.mobile_keys().len());
+        let cfg = ScenarioConfig { churn: ChurnModel::balanced(40), ..quick_cfg() };
+        let outcome = run(&mut sys, &cfg);
+        assert_ne!(outcome.final_population, before, "churn must change the population");
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        let run_once = || {
+            let mut sys = system(5);
+            let o = run(&mut sys, &quick_cfg());
+            (o.events, o.overall_delivery().to_bits(), o.final_population)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,155 @@
+//! Route-sampling workloads and their aggregation.
+//!
+//! The paper's §4.1 experiment: "There are 10,000 sample routes between
+//! two randomly picked stationary nodes generated, and the average
+//! application-level hops and the path costs for these routes are
+//! averaged." This module generates those samples and aggregates route
+//! reports into the metrics the figures plot.
+
+use bristle_core::system::BristleSystem;
+use bristle_overlay::key::Key;
+
+use crate::metrics::Samples;
+
+/// Aggregated route metrics over a batch of sampled routes.
+#[derive(Debug, Clone, Default)]
+pub struct RouteAggregate {
+    /// Application-level hops (forwarding + discovery + wasted attempts).
+    pub hops: Samples,
+    /// Physical path cost per route.
+    pub path_cost: Samples,
+    /// `_discovery` operations per route.
+    pub discoveries: Samples,
+    /// Routes attempted.
+    pub routes: usize,
+}
+
+impl RouteAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean application-level hops (Fig. 7a's y-axis).
+    pub fn mean_hops(&self) -> f64 {
+        self.hops.mean()
+    }
+
+    /// Mean physical path cost.
+    pub fn mean_cost(&self) -> f64 {
+        self.path_cost.mean()
+    }
+
+    /// Mean discoveries per route.
+    pub fn mean_discoveries(&self) -> f64 {
+        self.discoveries.mean()
+    }
+}
+
+/// Samples `count` ordered pairs of distinct stationary nodes.
+///
+/// # Panics
+/// Panics when fewer than two stationary nodes exist.
+pub fn sample_stationary_pairs(sys: &mut BristleSystem, count: usize) -> Vec<(Key, Key)> {
+    let keys = sys.stationary_keys().to_vec();
+    assert!(keys.len() >= 2, "need two stationary nodes to sample routes");
+    let rng = sys.rng();
+    (0..count)
+        .map(|_| {
+            let a = keys[rng.index(keys.len())];
+            let mut b = keys[rng.index(keys.len())];
+            while b == a {
+                b = keys[rng.index(keys.len())];
+            }
+            (a, b)
+        })
+        .collect()
+}
+
+/// Samples `count` ordered pairs of distinct nodes of any mobility.
+pub fn sample_any_pairs(sys: &mut BristleSystem, count: usize) -> Vec<(Key, Key)> {
+    let keys: Vec<Key> = sys.mobile.keys().collect();
+    assert!(keys.len() >= 2, "need two nodes to sample routes");
+    let rng = sys.rng();
+    (0..count)
+        .map(|_| {
+            let a = keys[rng.index(keys.len())];
+            let mut b = keys[rng.index(keys.len())];
+            while b == a {
+                b = keys[rng.index(keys.len())];
+            }
+            (a, b)
+        })
+        .collect()
+}
+
+/// Routes every pair through the mobile layer (paper Fig. 2 semantics)
+/// and aggregates hops, path cost, and discovery counts.
+pub fn measure_routes(sys: &mut BristleSystem, pairs: &[(Key, Key)]) -> RouteAggregate {
+    let mut agg = RouteAggregate::new();
+    for &(src, dst) in pairs {
+        let rep = sys.route_mobile(src, dst).expect("sampled nodes exist");
+        agg.hops.push(rep.total_hops() as f64);
+        agg.path_cost.push(rep.path_cost as f64);
+        agg.discoveries.push(rep.discoveries as f64);
+        agg.routes += 1;
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_core::config::BristleConfig;
+    use bristle_core::system::BristleBuilder;
+    use bristle_netsim::transit_stub::TransitStubConfig;
+
+    fn system(seed: u64) -> BristleSystem {
+        BristleBuilder::new(seed)
+            .stationary_nodes(30)
+            .mobile_nodes(15)
+            .topology(TransitStubConfig::tiny())
+            .config(BristleConfig::recommended())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stationary_pairs_are_stationary_and_distinct() {
+        let mut sys = system(1);
+        let pairs = sample_stationary_pairs(&mut sys, 100);
+        assert_eq!(pairs.len(), 100);
+        for (a, b) in pairs {
+            assert_ne!(a, b);
+            assert!(!sys.is_mobile(a));
+            assert!(!sys.is_mobile(b));
+        }
+    }
+
+    #[test]
+    fn any_pairs_cover_mobility_classes() {
+        let mut sys = system(2);
+        let pairs = sample_any_pairs(&mut sys, 300);
+        assert!(pairs.iter().any(|&(a, _)| sys.is_mobile(a)), "mobile sources appear");
+        assert!(pairs.iter().any(|&(a, _)| !sys.is_mobile(a)), "stationary sources appear");
+    }
+
+    #[test]
+    fn measure_routes_aggregates() {
+        let mut sys = system(3);
+        let pairs = sample_stationary_pairs(&mut sys, 50);
+        let agg = measure_routes(&mut sys, &pairs);
+        assert_eq!(agg.routes, 50);
+        assert_eq!(agg.hops.len(), 50);
+        assert!(agg.mean_hops() > 0.0);
+        assert!(agg.mean_cost() > 0.0);
+        assert!(agg.mean_discoveries() >= 0.0);
+    }
+
+    #[test]
+    fn route_sampling_is_deterministic_per_seed() {
+        let mut a = system(7);
+        let mut b = system(7);
+        assert_eq!(sample_stationary_pairs(&mut a, 20), sample_stationary_pairs(&mut b, 20));
+    }
+}

@@ -1,0 +1,20 @@
+//! # bristle
+//!
+//! Facade crate for the Bristle mobile structured peer-to-peer
+//! architecture (reproduction of Hsiao & King, IPDPS 2003). Re-exports
+//! the full stack:
+//!
+//! * [`core`] — the Bristle protocol (two layers, LDTs, clustered naming).
+//! * [`overlay`] — the HS-P2P substrate (ring DHT, replication).
+//! * [`netsim`] — the physical network simulator (transit-stub, Dijkstra).
+//! * [`sim`] — experiment harness, baselines, per-figure drivers.
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction notes.
+
+pub use bristle_core as core;
+pub use bristle_netsim as netsim;
+pub use bristle_overlay as overlay;
+pub use bristle_sim as sim;
+
+pub use bristle_core::prelude;

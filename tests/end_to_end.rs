@@ -1,0 +1,209 @@
+//! End-to-end integration tests spanning all crates: physical network,
+//! overlay substrate, Bristle protocol, and baselines.
+
+use bristle::core::config::{BristleConfig, NamingPolicy};
+use bristle::core::naming::Mobility;
+use bristle::core::system::{BristleBuilder, BristleSystem};
+use bristle::netsim::transit_stub::TransitStubConfig;
+use bristle::overlay::key::Key;
+use bristle::sim::baseline_type_a::TypeASystem;
+use bristle::sim::baseline_type_b::TypeBSystem;
+
+fn system(seed: u64, n_stat: usize, n_mob: usize) -> BristleSystem {
+    BristleBuilder::new(seed)
+        .stationary_nodes(n_stat)
+        .mobile_nodes(n_mob)
+        .topology(TransitStubConfig::small())
+        .build()
+        .expect("system builds")
+}
+
+#[test]
+fn every_pair_is_mutually_routable() {
+    let mut sys = system(1, 40, 20);
+    let keys: Vec<Key> = sys.mobile.keys().collect();
+    for i in (0..keys.len()).step_by(7) {
+        for j in (0..keys.len()).step_by(11) {
+            let rep = sys.route_mobile(keys[i], keys[j]).expect("route");
+            assert_eq!(rep.terminus, sys.mobile.owner(keys[j]).expect("owner"));
+        }
+    }
+}
+
+#[test]
+fn move_discover_route_cycle_many_times() {
+    let mut sys = system(2, 50, 25);
+    let watcher = sys.stationary_keys()[0];
+    for round in 0..5 {
+        for m in sys.mobile_keys().to_vec() {
+            sys.move_node(m, None).expect("move");
+        }
+        for &m in sys.mobile_keys().to_vec().iter().take(8) {
+            let disc = sys.discover(watcher, m).expect("discover");
+            let addr = disc.resolved.expect("record exists");
+            assert!(addr.is_valid(&sys.attachments), "round {round}: stale record served");
+            let rep = sys.route_mobile(watcher, m).expect("route");
+            assert_eq!(rep.terminus, m);
+        }
+    }
+}
+
+#[test]
+fn stored_data_survives_arbitrary_movement() {
+    let mut sys = system(3, 40, 30);
+    let src = sys.stationary_keys()[0];
+    let items: Vec<Key> = (0..50).map(|i| Key::hash_of(format!("item-{i}").as_bytes())).collect();
+    for (i, &k) in items.iter().enumerate() {
+        sys.store_data(src, k, vec![i as u8]).expect("store");
+    }
+    for _ in 0..3 {
+        for m in sys.mobile_keys().to_vec() {
+            sys.move_node(m, None).expect("move");
+        }
+    }
+    for (i, &k) in items.iter().enumerate() {
+        let (payload, _) = sys.fetch_data(src, k).expect("fetch");
+        assert_eq!(payload, Some(vec![i as u8]), "item {i} lost");
+    }
+}
+
+#[test]
+fn join_leave_churn_preserves_routing_and_locations() {
+    let mut sys = system(4, 40, 20);
+    for i in 0..12 {
+        if i % 3 == 0 {
+            sys.join_node(Mobility::Stationary).expect("join stationary");
+        } else {
+            sys.join_node(Mobility::Mobile).expect("join mobile");
+        }
+        if i % 4 == 3 {
+            let victim = sys.mobile_keys()[i % sys.mobile_keys().len()];
+            sys.leave_node(victim).expect("leave");
+        }
+    }
+    let watcher = sys.stationary_keys()[0];
+    for &m in sys.mobile_keys().to_vec().iter().take(10) {
+        let disc = sys.discover(watcher, m).expect("discover");
+        assert!(disc.resolved.is_some(), "location lost through churn for {m}");
+    }
+}
+
+#[test]
+fn stationary_failures_tolerated_by_replication() {
+    let mut sys = system(5, 60, 20);
+    let m = sys.mobile_keys()[0];
+    // Kill the stationary owner of m's location record; replicas answer.
+    let owner = sys.stationary.owner(m).expect("owner");
+    sys.fail_node(owner).expect("fail");
+    let watcher = sys
+        .stationary_keys()
+        .iter()
+        .copied()
+        .find(|&s| s != owner)
+        .expect("another stationary node");
+    let disc = sys.discover(watcher, m).expect("discover");
+    assert!(disc.resolved.is_some(), "replicas must cover the failed owner");
+}
+
+#[test]
+fn late_binding_recovers_after_lease_expiry() {
+    let mut sys = system(6, 40, 15);
+    let watcher = sys.stationary_keys()[1];
+    let m = sys.mobile_keys()[0];
+    sys.route_mobile(watcher, m).expect("prime");
+    // Expire everything, then move without the watcher hearing about it.
+    let ttl = sys.config().lease_ttl;
+    sys.tick(ttl + 1);
+    sys.move_node(m, None).expect("move");
+    sys.tick(ttl + 1);
+    let rep = sys.route_mobile(watcher, m).expect("route");
+    assert_eq!(rep.terminus, m, "late binding must still deliver");
+}
+
+#[test]
+fn meter_accounts_every_operation() {
+    use bristle::overlay::meter::MessageKind;
+    let mut sys = system(7, 30, 10);
+    let before_updates = sys.meter.count(MessageKind::Update);
+    let before_publish = sys.meter.count(MessageKind::Publish);
+    let m = sys.mobile_keys()[0];
+    sys.move_node(m, None).expect("move");
+    assert!(sys.meter.count(MessageKind::Publish) > before_publish);
+    assert!(sys.meter.count(MessageKind::Update) >= before_updates);
+    let before_disc = sys.meter.count(MessageKind::DiscoveryHop);
+    let watcher = sys.stationary_keys()[0];
+    sys.discover(watcher, m).expect("discover");
+    assert!(sys.meter.count(MessageKind::DiscoveryHop) > before_disc);
+}
+
+#[test]
+fn scrambled_systems_also_deliver_just_slower() {
+    let build = |policy| {
+        let cfg = match policy {
+            NamingPolicy::Scrambled => BristleConfig::paper_scrambled(),
+            NamingPolicy::Clustered => BristleConfig::paper_clustered(),
+        };
+        BristleBuilder::new(8)
+            .stationary_nodes(60)
+            .mobile_nodes(40)
+            .topology(TransitStubConfig::small())
+            .config(cfg)
+            .build()
+            .expect("builds")
+    };
+    let mut hops = Vec::new();
+    for policy in [NamingPolicy::Scrambled, NamingPolicy::Clustered] {
+        let mut sys = build(policy);
+        for m in sys.mobile_keys().to_vec() {
+            sys.move_node(m, None).expect("move");
+        }
+        let src = sys.stationary_keys()[0];
+        let mut total = 0usize;
+        for &dst in sys.stationary_keys().to_vec().iter().skip(1).take(20) {
+            let rep = sys.route_mobile(src, dst).expect("route");
+            assert_eq!(rep.terminus, dst);
+            total += rep.total_hops();
+        }
+        hops.push(total);
+    }
+    assert!(hops[0] >= hops[1], "scrambled {} must not beat clustered {}", hops[0], hops[1]);
+}
+
+#[test]
+fn all_three_architectures_run_the_same_workload() {
+    // Smoke-level cross-architecture comparison on one seed.
+    let mut bristle = system(9, 40, 20);
+    let mut type_a = TypeASystem::build(9, 40, 20, &TransitStubConfig::small(), 1);
+    let mut type_b = TypeBSystem::build(9, 40, 20, &TransitStubConfig::small());
+
+    // Move everything once everywhere.
+    for m in bristle.mobile_keys().to_vec() {
+        bristle.move_node(m, None).expect("bristle move");
+    }
+    for b in type_a.mobile_bodies() {
+        type_a.move_body(b).expect("type a move");
+    }
+    for m in type_b.mobile_keys() {
+        type_b.move_node(m).expect("type b move");
+    }
+
+    // Bristle and Type B keep identities; Type A does not.
+    assert_eq!(bristle.mobile.len(), 60);
+    assert_eq!(type_b.dht.len(), 60);
+    assert_eq!(type_a.dht.len(), 60, "same node count, but fresh identities");
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let mut sys = system(10, 30, 15);
+        for m in sys.mobile_keys().to_vec() {
+            sys.move_node(m, None).expect("move");
+        }
+        let src = sys.stationary_keys()[0];
+        let dst = sys.stationary_keys()[7];
+        let rep = sys.route_mobile(src, dst).expect("route");
+        (rep.total_hops(), rep.path_cost, sys.meter.total_messages())
+    };
+    assert_eq!(run(), run());
+}

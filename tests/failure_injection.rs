@@ -1,0 +1,186 @@
+//! Failure-injection tests: every component that claims fault tolerance,
+//! exercised under the fault it tolerates — and, where the paper
+//! predicts it, under the fault it does *not*.
+
+use bristle::core::config::{BindingMode, BristleConfig};
+use bristle::core::system::{BristleBuilder, BristleSystem};
+use bristle::netsim::transit_stub::TransitStubConfig;
+use bristle::overlay::key::Key;
+use bristle::overlay::meter::Meter;
+
+fn system(seed: u64, cfg: BristleConfig) -> BristleSystem {
+    BristleBuilder::new(seed)
+        .stationary_nodes(60)
+        .mobile_nodes(25)
+        .topology(TransitStubConfig::small())
+        .config(cfg)
+        .build()
+        .expect("builds")
+}
+
+#[test]
+fn lost_update_is_recovered_by_late_discovery() {
+    // A mobile node moves but its LDT advertisement is "lost" (we move
+    // the host behind the system's back and only publish). Routes still
+    // deliver: the stale hop triggers a discovery.
+    let mut sys = system(1, BristleConfig::recommended());
+    let m = sys.mobile_keys()[0];
+    let watcher = sys.stationary_keys()[0];
+    sys.route_mobile(watcher, m).expect("prime caches");
+    let host = sys.node_info(m).expect("info").host;
+    let target_router = sys.stub_routers()[1];
+    sys.attachments.move_host(host, target_router);
+    // Republish only (the advertisement never happens).
+    sys.publish_location(m).expect("publish");
+    let rep = sys.route_mobile(watcher, m).expect("route");
+    assert_eq!(rep.terminus, m, "late binding covers the lost push");
+}
+
+#[test]
+fn fully_silent_move_still_delivers_via_replicas_going_stale_then_discovery() {
+    // Even the publish is lost: the repository still holds the *old*
+    // address. Routing then wastes attempts but the simulator charges
+    // the true delivery; what must hold is that the route terminates and
+    // the discovery honestly reports the stale address as resolved
+    // (epoch mismatch visible to the caller).
+    let mut sys = system(2, BristleConfig::recommended());
+    let m = sys.mobile_keys()[1];
+    let watcher = sys.stationary_keys()[1];
+    let host = sys.node_info(m).expect("info").host;
+    sys.attachments.move_host(host, sys.stub_routers()[0]);
+    let disc = sys.discover(watcher, m).expect("discover");
+    let addr = disc.resolved.expect("repository still answers");
+    assert!(!addr.is_valid(&sys.attachments), "the record is honestly stale");
+}
+
+#[test]
+fn all_location_replicas_failing_loses_discovery_until_republish() {
+    let mut sys = system(3, BristleConfig::recommended());
+    let m = sys.mobile_keys()[0];
+    let replicas = sys
+        .stationary
+        .replica_set(m, sys.config().location_replicas)
+        .expect("replica set");
+    for r in replicas {
+        sys.fail_node(r).expect("fail");
+    }
+    let watcher = sys.stationary_keys()[0];
+    let disc = sys.discover(watcher, m).expect("discover");
+    assert!(disc.resolved.is_none(), "all replicas dead → no record");
+    // The mover republishes (e.g. on its next move): discovery recovers.
+    sys.move_node(m, None).expect("move");
+    let disc = sys.discover(watcher, m).expect("discover");
+    assert!(disc.resolved.is_some());
+}
+
+#[test]
+fn partial_replica_failure_is_invisible() {
+    let mut sys = system(4, BristleConfig::recommended());
+    let m = sys.mobile_keys()[2];
+    let replicas = sys
+        .stationary
+        .replica_set(m, sys.config().location_replicas)
+        .expect("replica set");
+    // Kill all but the last replica.
+    for r in &replicas[..replicas.len() - 1] {
+        sys.fail_node(*r).expect("fail");
+    }
+    let watcher = sys.stationary_keys().iter().copied().find(|s| !replicas.contains(s)).unwrap();
+    let disc = sys.discover(watcher, m).expect("discover");
+    assert!(disc.resolved.is_some(), "surviving replica answers");
+}
+
+#[test]
+fn upkeep_restores_replication_level_after_stationary_failures() {
+    let mut sys = system(5, BristleConfig::recommended());
+    let victims: Vec<Key> = sys.stationary_keys().iter().copied().step_by(5).take(6).collect();
+    for v in victims {
+        sys.fail_node(v).expect("fail");
+    }
+    sys.run_upkeep().expect("upkeep");
+    // Early binding republished everything: every mobile node's record
+    // exists at its full current replica set.
+    for m in sys.mobile_keys().to_vec() {
+        let set = sys.stationary.replica_set(m, sys.config().location_replicas).expect("set");
+        for r in set {
+            assert!(
+                sys.stationary.node(r).expect("node").store.contains_key(&m),
+                "replica {r} missing record of {m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expired_leases_do_not_crash_only_cost() {
+    let mut sys = system(6, BristleConfig { lease_ttl: 1, ..BristleConfig::recommended() });
+    let watcher = sys.stationary_keys()[0];
+    // With 1-tick leases everything re-discovers constantly.
+    let mut discoveries = 0;
+    for (i, m) in sys.mobile_keys().to_vec().into_iter().enumerate().take(10) {
+        sys.tick(2);
+        let rep = sys.route_mobile(watcher, m).expect("route");
+        assert_eq!(rep.terminus, m, "delivery unaffected (lookup {i})");
+        discoveries += rep.discoveries;
+    }
+    assert!(discoveries > 0, "short leases must show up as discovery traffic");
+}
+
+#[test]
+fn overlay_survives_forty_percent_abrupt_failure() {
+    let mut sys = system(7, BristleConfig::recommended());
+    let all: Vec<Key> = sys.mobile.keys().collect();
+    let victims: Vec<Key> = all.iter().copied().filter(|k| k.0 % 5 < 2).collect();
+    for v in &victims {
+        if sys.stationary_keys().len() > 8 || sys.is_mobile(*v) {
+            let _ = sys.fail_node(*v);
+        }
+    }
+    sys.run_upkeep().expect("upkeep");
+    assert!(sys.mobile.health().is_healthy());
+    assert!(sys.stationary.health().is_healthy());
+    // Survivors still route to each other.
+    let survivors: Vec<Key> = sys.mobile.keys().collect();
+    let mut meter = Meter::new();
+    let dcache = sys.distances_arc();
+    for i in (0..survivors.len()).step_by(5) {
+        let src = survivors[i];
+        let dst = survivors[(i * 3 + 1) % survivors.len()];
+        let route = sys.mobile.route(src, dst, &sys.attachments, &dcache, &mut meter).expect("route");
+        assert_eq!(route.terminus(), sys.mobile.owner(dst).expect("owner"));
+    }
+}
+
+#[test]
+fn type_b_agent_flap_recovers() {
+    use bristle::sim::baseline_type_b::TypeBSystem;
+    let mut sys = TypeBSystem::build(8, 40, 15, &TransitStubConfig::tiny());
+    let m = sys.mobile_keys()[0];
+    let src = sys.stationary_keys()[0];
+    sys.move_node(m).expect("move");
+    for _ in 0..3 {
+        sys.set_agent_alive(m, false);
+        let down = sys.route(src, m).expect("route");
+        if sys.dht.owner(m).expect("owner") == m {
+            assert!(!down.delivered);
+        }
+        sys.set_agent_alive(m, true);
+        let up = sys.route(src, m).expect("route");
+        assert!(up.delivered, "recovery after agent restart");
+    }
+}
+
+#[test]
+fn binding_mode_late_survives_total_lease_loss() {
+    let cfg = BristleConfig { binding: BindingMode::Late, lease_ttl: 0, ..BristleConfig::recommended() };
+    let mut sys = system(9, cfg);
+    for m in sys.mobile_keys().to_vec() {
+        sys.move_node(m, None).expect("move");
+    }
+    let watcher = sys.stationary_keys()[0];
+    for m in sys.mobile_keys().to_vec().into_iter().take(8) {
+        let rep = sys.route_mobile(watcher, m).expect("route");
+        assert_eq!(rep.terminus, m);
+        assert!(rep.discoveries > 0, "zero-TTL leases mean discovery every time");
+    }
+}

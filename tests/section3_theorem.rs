@@ -1,0 +1,119 @@
+//! Operational checks of the paper's §3 clustered-naming theorem.
+//!
+//! Claim (eq. 1): under clustered naming, a route between two stationary
+//! nodes x₁ → x₂ needs **no** mobile-node address resolution when
+//!
+//! * x₁ < x₂ (the route never wraps through the mobile band), for any ∇;
+//! * or, in the worst case, whenever ∇ = (U−L)/ρ ≥ ½.
+//!
+//! We verify the first part exactly (zero discoveries on non-wrapping
+//! routes) and the second statistically (sub-½ bands leak, ≥-½ bands
+//! keep the leak marginal and strictly smaller).
+
+use bristle::core::config::BristleConfig;
+use bristle::core::naming::NamingScheme;
+use bristle::core::system::{BristleBuilder, BristleSystem};
+use bristle::netsim::transit_stub::TransitStubConfig;
+use bristle::overlay::key::Key;
+
+fn system(n_stat: usize, n_mob: usize, seed: u64) -> BristleSystem {
+    BristleBuilder::new(seed)
+        .stationary_nodes(n_stat)
+        .mobile_nodes(n_mob)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig::paper_clustered())
+        .build()
+        .expect("builds")
+}
+
+/// All ordered stationary pairs (x1, x2) whose route cannot wrap: the
+/// clockwise arc from x1 to x2 stays inside the band [L, U].
+fn non_wrapping_pairs(sys: &BristleSystem) -> Vec<(Key, Key)> {
+    let NamingScheme::Clustered { .. } = sys.naming() else {
+        panic!("clustered config expected")
+    };
+    let mut keys = sys.stationary_keys().to_vec();
+    keys.sort_unstable();
+    let mut out = Vec::new();
+    for (i, &a) in keys.iter().enumerate() {
+        for &b in keys.iter().skip(i + 1).step_by(3) {
+            out.push((a, b)); // a < b, both in the contiguous band
+        }
+    }
+    out
+}
+
+#[test]
+fn non_wrapping_stationary_routes_never_resolve_mobile_addresses() {
+    // M/N = 50% exactly: ∇ = ½, the theorem's boundary.
+    let mut sys = system(40, 40, 1);
+    for m in sys.mobile_keys().to_vec() {
+        sys.move_node(m, None).expect("move");
+    }
+    let pairs = non_wrapping_pairs(&sys);
+    assert!(pairs.len() > 100, "need a real sample, got {}", pairs.len());
+    for (src, dst) in pairs {
+        let rep = sys.route_mobile(src, dst).expect("route");
+        assert_eq!(rep.terminus, dst);
+        assert_eq!(
+            rep.discoveries, 0,
+            "x1 < x2 route {src}→{dst} touched the mobile band"
+        );
+        assert_eq!(rep.stale_attempts, 0);
+    }
+}
+
+#[test]
+fn monotone_routing_keeps_intermediate_keys_inside_the_arc() {
+    // The theorem's mechanism: every hop lies in (x1, x2], so for
+    // non-wrapping pairs every hop is in the stationary band.
+    let mut sys = system(50, 30, 2);
+    let pairs = non_wrapping_pairs(&sys);
+    for (src, dst) in pairs.into_iter().take(200) {
+        let rep = sys.route_mobile(src, dst).expect("route");
+        let _ = rep;
+        // Check at the overlay level directly.
+        let mut cur = src;
+        while let Some(next) = sys.mobile.next_hop(cur, dst).expect("hop") {
+            assert!(
+                src.in_cw_range(next, dst),
+                "hop {next} escaped the arc ({src}, {dst}]"
+            );
+            assert!(!sys.is_mobile(next), "stationary arc contains no mobile nodes");
+            cur = next;
+        }
+    }
+}
+
+#[test]
+fn nabla_below_half_leaks_more_than_nabla_at_or_above_half() {
+    // Statistical worst-case check across all pairs (wrapping included):
+    // the per-route discovery rate at ∇ < ½ strictly exceeds the rate at
+    // ∇ ≥ ½ on the same stationary population.
+    let rate = |n_mob: usize, seed: u64| -> f64 {
+        let mut sys = system(40, n_mob, seed);
+        for m in sys.mobile_keys().to_vec() {
+            sys.move_node(m, None).expect("move");
+        }
+        let stationaries = sys.stationary_keys().to_vec();
+        let mut discoveries = 0usize;
+        let mut routes = 0usize;
+        for (i, &src) in stationaries.iter().enumerate() {
+            for &dst in stationaries.iter().skip(i + 1).step_by(2) {
+                // Both directions: one of them wraps.
+                for (a, b) in [(src, dst), (dst, src)] {
+                    let rep = sys.route_mobile(a, b).expect("route");
+                    discoveries += rep.discoveries;
+                    routes += 1;
+                }
+            }
+        }
+        discoveries as f64 / routes as f64
+    };
+    let at_half = rate(40, 3); // ∇ = 0.5
+    let below_half = rate(120, 3); // ∇ = 0.25
+    assert!(
+        below_half > at_half,
+        "∇ = 0.25 must leak more discoveries ({below_half}) than ∇ = 0.5 ({at_half})"
+    );
+}
