@@ -11,12 +11,16 @@
 //!    injected abrupt failures, which may lose un-replicated records);
 //! 4. routing from any live node terminates at the owner;
 //! 5. the registry never references the *target* of a dropped node.
-
-use proptest::prelude::*;
+//!
+//! The always-on tests drive random op sequences with seeded [`Pcg64`]
+//! sampling (offline-safe). The original `proptest` versions live in the
+//! gated module at the bottom; enabling the `proptest` feature requires
+//! restoring the proptest dev-dependency.
 
 use bristle_core::config::BristleConfig;
 use bristle_core::naming::Mobility;
 use bristle_core::system::{BristleBuilder, BristleSystem};
+use bristle_netsim::rng::Pcg64;
 use bristle_netsim::transit_stub::TransitStubConfig;
 
 /// The operations the model exercises.
@@ -32,17 +36,17 @@ enum Op {
     Upkeep,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<usize>()).prop_map(Op::MoveMobile),
-        Just(Op::JoinMobile),
-        Just(Op::JoinStationary),
-        (any::<usize>()).prop_map(Op::LeaveMobile),
-        (any::<usize>()).prop_map(Op::LeaveStationary),
-        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Route(a, b)),
-        (1u64..500).prop_map(Op::Tick),
-        Just(Op::Upkeep),
-    ]
+fn random_op(rng: &mut Pcg64) -> Op {
+    match rng.index(8) {
+        0 => Op::MoveMobile(rng.next_u64() as usize),
+        1 => Op::JoinMobile,
+        2 => Op::JoinStationary,
+        3 => Op::LeaveMobile(rng.next_u64() as usize),
+        4 => Op::LeaveStationary(rng.next_u64() as usize),
+        5 => Op::Route(rng.next_u64() as usize, rng.next_u64() as usize),
+        6 => Op::Tick(rng.range_inclusive(1, 499)),
+        _ => Op::Upkeep,
+    }
 }
 
 fn check_invariants(sys: &mut BristleSystem) {
@@ -120,43 +124,43 @@ fn apply(sys: &mut BristleSystem, op: &Op) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn build_system(seed: u64, mobiles: usize) -> BristleSystem {
+    BristleBuilder::new(seed)
+        .stationary_nodes(25)
+        .mobile_nodes(mobiles)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig::recommended())
+        .build()
+        .expect("builds")
+}
 
-    #[test]
-    fn random_op_sequences_preserve_invariants(
-        seed in 0u64..1000,
-        ops in prop::collection::vec(op_strategy(), 1..25),
-    ) {
-        let mut sys = BristleBuilder::new(seed)
-            .stationary_nodes(25)
-            .mobile_nodes(10)
-            .topology(TransitStubConfig::tiny())
-            .config(BristleConfig::recommended())
-            .build()
-            .expect("builds");
+#[test]
+fn random_op_sequences_preserve_invariants_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xD1);
+    for _ in 0..24 {
+        let seed = rng.index(1000) as u64;
+        let n_ops = 1 + rng.index(24);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
+        let mut sys = build_system(seed, 10);
         check_invariants(&mut sys);
         for op in &ops {
             apply(&mut sys, op);
             check_invariants(&mut sys);
         }
     }
+}
 
-    #[test]
-    fn locations_stay_discoverable_under_graceful_ops(
-        seed in 0u64..1000,
-        ops in prop::collection::vec(op_strategy(), 1..20),
-    ) {
-        // No abrupt failures in the op set, so invariant (3) must hold:
-        // every live mobile node's location resolves (early binding keeps
-        // records fresh through upkeep).
-        let mut sys = BristleBuilder::new(seed)
-            .stationary_nodes(25)
-            .mobile_nodes(8)
-            .topology(TransitStubConfig::tiny())
-            .config(BristleConfig::recommended())
-            .build()
-            .expect("builds");
+#[test]
+fn locations_stay_discoverable_under_graceful_ops_seeded() {
+    // No abrupt failures in the op set, so invariant (3) must hold:
+    // every live mobile node's location resolves (early binding keeps
+    // records fresh through upkeep).
+    let mut rng = Pcg64::seed_from_u64(0xD2);
+    for _ in 0..24 {
+        let seed = rng.index(1000) as u64;
+        let n_ops = 1 + rng.index(19);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
+        let mut sys = build_system(seed, 8);
         for op in &ops {
             apply(&mut sys, op);
         }
@@ -165,7 +169,61 @@ proptest! {
         let watcher = sys.stationary_keys()[0];
         for m in sys.mobile_keys().to_vec() {
             let disc = sys.discover(watcher, m).expect("discover");
-            prop_assert!(disc.resolved.is_some(), "lost location of {m}");
+            assert!(disc.resolved.is_some(), "lost location of {m}");
+        }
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod proptest_based {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<usize>()).prop_map(Op::MoveMobile),
+            Just(Op::JoinMobile),
+            Just(Op::JoinStationary),
+            (any::<usize>()).prop_map(Op::LeaveMobile),
+            (any::<usize>()).prop_map(Op::LeaveStationary),
+            (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Route(a, b)),
+            (1u64..500).prop_map(Op::Tick),
+            Just(Op::Upkeep),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn random_op_sequences_preserve_invariants(
+            seed in 0u64..1000,
+            ops in prop::collection::vec(op_strategy(), 1..25),
+        ) {
+            let mut sys = build_system(seed, 10);
+            check_invariants(&mut sys);
+            for op in &ops {
+                apply(&mut sys, op);
+                check_invariants(&mut sys);
+            }
+        }
+
+        #[test]
+        fn locations_stay_discoverable_under_graceful_ops(
+            seed in 0u64..1000,
+            ops in prop::collection::vec(op_strategy(), 1..20),
+        ) {
+            let mut sys = build_system(seed, 8);
+            for op in &ops {
+                apply(&mut sys, op);
+            }
+            // Keep the repository fresh if time has passed.
+            sys.run_upkeep().expect("upkeep");
+            let watcher = sys.stationary_keys()[0];
+            for m in sys.mobile_keys().to_vec() {
+                let disc = sys.discover(watcher, m).expect("discover");
+                prop_assert!(disc.resolved.is_some(), "lost location of {m}");
+            }
         }
     }
 }

@@ -8,9 +8,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock};
 
 use crate::graph::{Graph, RouterId};
 
@@ -130,7 +128,7 @@ impl DistanceCache {
 
     /// Number of source rows currently cached.
     pub fn len(&self) -> usize {
-        self.slots.read().entries.len()
+        self.slots.read().expect("cache lock poisoned").entries.len()
     }
 
     /// Whether the cache is empty.
@@ -141,14 +139,14 @@ impl DistanceCache {
     /// Returns the distance row for `src`, computing it on first use.
     pub fn row(&self, src: RouterId) -> Arc<Vec<Dist>> {
         {
-            let slots = self.slots.read();
+            let slots = self.slots.read().expect("cache lock poisoned");
             let slot = slots.index[src.index()];
             if slot != u32::MAX {
                 return Arc::clone(&slots.entries[slot as usize].1);
             }
         }
         let row = Arc::new(single_source(&self.graph, src));
-        let mut slots = self.slots.write();
+        let mut slots = self.slots.write().expect("cache lock poisoned");
         // Another thread may have inserted while we computed.
         let slot = slots.index[src.index()];
         if slot != u32::MAX {

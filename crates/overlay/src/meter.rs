@@ -26,9 +26,15 @@ pub enum MessageKind {
     Refresh,
     /// Data replication between replicas.
     Replicate,
+    /// A `_discovery` re-issued after the previous attempt timed out
+    /// (message-passing mode only; the function-call path never retries).
+    DiscoveryRetry,
+    /// A protocol timer expiring without the awaited acknowledgement
+    /// (counts timeouts, not messages; cost is always zero).
+    Timeout,
 }
 
-const KIND_COUNT: usize = 9;
+const KIND_COUNT: usize = 11;
 
 fn kind_index(k: MessageKind) -> usize {
     match k {
@@ -41,6 +47,8 @@ fn kind_index(k: MessageKind) -> usize {
         MessageKind::Leave => 6,
         MessageKind::Refresh => 7,
         MessageKind::Replicate => 8,
+        MessageKind::DiscoveryRetry => 9,
+        MessageKind::Timeout => 10,
     }
 }
 
@@ -55,6 +63,8 @@ pub const ALL_KINDS: [MessageKind; KIND_COUNT] = [
     MessageKind::Leave,
     MessageKind::Refresh,
     MessageKind::Replicate,
+    MessageKind::DiscoveryRetry,
+    MessageKind::Timeout,
 ];
 
 /// Tallies message counts and physical path cost by message kind.

@@ -1,6 +1,10 @@
-//! Property-based tests of the ring DHT over arbitrary populations.
+//! Property-style tests of the ring DHT over arbitrary populations.
+//!
+//! The always-on tests drive each invariant with seeded [`Pcg64`]
+//! sampling (offline-safe). The original `proptest` versions live in the
+//! gated module at the bottom; enabling the `proptest` feature requires
+//! restoring the proptest dev-dependency.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use bristle_netsim::attach::AttachmentMap;
@@ -34,89 +38,210 @@ fn overlay_of(keys: &[u64], bits: u32) -> (RingDht<u32>, AttachmentMap, Distance
     (dht, attachments, dcache)
 }
 
-fn key_set() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(any::<u64>(), 1..80)
+fn random_keys(rng: &mut Pcg64) -> Vec<u64> {
+    let n = 1 + rng.index(79);
+    (0..n).map(|_| rng.next_u64()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn owner_is_clockwise_closest(keys in key_set(), probe: u64) {
+#[test]
+fn owner_is_clockwise_closest_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xB1);
+    for _ in 0..48 {
+        let keys = random_keys(&mut rng);
+        let probe = rng.next_u64();
         let (dht, _, _) = overlay_of(&keys, 2);
         let owner = dht.owner(Key(probe)).unwrap();
         // No other node lies strictly between the probe and its owner.
         let gap = Key(probe).clockwise_to(owner);
         for k in dht.keys() {
             if k != owner {
-                prop_assert!(Key(probe).clockwise_to(k) > gap, "{k} closer than owner {owner}");
+                assert!(Key(probe).clockwise_to(k) > gap, "{k} closer than owner {owner}");
             }
         }
     }
+}
 
-    #[test]
-    fn routes_terminate_at_owner(keys in key_set(), probe: u64, src_idx: usize, bits in 1u32..=4) {
+#[test]
+fn routes_terminate_at_owner_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xB2);
+    for _ in 0..48 {
+        let keys = random_keys(&mut rng);
+        let probe = rng.next_u64();
+        let bits = rng.range_inclusive(1, 4) as u32;
         let (dht, attachments, dcache) = overlay_of(&keys, bits);
         let all: Vec<Key> = dht.keys().collect();
-        let src = all[src_idx % all.len()];
+        let src = all[rng.index(all.len())];
         let mut meter = Meter::new();
         let route = dht.route(src, Key(probe), &attachments, &dcache, &mut meter).unwrap();
-        prop_assert_eq!(route.terminus(), dht.owner(Key(probe)).unwrap());
+        assert_eq!(route.terminus(), dht.owner(Key(probe)).unwrap());
         // Route length bounded by population (monotone ⇒ no revisits).
-        prop_assert!(route.hop_count() <= all.len());
+        assert!(route.hop_count() <= all.len());
         // No node visited twice.
         let mut seen = std::collections::HashSet::new();
         seen.insert(src);
         for h in &route.hops {
-            prop_assert!(seen.insert(*h), "revisit of {h}");
+            assert!(seen.insert(*h), "revisit of {h}");
         }
     }
+}
 
-    #[test]
-    fn replica_sets_are_prefix_closed(keys in key_set(), probe: u64, k1 in 1usize..5, k2 in 1usize..5) {
+#[test]
+fn replica_sets_are_prefix_closed_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xB3);
+    for _ in 0..48 {
+        let keys = random_keys(&mut rng);
+        let probe = rng.next_u64();
+        let k1 = 1 + rng.index(4);
+        let k2 = 1 + rng.index(4);
         let (dht, _, _) = overlay_of(&keys, 2);
         let (small, large) = (k1.min(k2), k1.max(k2));
         let a = dht.replica_set(Key(probe), small).unwrap();
         let b = dht.replica_set(Key(probe), large).unwrap();
-        prop_assert_eq!(&b[..a.len()], &a[..], "smaller set is a prefix of the larger");
+        assert_eq!(&b[..a.len()], &a[..], "smaller set is a prefix of the larger");
         let mut dedup = b.clone();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), b.len(), "replica set has no duplicates");
+        assert_eq!(dedup.len(), b.len(), "replica set has no duplicates");
     }
+}
 
-    #[test]
-    fn leaf_sets_contain_true_neighbors(keys in key_set()) {
+#[test]
+fn leaf_sets_contain_true_neighbors_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xB4);
+    for _ in 0..48 {
+        let keys = random_keys(&mut rng);
         let (dht, _, _) = overlay_of(&keys, 2);
         if dht.len() < 2 {
-            return Ok(());
+            continue;
         }
         for node in dht.iter() {
             let succ = dht.successor_of(node.key.offset(1)).unwrap();
             let pred = dht.predecessor_of(node.key).unwrap();
-            prop_assert!(node.leaf_keys.contains(&succ), "{} missing successor", node.key);
-            prop_assert!(node.leaf_keys.contains(&pred), "{} missing predecessor", node.key);
+            assert!(node.leaf_keys.contains(&succ), "{} missing successor", node.key);
+            assert!(node.leaf_keys.contains(&pred), "{} missing predecessor", node.key);
         }
     }
+}
 
-    #[test]
-    fn reverse_index_total_matches_forward(keys in key_set()) {
+#[test]
+fn reverse_index_total_matches_forward_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xB5);
+    for _ in 0..48 {
+        let keys = random_keys(&mut rng);
         let (dht, _, _) = overlay_of(&keys, 2);
         let rev = dht.reverse_index();
         let total: usize = rev.values().map(Vec::len).sum();
-        prop_assert_eq!(total, dht.total_state());
+        assert_eq!(total, dht.total_state());
     }
+}
 
-    #[test]
-    fn redundant_route_dominates_single_path(keys in key_set(), probe: u64, src_idx: usize) {
+#[test]
+fn redundant_route_dominates_single_path_seeded() {
+    let mut rng = Pcg64::seed_from_u64(0xB6);
+    for _ in 0..48 {
+        let keys = random_keys(&mut rng);
+        let probe = rng.next_u64();
         let (dht, _, _) = overlay_of(&keys, 2);
         let all: Vec<Key> = dht.keys().collect();
-        let src = all[src_idx % all.len()];
+        let src = all[rng.index(all.len())];
         let mut meter = Meter::new();
         let narrow = dht.route_redundant(src, Key(probe), 1, |_| true, &mut meter).unwrap();
         let wide = dht.route_redundant(src, Key(probe), 3, |_| true, &mut meter).unwrap();
-        prop_assert!(narrow.delivered, "healthy overlay always delivers");
-        prop_assert!(wide.delivered);
+        assert!(narrow.delivered, "healthy overlay always delivers");
+        assert!(wide.delivered);
         // Wider never takes more hops to first success.
-        prop_assert!(wide.winning_hops.unwrap() <= narrow.winning_hops.unwrap());
+        assert!(wide.winning_hops.unwrap() <= narrow.winning_hops.unwrap());
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod proptest_based {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key_set() -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec(any::<u64>(), 1..80)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn owner_is_clockwise_closest(keys in key_set(), probe: u64) {
+            let (dht, _, _) = overlay_of(&keys, 2);
+            let owner = dht.owner(Key(probe)).unwrap();
+            // No other node lies strictly between the probe and its owner.
+            let gap = Key(probe).clockwise_to(owner);
+            for k in dht.keys() {
+                if k != owner {
+                    prop_assert!(Key(probe).clockwise_to(k) > gap, "{} closer than owner {}", k, owner);
+                }
+            }
+        }
+
+        #[test]
+        fn routes_terminate_at_owner(keys in key_set(), probe: u64, src_idx: usize, bits in 1u32..=4) {
+            let (dht, attachments, dcache) = overlay_of(&keys, bits);
+            let all: Vec<Key> = dht.keys().collect();
+            let src = all[src_idx % all.len()];
+            let mut meter = Meter::new();
+            let route = dht.route(src, Key(probe), &attachments, &dcache, &mut meter).unwrap();
+            prop_assert_eq!(route.terminus(), dht.owner(Key(probe)).unwrap());
+            // Route length bounded by population (monotone ⇒ no revisits).
+            prop_assert!(route.hop_count() <= all.len());
+            // No node visited twice.
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(src);
+            for h in &route.hops {
+                prop_assert!(seen.insert(*h), "revisit of {}", h);
+            }
+        }
+
+        #[test]
+        fn replica_sets_are_prefix_closed(keys in key_set(), probe: u64, k1 in 1usize..5, k2 in 1usize..5) {
+            let (dht, _, _) = overlay_of(&keys, 2);
+            let (small, large) = (k1.min(k2), k1.max(k2));
+            let a = dht.replica_set(Key(probe), small).unwrap();
+            let b = dht.replica_set(Key(probe), large).unwrap();
+            prop_assert_eq!(&b[..a.len()], &a[..], "smaller set is a prefix of the larger");
+            let mut dedup = b.clone();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), b.len(), "replica set has no duplicates");
+        }
+
+        #[test]
+        fn leaf_sets_contain_true_neighbors(keys in key_set()) {
+            let (dht, _, _) = overlay_of(&keys, 2);
+            if dht.len() < 2 {
+                return Ok(());
+            }
+            for node in dht.iter() {
+                let succ = dht.successor_of(node.key.offset(1)).unwrap();
+                let pred = dht.predecessor_of(node.key).unwrap();
+                prop_assert!(node.leaf_keys.contains(&succ), "{} missing successor", node.key);
+                prop_assert!(node.leaf_keys.contains(&pred), "{} missing predecessor", node.key);
+            }
+        }
+
+        #[test]
+        fn reverse_index_total_matches_forward(keys in key_set()) {
+            let (dht, _, _) = overlay_of(&keys, 2);
+            let rev = dht.reverse_index();
+            let total: usize = rev.values().map(Vec::len).sum();
+            prop_assert_eq!(total, dht.total_state());
+        }
+
+        #[test]
+        fn redundant_route_dominates_single_path(keys in key_set(), probe: u64, src_idx: usize) {
+            let (dht, _, _) = overlay_of(&keys, 2);
+            let all: Vec<Key> = dht.keys().collect();
+            let src = all[src_idx % all.len()];
+            let mut meter = Meter::new();
+            let narrow = dht.route_redundant(src, Key(probe), 1, |_| true, &mut meter).unwrap();
+            let wide = dht.route_redundant(src, Key(probe), 3, |_| true, &mut meter).unwrap();
+            prop_assert!(narrow.delivered, "healthy overlay always delivers");
+            prop_assert!(wide.delivered);
+            // Wider never takes more hops to first success.
+            prop_assert!(wide.winning_hops.unwrap() <= narrow.winning_hops.unwrap());
+        }
     }
 }

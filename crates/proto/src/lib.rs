@@ -1,0 +1,18 @@
+//! `bristle-proto` — sans-I/O message-passing protocol core.
+//!
+//! This crate turns the function-call semantics of `bristle-core` into an
+//! explicit wire protocol: typed messages with a binary codec
+//! ([`wire`]), per-node protocol state machines driven by
+//! `poll(now, event)` ([`machine`]), and a transport abstraction with a
+//! deterministic, fault-injecting in-memory implementation
+//! ([`transport`]). Nothing in this crate performs I/O or reads a clock;
+//! all effects are returned as values so the same state machines can be
+//! driven by a simulator today and real sockets later.
+
+pub mod machine;
+pub mod transport;
+pub mod wire;
+
+pub use machine::{Completion, Event, NodeEnv, Outgoing, Output, ProtoMachine, RetryPolicy, Timer, TimerKind};
+pub use transport::{Delivery, FaultConfig, Fate, LinkFilter, SimTransport, TraceRecord, Transport};
+pub use wire::{Envelope, WireAddr, WireError, WireMessage};

@@ -1,0 +1,1447 @@
+//! Sans-I/O per-node protocol state machines.
+//!
+//! A [`ProtoMachine`] holds one node's protocol state and is driven
+//! entirely from outside: `poll(now, event, env)` consumes a delivered
+//! envelope or an expired timer and returns an [`Output`] — messages to
+//! send, timers to arm, operations that completed. The machine never
+//! reads a clock, never touches a socket, and never sleeps; timeouts,
+//! bounded retries and exponential backoff are expressed as data, so the
+//! same machine runs under the deterministic simulator today and could
+//! run on real sockets unchanged.
+//!
+//! Shared-system knowledge (routing tables, addresses, leases, the
+//! meter) is reached through the [`NodeEnv`] trait, which the driver
+//! implements over `BristleSystem`. Metering happens at *send* time so
+//! that with a perfect transport the message tallies match the
+//! function-call path in `bristle-core` exactly; acks and the probe-miss
+//! notice are unmetered control traffic that only exists because a
+//! message, unlike a function call, can fail to return.
+
+use std::collections::{HashMap, HashSet};
+
+use bristle_core::time::SimTime;
+use bristle_netsim::graph::RouterId;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::MessageKind;
+
+use crate::wire::{Envelope, WireAddr, WireMessage};
+
+/// How a node retries unacknowledged sends.
+///
+/// Hop forwards, updates and registrations await an ack for
+/// `ack_timeout` ticks; discoveries are retried end-to-end after
+/// `discovery_timeout`. Both back off exponentially: attempt `k` waits
+/// `timeout << k`. After `max_attempts` sends the operation fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Ticks to wait for a HopAck / UpdateAck / RegisterAck.
+    pub ack_timeout: u64,
+    /// Ticks to wait for a DiscoveryReply before re-issuing.
+    pub discovery_timeout: u64,
+    /// Total send attempts (first try included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Generous relative to simulated link latencies so a loss-free
+        // transport never triggers a spurious (parity-breaking) retry.
+        RetryPolicy { ack_timeout: 20_000, discovery_timeout: 100_000, max_attempts: 4 }
+    }
+}
+
+/// Timer payloads. Stale timers (whose session has already completed)
+/// are ignored on expiry, so timers never need cancelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Retransmit an unacked mobile-layer hop.
+    HopRetry {
+        /// `msg_id` of the awaited HopAck.
+        msg_id: u64,
+    },
+    /// Re-issue an unanswered discovery.
+    DiscoveryRetry {
+        /// The discovery session to retry.
+        session: u64,
+    },
+    /// Retransmit an unacked LDT update edge.
+    UpdateRetry {
+        /// `msg_id` of the awaited UpdateAck.
+        msg_id: u64,
+    },
+    /// Retransmit an unacked registration.
+    RegisterRetry {
+        /// `msg_id` of the awaited RegisterAck.
+        msg_id: u64,
+    },
+}
+
+/// A timer the driver must arm for this machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timer {
+    /// Absolute expiry time.
+    pub at: SimTime,
+    /// What to do when it fires.
+    pub kind: TimerKind,
+}
+
+/// An input to [`ProtoMachine::poll`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A message arrived from the transport.
+    Deliver(Envelope),
+    /// A previously armed timer expired.
+    Timer(TimerKind),
+}
+
+/// One message to hand to the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Where the sender believes the destination is attached.
+    pub to_addr: WireAddr,
+    /// The addressed message.
+    pub env: Envelope,
+}
+
+/// A protocol operation that finished (well or badly) at this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A route reached the node owning its target key (emitted by the
+    /// terminus).
+    Delivered {
+        /// The route's originator.
+        origin: Key,
+        /// Originator-scoped route id.
+        route_id: u64,
+    },
+    /// A hop exhausted its retries with no fallback left.
+    RouteFailed {
+        /// The route's originator.
+        origin: Key,
+        /// Originator-scoped route id.
+        route_id: u64,
+        /// The node at which forwarding gave up.
+        at: Key,
+    },
+    /// A discovery resolved its subject's address.
+    Resolved {
+        /// The subject that was resolved.
+        subject: Key,
+    },
+    /// A discovery gave up (no replica had a record, or every attempt
+    /// timed out).
+    ResolutionFailed {
+        /// The subject that could not be resolved.
+        subject: Key,
+    },
+    /// An LDT update edge was acknowledged.
+    UpdateAcked {
+        /// The tree member that acked.
+        child: Key,
+    },
+    /// An LDT update edge exhausted its retries.
+    UpdateFailed {
+        /// The unreachable tree member.
+        child: Key,
+    },
+    /// A registration was acknowledged (lease granted).
+    Registered {
+        /// The mobile node registered with.
+        target: Key,
+    },
+    /// A registration exhausted its retries.
+    RegisterFailed {
+        /// The unreachable target.
+        target: Key,
+    },
+}
+
+/// Everything a `poll` call asked the outside world to do.
+#[derive(Debug, Default)]
+pub struct Output {
+    /// Messages to hand to the transport, in send order.
+    pub outgoing: Vec<Outgoing>,
+    /// Timers to arm.
+    pub timers: Vec<Timer>,
+    /// Operations that completed during this poll.
+    pub completions: Vec<Completion>,
+}
+
+impl Output {
+    /// An output that does nothing.
+    pub fn none() -> Output {
+        Output::default()
+    }
+}
+
+/// The machine's window onto shared system state.
+///
+/// Every method is a *query* or a *commit* the paper's protocols would
+/// perform against local state plus configuration knowledge (routing
+/// tables, the replica rule, the distance oracle used for metering).
+pub trait NodeEnv {
+    /// Mobile-layer next hop from `cur` toward `target` (`None` = owner).
+    fn next_hop_mobile(&self, cur: Key, target: Key) -> Option<Key>;
+    /// Stationary-layer next hop from `cur` toward `target`.
+    fn next_hop_stationary(&self, cur: Key, target: Key) -> Option<Key>;
+    /// Whether `key` names a mobile node.
+    fn is_mobile(&self, key: Key) -> bool;
+    /// The stationary entry point `from` injects discoveries through.
+    fn entry_stationary(&self, from: Key) -> Key;
+    /// Location replica set for `subject`, owner first.
+    fn replicas(&self, subject: Key) -> Vec<Key>;
+    /// `key`'s true current address (stationary nodes never move; for
+    /// mobile nodes this models out-of-band convergence after a failed
+    /// resolution, mirroring the function-call path).
+    fn current_addr(&self, key: Key) -> WireAddr;
+    /// Whether `addr` still reaches its host.
+    fn addr_current(&self, addr: WireAddr) -> bool;
+    /// `holder`'s cached **and lease-fresh** address for `subject`.
+    fn believed_addr(&self, holder: Key, subject: Key) -> Option<WireAddr>;
+    /// The location record `holder` (stationary) stores for `subject`.
+    fn location_record(&self, holder: Key, subject: Key) -> Option<WireAddr>;
+    /// Shortest-path distance between two routers (the metered cost).
+    fn distance(&self, a: RouterId, b: RouterId) -> u64;
+    /// Records one sent message of `kind` with physical cost `cost`.
+    fn meter(&mut self, kind: MessageKind, cost: u64);
+    /// Counts one event of `kind` with no cost (timeouts, retries).
+    fn bump(&mut self, kind: MessageKind);
+    /// Commits a successful resolution at the asker: grant the lease and
+    /// patch the cached state-pair.
+    fn commit_resolution(&mut self, asker: Key, subject: Key, addr: WireAddr);
+    /// Applies a received LDT update at `receiver`: grant the lease on
+    /// `subject` and patch the cached state-pair.
+    fn apply_update(&mut self, receiver: Key, subject: Key, addr: WireAddr, seq: u64);
+    /// Applies a received registration at `target`.
+    fn apply_register(&mut self, target: Key, who: Key, capacity: u32);
+    /// Commits an acknowledged registration at the registrant (the lease
+    /// the function-call path grants synchronously).
+    fn commit_register(&mut self, who: Key, target: Key);
+    /// Applies a received location publication at `holder`.
+    fn apply_publish(&mut self, holder: Key, subject: Key, addr: WireAddr, seq: u64) {
+        let _ = (holder, subject, addr, seq);
+    }
+}
+
+/// A parked forward waiting on an address resolution.
+#[derive(Debug, Clone, Copy)]
+struct ParkedForward {
+    origin: Key,
+    route_id: u64,
+    target: Key,
+    /// Whether this forward already failed once and was re-resolved;
+    /// a second failure is final.
+    after_failure: bool,
+}
+
+#[derive(Debug)]
+struct HopSession {
+    out: Outgoing,
+    attempt: u32,
+    next: Key,
+    origin: Key,
+    route_id: u64,
+    target: Key,
+    after_failure: bool,
+}
+
+#[derive(Debug)]
+struct DiscSession {
+    subject: Key,
+    attempt: u32,
+    pending: Vec<ParkedForward>,
+}
+
+#[derive(Debug)]
+struct AckSession {
+    out: Outgoing,
+    attempt: u32,
+    peer: Key,
+}
+
+/// One node's protocol state machine.
+#[derive(Debug)]
+pub struct ProtoMachine {
+    key: Key,
+    policy: RetryPolicy,
+    next_msg_id: u64,
+    next_session: u64,
+    /// Receiver-side dedup: (src, msg_id) pairs already processed.
+    seen: HashSet<(Key, u64)>,
+    hops: HashMap<u64, HopSession>,
+    discs: HashMap<u64, DiscSession>,
+    updates: HashMap<u64, AckSession>,
+    registers: HashMap<u64, AckSession>,
+}
+
+impl ProtoMachine {
+    /// A fresh machine for the node named `key`.
+    pub fn new(key: Key, policy: RetryPolicy) -> Self {
+        ProtoMachine {
+            key,
+            policy,
+            next_msg_id: 0,
+            next_session: 0,
+            seen: HashSet::new(),
+            hops: HashMap::new(),
+            discs: HashMap::new(),
+            updates: HashMap::new(),
+            registers: HashMap::new(),
+        }
+    }
+
+    /// The node this machine speaks for.
+    pub fn key(&self) -> Key {
+        self.key
+    }
+
+    /// Number of in-flight sessions awaiting acks or replies.
+    pub fn inflight(&self) -> usize {
+        self.hops.len() + self.discs.len() + self.updates.len() + self.registers.len()
+    }
+
+    fn fresh_msg_id(&mut self) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        id
+    }
+
+    fn my_router(&self, env: &dyn NodeEnv) -> RouterId {
+        env.current_addr(self.key).router_id()
+    }
+
+    // -----------------------------------------------------------------
+    // Operation entry points
+    // -----------------------------------------------------------------
+
+    /// Starts routing a message from this node toward `target`.
+    /// Returns the route id (for matching the eventual completion) and
+    /// the first batch of effects.
+    pub fn start_route(&mut self, now: SimTime, env: &mut dyn NodeEnv, target: Key) -> (u64, Output) {
+        let route_id = self.fresh_msg_id();
+        let mut out = Output::none();
+        let parked =
+            ParkedForward { origin: self.key, route_id, target, after_failure: false };
+        self.forward_route(now, env, parked, &mut out);
+        (route_id, out)
+    }
+
+    /// Disseminates `subject`'s fresh address to this node's LDT
+    /// children: one reliable Update per edge.
+    pub fn start_update(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        subject: Key,
+        addr: WireAddr,
+        seq: u64,
+        children: &[Key],
+    ) -> Output {
+        let mut out = Output::none();
+        for &child in children {
+            let msg_id = self.fresh_msg_id();
+            let to_addr = env.current_addr(child);
+            let cost = env.distance(self.my_router(env), to_addr.router_id());
+            env.meter(MessageKind::Update, cost);
+            let outgoing = Outgoing {
+                to_addr,
+                env: Envelope {
+                    src: self.key,
+                    dst: child,
+                    msg_id,
+                    msg: WireMessage::Update { subject, addr, seq },
+                },
+            };
+            out.outgoing.push(outgoing.clone());
+            self.updates.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: child });
+            out.timers.push(Timer {
+                at: now.plus(self.policy.ack_timeout),
+                kind: TimerKind::UpdateRetry { msg_id },
+            });
+        }
+        out
+    }
+
+    /// Registers this node's interest in mobile node `target`.
+    pub fn start_register(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        target: Key,
+        capacity: u32,
+    ) -> Output {
+        let mut out = Output::none();
+        let msg_id = self.fresh_msg_id();
+        let to_addr = env.current_addr(target);
+        let cost = env.distance(self.my_router(env), to_addr.router_id());
+        env.meter(MessageKind::Register, cost);
+        let outgoing = Outgoing {
+            to_addr,
+            env: Envelope {
+                src: self.key,
+                dst: target,
+                msg_id,
+                msg: WireMessage::Register { target, capacity },
+            },
+        };
+        out.outgoing.push(outgoing.clone());
+        self.registers.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: target });
+        out.timers
+            .push(Timer { at: now.plus(self.policy.ack_timeout), kind: TimerKind::RegisterRetry { msg_id } });
+        out
+    }
+
+    /// Sends a one-shot (unacknowledged) message — Publish, JoinProbe,
+    /// Leave, Refresh — metered as `kind`.
+    pub fn send_oneshot(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        to: Key,
+        msg: WireMessage,
+        kind: MessageKind,
+    ) -> Output {
+        let mut out = Output::none();
+        let msg_id = self.fresh_msg_id();
+        let to_addr = env.current_addr(to);
+        let cost = env.distance(self.my_router(env), to_addr.router_id());
+        env.meter(kind, cost);
+        out.outgoing
+            .push(Outgoing { to_addr, env: Envelope { src: self.key, dst: to, msg_id, msg } });
+        out
+    }
+
+    /// Feeds one event (delivery or timer) through the machine.
+    pub fn poll(&mut self, now: SimTime, event: Event, env: &mut dyn NodeEnv) -> Output {
+        match event {
+            Event::Deliver(envelope) => self.on_deliver(now, env, envelope),
+            Event::Timer(kind) => self.on_timer(now, env, kind),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Mobile-layer forwarding (paper Fig. 2)
+    // -----------------------------------------------------------------
+
+    fn forward_route(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        parked: ParkedForward,
+        out: &mut Output,
+    ) {
+        let ParkedForward { origin, route_id, target, .. } = parked;
+        let Some(next) = env.next_hop_mobile(self.key, target) else {
+            out.completions.push(Completion::Delivered { origin, route_id });
+            return;
+        };
+        if env.is_mobile(next) {
+            let believed = env.believed_addr(self.key, next);
+            match believed {
+                Some(addr) if env.addr_current(addr) => {
+                    self.send_hop(now, env, next, addr, parked, out);
+                }
+                other => {
+                    if let Some(stale) = other {
+                        // Confidently wrong: one wasted delivery attempt to
+                        // the old attachment point. The attempt is metered
+                        // but not emitted — the moved host can no longer
+                        // receive at that address, so the bytes black-hole
+                        // either way, and keeping it implicit preserves
+                        // exact meter parity with the function-call path.
+                        let cost = env.distance(self.my_router(env), stale.router_id());
+                        env.meter(MessageKind::RouteHop, cost);
+                    }
+                    self.start_discovery(now, env, next, parked, out);
+                }
+            }
+        } else {
+            let addr = env.current_addr(next);
+            self.send_hop(now, env, next, addr, parked, out);
+        }
+    }
+
+    fn send_hop(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        next: Key,
+        to_addr: WireAddr,
+        parked: ParkedForward,
+        out: &mut Output,
+    ) {
+        let msg_id = self.fresh_msg_id();
+        let cost = env.distance(self.my_router(env), to_addr.router_id());
+        env.meter(MessageKind::RouteHop, cost);
+        let outgoing = Outgoing {
+            to_addr,
+            env: Envelope {
+                src: self.key,
+                dst: next,
+                msg_id,
+                msg: WireMessage::RouteHop {
+                    origin: parked.origin,
+                    route_id: parked.route_id,
+                    target: parked.target,
+                },
+            },
+        };
+        out.outgoing.push(outgoing.clone());
+        self.hops.insert(
+            msg_id,
+            HopSession {
+                out: outgoing,
+                attempt: 0,
+                next,
+                origin: parked.origin,
+                route_id: parked.route_id,
+                target: parked.target,
+                after_failure: parked.after_failure,
+            },
+        );
+        out.timers
+            .push(Timer { at: now.plus(self.policy.ack_timeout), kind: TimerKind::HopRetry { msg_id } });
+    }
+
+    // -----------------------------------------------------------------
+    // `_discovery` (paper §2.3.2)
+    // -----------------------------------------------------------------
+
+    fn start_discovery(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        subject: Key,
+        parked: ParkedForward,
+        out: &mut Output,
+    ) {
+        // Join an in-flight session for the same subject if one exists.
+        if let Some(session) = self.discs.values_mut().find(|s| s.subject == subject) {
+            session.pending.push(parked);
+            return;
+        }
+        let sid = self.next_session;
+        self.next_session += 1;
+        self.discs.insert(sid, DiscSession { subject, attempt: 0, pending: vec![parked] });
+        self.emit_discovery(now, env, sid, subject, out);
+        out.timers.push(Timer {
+            at: now.plus(self.policy.discovery_timeout),
+            kind: TimerKind::DiscoveryRetry { session: sid },
+        });
+    }
+
+    fn emit_discovery(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        sid: u64,
+        subject: Key,
+        out: &mut Output,
+    ) {
+        let entry = env.entry_stationary(self.key);
+        if entry == self.key {
+            // We are our own entry point: run the first stationary step
+            // locally, exactly as the function path skips the injection
+            // hop when `entry == from`.
+            self.handle_discovery(now, env, subject, self.key, sid, None, out);
+        } else {
+            let to_addr = env.current_addr(entry);
+            let cost = env.distance(self.my_router(env), to_addr.router_id());
+            env.meter(MessageKind::DiscoveryHop, cost);
+            let msg_id = self.fresh_msg_id();
+            out.outgoing.push(Outgoing {
+                to_addr,
+                env: Envelope {
+                    src: self.key,
+                    dst: entry,
+                    msg_id,
+                    msg: WireMessage::Discovery { subject, asker: self.key, session: sid, probe: None },
+                },
+            });
+        }
+    }
+
+    /// One stationary node's handling of a Discovery hop: route toward
+    /// the owner, then walk the replica chain on a miss, then reply.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_discovery(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        subject: Key,
+        asker: Key,
+        sid: u64,
+        probe: Option<Key>,
+        out: &mut Output,
+    ) {
+        let _ = now;
+        match probe {
+            None => {
+                if let Some(nh) = env.next_hop_stationary(self.key, subject) {
+                    let to_addr = env.current_addr(nh);
+                    let cost = env.distance(self.my_router(env), to_addr.router_id());
+                    env.meter(MessageKind::DiscoveryHop, cost);
+                    let msg_id = self.fresh_msg_id();
+                    out.outgoing.push(Outgoing {
+                        to_addr,
+                        env: Envelope {
+                            src: self.key,
+                            dst: nh,
+                            msg_id,
+                            msg: WireMessage::Discovery { subject, asker, session: sid, probe: None },
+                        },
+                    });
+                    return;
+                }
+                // We own the subject's record space: the route terminus.
+                if let Some(addr) = env.location_record(self.key, subject) {
+                    self.send_reply(env, subject, sid, asker, Some(addr), out);
+                    return;
+                }
+                // Miss at the owner: probe successor replicas.
+                let replicas = env.replicas(subject);
+                match replicas.iter().copied().find(|&r| r != self.key) {
+                    Some(next_rep) => {
+                        let to_addr = env.current_addr(next_rep);
+                        let cost = env.distance(self.my_router(env), to_addr.router_id());
+                        env.meter(MessageKind::DiscoveryHop, cost);
+                        let msg_id = self.fresh_msg_id();
+                        out.outgoing.push(Outgoing {
+                            to_addr,
+                            env: Envelope {
+                                src: self.key,
+                                dst: next_rep,
+                                msg_id,
+                                msg: WireMessage::Discovery {
+                                    subject,
+                                    asker,
+                                    session: sid,
+                                    probe: Some(self.key),
+                                },
+                            },
+                        });
+                    }
+                    None => self.send_reply(env, subject, sid, asker, None, out),
+                }
+            }
+            Some(terminus) => {
+                if let Some(addr) = env.location_record(self.key, subject) {
+                    self.send_reply(env, subject, sid, asker, Some(addr), out);
+                    return;
+                }
+                let replicas = env.replicas(subject);
+                let next = replicas
+                    .iter()
+                    .position(|&r| r == self.key)
+                    .and_then(|i| replicas.get(i + 1))
+                    .copied();
+                match next {
+                    Some(r) => {
+                        let to_addr = env.current_addr(r);
+                        let cost = env.distance(self.my_router(env), to_addr.router_id());
+                        env.meter(MessageKind::DiscoveryHop, cost);
+                        let msg_id = self.fresh_msg_id();
+                        out.outgoing.push(Outgoing {
+                            to_addr,
+                            env: Envelope {
+                                src: self.key,
+                                dst: r,
+                                msg_id,
+                                msg: WireMessage::Discovery {
+                                    subject,
+                                    asker,
+                                    session: sid,
+                                    probe: Some(terminus),
+                                },
+                            },
+                        });
+                    }
+                    None => {
+                        // Chain exhausted: tell the terminus, which answers
+                        // the asker itself (unmetered control notice — the
+                        // function path replies from the terminus on a
+                        // total miss).
+                        let to_addr = env.current_addr(terminus);
+                        let msg_id = self.fresh_msg_id();
+                        out.outgoing.push(Outgoing {
+                            to_addr,
+                            env: Envelope {
+                                src: self.key,
+                                dst: terminus,
+                                msg_id,
+                                msg: WireMessage::ProbeMiss { subject, asker, session: sid },
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_reply(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        subject: Key,
+        sid: u64,
+        asker: Key,
+        addr: Option<WireAddr>,
+        out: &mut Output,
+    ) {
+        let to_addr = env.current_addr(asker);
+        let cost = env.distance(self.my_router(env), to_addr.router_id());
+        env.meter(MessageKind::DiscoveryHop, cost);
+        let msg_id = self.fresh_msg_id();
+        out.outgoing.push(Outgoing {
+            to_addr,
+            env: Envelope {
+                src: self.key,
+                dst: asker,
+                msg_id,
+                msg: WireMessage::DiscoveryReply { subject, session: sid, addr },
+            },
+        });
+    }
+
+    fn finish_discovery(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        session: DiscSession,
+        addr: Option<WireAddr>,
+        out: &mut Output,
+    ) {
+        let subject = session.subject;
+        match addr {
+            Some(a) => {
+                env.commit_resolution(self.key, subject, a);
+                out.completions.push(Completion::Resolved { subject });
+            }
+            None => out.completions.push(Completion::ResolutionFailed { subject }),
+        }
+        for parked in session.pending {
+            // On success the resolved address is also the cached one; on
+            // failure forward to the subject's true attachment, modelling
+            // the function path's out-of-band convergence.
+            let to_addr = addr.unwrap_or_else(|| env.current_addr(subject));
+            self.send_hop(now, env, subject, to_addr, parked, out);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Deliveries
+    // -----------------------------------------------------------------
+
+    fn on_deliver(&mut self, now: SimTime, env: &mut dyn NodeEnv, envelope: Envelope) -> Output {
+        let mut out = Output::none();
+        let src = envelope.src;
+        let msg_id = envelope.msg_id;
+        match envelope.msg {
+            WireMessage::RouteHop { origin, route_id, target } => {
+                let dup = !self.seen.insert((src, msg_id));
+                // Always (re-)ack, even duplicates: the original ack may
+                // have been lost. Acks are unmetered control traffic.
+                let ack_to = env.current_addr(src);
+                let ack_id = self.fresh_msg_id();
+                out.outgoing.push(Outgoing {
+                    to_addr: ack_to,
+                    env: Envelope {
+                        src: self.key,
+                        dst: src,
+                        msg_id: ack_id,
+                        msg: WireMessage::HopAck { acked: msg_id },
+                    },
+                });
+                if !dup {
+                    let parked =
+                        ParkedForward { origin, route_id, target, after_failure: false };
+                    self.forward_route(now, env, parked, &mut out);
+                }
+            }
+            WireMessage::HopAck { acked } => {
+                self.hops.remove(&acked);
+            }
+            WireMessage::Discovery { subject, asker, session, probe } => {
+                if self.seen.insert((src, msg_id)) {
+                    self.handle_discovery(now, env, subject, asker, session, probe, &mut out);
+                }
+            }
+            WireMessage::DiscoveryReply { subject: _, session, addr } => {
+                if let Some(s) = self.discs.remove(&session) {
+                    self.finish_discovery(now, env, s, addr, &mut out);
+                }
+            }
+            WireMessage::ProbeMiss { subject, asker, session } => {
+                if self.seen.insert((src, msg_id)) {
+                    self.send_reply(env, subject, session, asker, None, &mut out);
+                }
+            }
+            WireMessage::Register { target, capacity } => {
+                if self.seen.insert((src, msg_id)) {
+                    env.apply_register(target, src, capacity);
+                }
+                let ack_to = env.current_addr(src);
+                let ack_id = self.fresh_msg_id();
+                out.outgoing.push(Outgoing {
+                    to_addr: ack_to,
+                    env: Envelope {
+                        src: self.key,
+                        dst: src,
+                        msg_id: ack_id,
+                        msg: WireMessage::RegisterAck { acked: msg_id },
+                    },
+                });
+            }
+            WireMessage::RegisterAck { acked } => {
+                if let Some(s) = self.registers.remove(&acked) {
+                    env.commit_register(self.key, s.peer);
+                    out.completions.push(Completion::Registered { target: s.peer });
+                }
+            }
+            WireMessage::Update { subject, addr, seq } => {
+                if self.seen.insert((src, msg_id)) {
+                    env.apply_update(self.key, subject, addr, seq);
+                }
+                let ack_to = env.current_addr(src);
+                let ack_id = self.fresh_msg_id();
+                out.outgoing.push(Outgoing {
+                    to_addr: ack_to,
+                    env: Envelope {
+                        src: self.key,
+                        dst: src,
+                        msg_id: ack_id,
+                        msg: WireMessage::UpdateAck { acked: msg_id },
+                    },
+                });
+            }
+            WireMessage::UpdateAck { acked } => {
+                if let Some(s) = self.updates.remove(&acked) {
+                    out.completions.push(Completion::UpdateAcked { child: s.peer });
+                }
+            }
+            WireMessage::Publish { subject, addr, seq } => {
+                if self.seen.insert((src, msg_id)) {
+                    env.apply_publish(self.key, subject, addr, seq);
+                }
+            }
+            WireMessage::JoinProbe { .. } | WireMessage::Leave { .. } | WireMessage::Refresh { .. } => {
+                // Vocabulary completeness: observed, deduplicated, no
+                // protocol reaction yet.
+                self.seen.insert((src, msg_id));
+            }
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Timers
+    // -----------------------------------------------------------------
+
+    fn on_timer(&mut self, now: SimTime, env: &mut dyn NodeEnv, kind: TimerKind) -> Output {
+        let mut out = Output::none();
+        match kind {
+            TimerKind::HopRetry { msg_id } => self.hop_retry(now, env, msg_id, &mut out),
+            TimerKind::DiscoveryRetry { session } => self.discovery_retry(now, env, session, &mut out),
+            TimerKind::UpdateRetry { msg_id } => {
+                Self::ack_retry(
+                    &mut self.updates,
+                    msg_id,
+                    now,
+                    env,
+                    self.policy,
+                    MessageKind::Update,
+                    TimerKind::UpdateRetry { msg_id },
+                    &mut out,
+                    |peer| Completion::UpdateFailed { child: peer },
+                );
+            }
+            TimerKind::RegisterRetry { msg_id } => {
+                Self::ack_retry(
+                    &mut self.registers,
+                    msg_id,
+                    now,
+                    env,
+                    self.policy,
+                    MessageKind::Register,
+                    TimerKind::RegisterRetry { msg_id },
+                    &mut out,
+                    |peer| Completion::RegisterFailed { target: peer },
+                );
+            }
+        }
+        out
+    }
+
+    fn hop_retry(&mut self, now: SimTime, env: &mut dyn NodeEnv, msg_id: u64, out: &mut Output) {
+        let Some(session) = self.hops.get_mut(&msg_id) else { return };
+        session.attempt += 1;
+        if session.attempt < self.policy.max_attempts {
+            env.bump(MessageKind::Timeout);
+            let cost = env.distance(
+                env.current_addr(session.out.env.src).router_id(),
+                session.out.to_addr.router_id(),
+            );
+            env.meter(MessageKind::RouteHop, cost);
+            out.outgoing.push(session.out.clone());
+            let backoff = self.policy.ack_timeout << session.attempt;
+            out.timers.push(Timer { at: now.plus(backoff), kind: TimerKind::HopRetry { msg_id } });
+            return;
+        }
+        // Retries exhausted.
+        let session = self.hops.remove(&msg_id).expect("session present");
+        env.bump(MessageKind::Timeout);
+        if env.is_mobile(session.next) && !session.after_failure {
+            // The peer may have moved out from under us: retry through the
+            // stationary layer (the paper's recovery path), once.
+            env.bump(MessageKind::DiscoveryRetry);
+            let parked = ParkedForward {
+                origin: session.origin,
+                route_id: session.route_id,
+                target: session.target,
+                after_failure: true,
+            };
+            self.start_discovery(now, env, session.next, parked, out);
+        } else {
+            out.completions.push(Completion::RouteFailed {
+                origin: session.origin,
+                route_id: session.route_id,
+                at: self.key,
+            });
+        }
+    }
+
+    fn discovery_retry(&mut self, now: SimTime, env: &mut dyn NodeEnv, sid: u64, out: &mut Output) {
+        let Some(session) = self.discs.get_mut(&sid) else { return };
+        session.attempt += 1;
+        let subject = session.subject;
+        if session.attempt < self.policy.max_attempts {
+            let attempt = session.attempt;
+            env.bump(MessageKind::Timeout);
+            env.bump(MessageKind::DiscoveryRetry);
+            self.emit_discovery(now, env, sid, subject, out);
+            let backoff = self.policy.discovery_timeout << attempt;
+            out.timers.push(Timer { at: now.plus(backoff), kind: TimerKind::DiscoveryRetry { session: sid } });
+            return;
+        }
+        env.bump(MessageKind::Timeout);
+        let session = self.discs.remove(&sid).expect("session present");
+        self.finish_discovery(now, env, session, None, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ack_retry(
+        sessions: &mut HashMap<u64, AckSession>,
+        msg_id: u64,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        policy: RetryPolicy,
+        kind: MessageKind,
+        timer_kind: TimerKind,
+        out: &mut Output,
+        fail: impl Fn(Key) -> Completion,
+    ) {
+        let Some(session) = sessions.get_mut(&msg_id) else { return };
+        session.attempt += 1;
+        env.bump(MessageKind::Timeout);
+        if session.attempt < policy.max_attempts {
+            let cost = env.distance(
+                env.current_addr(session.out.env.src).router_id(),
+                session.out.to_addr.router_id(),
+            );
+            env.meter(kind, cost);
+            out.outgoing.push(session.out.clone());
+            let backoff = policy.ack_timeout << session.attempt;
+            out.timers.push(Timer { at: now.plus(backoff), kind: timer_kind });
+        } else {
+            let session = sessions.remove(&msg_id).expect("session present");
+            out.completions.push(fail(session.peer));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_overlay::meter::Meter;
+
+    /// A fixed little world for machine tests.
+    #[derive(Default)]
+    struct MockEnv {
+        mobile_hops: HashMap<(Key, Key), Key>,
+        stat_hops: HashMap<(Key, Key), Key>,
+        mobile: HashSet<Key>,
+        addrs: HashMap<Key, WireAddr>,
+        valid: HashSet<(u32, u64)>,
+        believed: HashMap<(Key, Key), WireAddr>,
+        records: HashMap<(Key, Key), WireAddr>,
+        replica_sets: HashMap<Key, Vec<Key>>,
+        entries: HashMap<Key, Key>,
+        meter: Meter,
+        resolutions: Vec<(Key, Key, WireAddr)>,
+        updates: Vec<(Key, Key, u64)>,
+        registered: Vec<(Key, Key, u32)>,
+        committed: Vec<(Key, Key)>,
+    }
+
+    impl MockEnv {
+        fn with_node(mut self, key: Key, host: u32, router: u32) -> Self {
+            self.addrs.insert(key, WireAddr { host, router, epoch: 0 });
+            self.valid.insert((host, 0));
+            self.entries.insert(key, key);
+            self
+        }
+        fn mobile(mut self, key: Key) -> Self {
+            self.mobile.insert(key);
+            self
+        }
+    }
+
+    impl NodeEnv for MockEnv {
+        fn next_hop_mobile(&self, cur: Key, target: Key) -> Option<Key> {
+            self.mobile_hops.get(&(cur, target)).copied()
+        }
+        fn next_hop_stationary(&self, cur: Key, target: Key) -> Option<Key> {
+            self.stat_hops.get(&(cur, target)).copied()
+        }
+        fn is_mobile(&self, key: Key) -> bool {
+            self.mobile.contains(&key)
+        }
+        fn entry_stationary(&self, from: Key) -> Key {
+            self.entries[&from]
+        }
+        fn replicas(&self, subject: Key) -> Vec<Key> {
+            self.replica_sets.get(&subject).cloned().unwrap_or_default()
+        }
+        fn current_addr(&self, key: Key) -> WireAddr {
+            self.addrs[&key]
+        }
+        fn addr_current(&self, addr: WireAddr) -> bool {
+            self.valid.contains(&(addr.host, addr.epoch))
+        }
+        fn believed_addr(&self, holder: Key, subject: Key) -> Option<WireAddr> {
+            self.believed.get(&(holder, subject)).copied()
+        }
+        fn location_record(&self, holder: Key, subject: Key) -> Option<WireAddr> {
+            self.records.get(&(holder, subject)).copied()
+        }
+        fn distance(&self, a: RouterId, b: RouterId) -> u64 {
+            (a.0 as i64 - b.0 as i64).unsigned_abs()
+        }
+        fn meter(&mut self, kind: MessageKind, cost: u64) {
+            self.meter.record(kind, cost);
+        }
+        fn bump(&mut self, kind: MessageKind) {
+            self.meter.bump(kind, 1);
+        }
+        fn commit_resolution(&mut self, asker: Key, subject: Key, addr: WireAddr) {
+            self.resolutions.push((asker, subject, addr));
+            self.believed.insert((asker, subject), addr);
+        }
+        fn apply_update(&mut self, receiver: Key, subject: Key, _addr: WireAddr, seq: u64) {
+            self.updates.push((receiver, subject, seq));
+        }
+        fn apply_register(&mut self, target: Key, who: Key, capacity: u32) {
+            self.registered.push((target, who, capacity));
+        }
+        fn commit_register(&mut self, who: Key, target: Key) {
+            self.committed.push((who, target));
+        }
+    }
+
+    const A: Key = Key(10);
+    const B: Key = Key(20);
+    const M: Key = Key(30);
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy { ack_timeout: 100, discovery_timeout: 1000, max_attempts: 3 }
+    }
+
+    fn t(x: u64) -> SimTime {
+        SimTime(x)
+    }
+
+    #[test]
+    fn hop_ack_clears_retry() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        env.mobile_hops.insert((A, B), B);
+        let mut m = ProtoMachine::new(A, policy());
+        let (_, out) = m.start_route(t(0), &mut env, B);
+        assert_eq!(out.outgoing.len(), 1);
+        assert_eq!(out.timers.len(), 1);
+        assert_eq!(env.meter.count(MessageKind::RouteHop), 1);
+        assert_eq!(env.meter.cost(MessageKind::RouteHop), 4);
+        let hop_id = out.outgoing[0].env.msg_id;
+        let ack = Envelope { src: B, dst: A, msg_id: 0, msg: WireMessage::HopAck { acked: hop_id } };
+        m.poll(t(10), Event::Deliver(ack), &mut env);
+        assert_eq!(m.inflight(), 0);
+        // The stale timer fires harmlessly.
+        let out = m.poll(t(100), Event::Timer(TimerKind::HopRetry { msg_id: hop_id }), &mut env);
+        assert!(out.outgoing.is_empty() && out.completions.is_empty());
+        assert_eq!(env.meter.count(MessageKind::RouteHop), 1, "no spurious resend");
+        assert_eq!(env.meter.count(MessageKind::Timeout), 0);
+    }
+
+    #[test]
+    fn unacked_hop_retries_with_backoff_then_fails() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        env.mobile_hops.insert((A, B), B); // B is stationary: no rediscovery fallback
+        let mut m = ProtoMachine::new(A, policy());
+        let (route_id, out) = m.start_route(t(0), &mut env, B);
+        let msg_id = out.outgoing[0].env.msg_id;
+        assert_eq!(out.timers[0].at, t(100));
+
+        let out1 = m.poll(t(100), Event::Timer(TimerKind::HopRetry { msg_id }), &mut env);
+        assert_eq!(out1.outgoing.len(), 1, "first retransmit");
+        assert_eq!(out1.outgoing[0].env.msg_id, msg_id, "retransmit reuses the msg id");
+        assert_eq!(out1.timers[0].at, t(100 + 200), "exponential backoff");
+        let out2 = m.poll(t(300), Event::Timer(TimerKind::HopRetry { msg_id }), &mut env);
+        assert_eq!(out2.outgoing.len(), 1, "second retransmit... no: attempts exhausted");
+        // max_attempts = 3: initial send + 2 retransmits? attempt counter
+        // reaches 2 on this firing, 2 < 3 so it retransmits once more.
+        let out3 = m.poll(t(900), Event::Timer(TimerKind::HopRetry { msg_id }), &mut env);
+        assert_eq!(
+            out3.completions,
+            vec![Completion::RouteFailed { origin: A, route_id, at: A }],
+            "third expiry gives up"
+        );
+        assert_eq!(env.meter.count(MessageKind::RouteHop), 3, "initial + 2 retransmits");
+        assert_eq!(env.meter.count(MessageKind::Timeout), 3);
+        assert_eq!(m.inflight(), 0);
+    }
+
+    #[test]
+    fn duplicate_route_hop_forwards_once_but_reacks() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        // B owns the target: delivery completes there.
+        let mut m = ProtoMachine::new(B, policy());
+        let hop = Envelope {
+            src: A,
+            dst: B,
+            msg_id: 7,
+            msg: WireMessage::RouteHop { origin: A, route_id: 3, target: B },
+        };
+        let out1 = m.poll(t(0), Event::Deliver(hop.clone()), &mut env);
+        assert_eq!(out1.completions, vec![Completion::Delivered { origin: A, route_id: 3 }]);
+        assert_eq!(out1.outgoing.len(), 1, "ack");
+        let out2 = m.poll(t(1), Event::Deliver(hop), &mut env);
+        assert!(out2.completions.is_empty(), "duplicate not re-delivered");
+        assert_eq!(out2.outgoing.len(), 1, "but re-acked");
+        assert!(matches!(out2.outgoing[0].env.msg, WireMessage::HopAck { acked: 7 }));
+    }
+
+    #[test]
+    fn unresolved_mobile_next_hop_triggers_discovery_then_forwards() {
+        let mut env = MockEnv::default()
+            .with_node(A, 1, 1)
+            .with_node(B, 2, 5)
+            .with_node(M, 3, 9)
+            .mobile(M);
+        env.mobile_hops.insert((A, M), M);
+        env.entries.insert(A, B);
+        let mut m = ProtoMachine::new(A, policy());
+        let (_, out) = m.start_route(t(0), &mut env, M);
+        assert_eq!(out.outgoing.len(), 1);
+        let sent = &out.outgoing[0];
+        assert!(
+            matches!(sent.env.msg, WireMessage::Discovery { subject, probe: None, .. } if subject == M),
+            "no believed address: discovery first, got {:?}",
+            sent.env.msg
+        );
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 1, "injection hop metered");
+        assert_eq!(env.meter.count(MessageKind::RouteHop), 0, "no forward yet");
+        let sid = match sent.env.msg {
+            WireMessage::Discovery { session, .. } => session,
+            _ => unreachable!(),
+        };
+        // The stationary layer answers with M's address.
+        let m_addr = env.current_addr(M);
+        let reply = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 0,
+            msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(m_addr) },
+        };
+        let out = m.poll(t(50), Event::Deliver(reply), &mut env);
+        assert!(out.completions.contains(&Completion::Resolved { subject: M }));
+        assert_eq!(env.resolutions, vec![(A, M, m_addr)]);
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(matches!(out.outgoing[0].env.msg, WireMessage::RouteHop { target, .. } if target == M));
+        assert_eq!(env.meter.count(MessageKind::RouteHop), 1, "forward after resolution");
+        assert_eq!(env.meter.cost(MessageKind::RouteHop), 8, "|1 - 9|");
+    }
+
+    #[test]
+    fn stale_belief_meters_wasted_attempt_before_discovery() {
+        let mut env = MockEnv::default()
+            .with_node(A, 1, 1)
+            .with_node(B, 2, 5)
+            .with_node(M, 3, 9)
+            .mobile(M);
+        env.mobile_hops.insert((A, M), M);
+        env.entries.insert(A, B);
+        // A confidently believes a stale address (epoch 0 no longer valid).
+        let stale = WireAddr { host: 3, router: 2, epoch: 0 };
+        env.valid.remove(&(3, 0));
+        env.believed.insert((A, M), stale);
+        let mut m = ProtoMachine::new(A, policy());
+        let (_, out) = m.start_route(t(0), &mut env, M);
+        assert_eq!(env.meter.count(MessageKind::RouteHop), 1, "wasted stale attempt metered");
+        assert_eq!(env.meter.cost(MessageKind::RouteHop), 1, "|1 - 2|");
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 1, "then discovery");
+        assert_eq!(out.outgoing.len(), 1, "only the discovery actually travels");
+    }
+
+    #[test]
+    fn discovery_timeout_retries_then_gives_up_via_oracle() {
+        let mut env = MockEnv::default()
+            .with_node(A, 1, 1)
+            .with_node(B, 2, 5)
+            .with_node(M, 3, 9)
+            .mobile(M);
+        env.mobile_hops.insert((A, M), M);
+        env.entries.insert(A, B);
+        let mut m = ProtoMachine::new(A, policy());
+        let (_, out) = m.start_route(t(0), &mut env, M);
+        let sid = match out.outgoing[0].env.msg {
+            WireMessage::Discovery { session, .. } => session,
+            ref other => panic!("expected discovery, got {other:?}"),
+        };
+        assert_eq!(out.timers[0].at, t(1000));
+
+        let o1 = m.poll(t(1000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
+        assert_eq!(o1.outgoing.len(), 1, "re-issued");
+        assert_eq!(o1.timers[0].at, t(1000 + 2000), "backoff doubles");
+        assert_eq!(env.meter.count(MessageKind::DiscoveryRetry), 1);
+        let o2 = m.poll(t(3000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
+        assert_eq!(o2.outgoing.len(), 1);
+        let o3 = m.poll(t(9000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
+        assert!(o3.completions.contains(&Completion::ResolutionFailed { subject: M }));
+        // Gives up on resolving but still forwards to the true address.
+        assert_eq!(o3.outgoing.len(), 1);
+        assert!(matches!(o3.outgoing[0].env.msg, WireMessage::RouteHop { .. }));
+        assert_eq!(env.meter.count(MessageKind::DiscoveryRetry), 2);
+        assert_eq!(env.meter.count(MessageKind::Timeout), 3);
+    }
+
+    #[test]
+    fn stationary_node_routes_discovery_and_owner_replies() {
+        let s1 = Key(100);
+        let s2 = Key(200);
+        let mut env = MockEnv::default()
+            .with_node(s1, 1, 2)
+            .with_node(s2, 2, 6)
+            .with_node(A, 3, 1)
+            .with_node(M, 4, 9)
+            .mobile(M);
+        env.stat_hops.insert((s1, M), s2);
+        // s2 owns M's record.
+        let m_addr = env.current_addr(M);
+        env.records.insert((s2, M), m_addr);
+
+        let mut m1 = ProtoMachine::new(s1, policy());
+        let q = Envelope {
+            src: A,
+            dst: s1,
+            msg_id: 0,
+            msg: WireMessage::Discovery { subject: M, asker: A, session: 9, probe: None },
+        };
+        let out = m1.poll(t(0), Event::Deliver(q), &mut env);
+        assert_eq!(out.outgoing.len(), 1);
+        assert_eq!(out.outgoing[0].env.dst, s2, "forwarded toward the owner");
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 1);
+
+        let mut m2 = ProtoMachine::new(s2, policy());
+        let out = m2.poll(t(1), Event::Deliver(out.outgoing[0].env.clone()), &mut env);
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(
+            matches!(
+                out.outgoing[0].env.msg,
+                WireMessage::DiscoveryReply { addr: Some(a), session: 9, .. } if a == m_addr
+            ),
+            "owner replies with the record"
+        );
+        assert_eq!(out.outgoing[0].env.dst, A);
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 2, "reply metered");
+    }
+
+    #[test]
+    fn owner_miss_probes_replicas_then_terminus_answers() {
+        let s1 = Key(100);
+        let s2 = Key(200);
+        let mut env = MockEnv::default()
+            .with_node(s1, 1, 2)
+            .with_node(s2, 2, 6)
+            .with_node(A, 3, 1)
+            .mobile(M);
+        env.replica_sets.insert(M, vec![s1, s2]);
+
+        // s1 is the terminus (owns M) but has no record: probes s2.
+        let mut m1 = ProtoMachine::new(s1, policy());
+        let q = Envelope {
+            src: A,
+            dst: s1,
+            msg_id: 0,
+            msg: WireMessage::Discovery { subject: M, asker: A, session: 4, probe: None },
+        };
+        let out = m1.poll(t(0), Event::Deliver(q), &mut env);
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(
+            matches!(out.outgoing[0].env.msg, WireMessage::Discovery { probe: Some(p), .. } if p == s1)
+        );
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 1, "probe hop metered");
+
+        // s2 also misses: chain exhausted, unmetered ProbeMiss to terminus.
+        let mut m2 = ProtoMachine::new(s2, policy());
+        let out = m2.poll(t(1), Event::Deliver(out.outgoing[0].env.clone()), &mut env);
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(matches!(out.outgoing[0].env.msg, WireMessage::ProbeMiss { .. }));
+        assert_eq!(out.outgoing[0].env.dst, s1);
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 1, "probe-miss is unmetered");
+
+        // The terminus answers the asker with a miss, metered from itself.
+        let out = m1.poll(t(2), Event::Deliver(out.outgoing[0].env.clone()), &mut env);
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(matches!(out.outgoing[0].env.msg, WireMessage::DiscoveryReply { addr: None, .. }));
+        assert_eq!(out.outgoing[0].env.dst, A);
+        assert_eq!(env.meter.count(MessageKind::DiscoveryHop), 2);
+    }
+
+    #[test]
+    fn update_applies_once_acks_twice_and_retries_bounded() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let addr = env.current_addr(A);
+        let mut sender = ProtoMachine::new(A, policy());
+        let out = sender.start_update(t(0), &mut env, A, addr, 3, &[B]);
+        assert_eq!(out.outgoing.len(), 1);
+        assert_eq!(env.meter.count(MessageKind::Update), 1);
+        let update = out.outgoing[0].env.clone();
+        let msg_id = update.msg_id;
+
+        let mut receiver = ProtoMachine::new(B, policy());
+        let r1 = receiver.poll(t(5), Event::Deliver(update.clone()), &mut env);
+        assert_eq!(env.updates, vec![(B, A, 3)]);
+        assert!(matches!(r1.outgoing[0].env.msg, WireMessage::UpdateAck { .. }));
+        let r2 = receiver.poll(t(6), Event::Deliver(update), &mut env);
+        assert_eq!(env.updates.len(), 1, "duplicate update not re-applied");
+        assert_eq!(r2.outgoing.len(), 1, "but re-acked");
+
+        // Sender: ack completes the edge.
+        let out = sender.poll(t(7), Event::Deliver(r1.outgoing[0].env.clone()), &mut env);
+        assert_eq!(out.completions, vec![Completion::UpdateAcked { child: B }]);
+        assert_eq!(sender.inflight(), 0);
+
+        // A second, never-acked edge exhausts its retries.
+        let out = sender.start_update(t(100), &mut env, A, addr, 4, &[B]);
+        let id2 = out.outgoing[0].env.msg_id;
+        assert_ne!(id2, msg_id);
+        sender.poll(t(200), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
+        sender.poll(t(400), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
+        let out = sender.poll(t(900), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
+        assert_eq!(out.completions, vec![Completion::UpdateFailed { child: B }]);
+        assert_eq!(env.meter.count(MessageKind::Update), 1 + 3, "initial x2 + 2 retransmits");
+        assert_eq!(env.meter.count(MessageKind::Timeout), 3);
+    }
+
+    #[test]
+    fn register_commits_lease_on_ack() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(M, 3, 9).mobile(M);
+        let mut who = ProtoMachine::new(A, policy());
+        let out = who.start_register(t(0), &mut env, M, 12);
+        assert_eq!(env.meter.count(MessageKind::Register), 1);
+        assert_eq!(env.meter.cost(MessageKind::Register), 8);
+        let reg = out.outgoing[0].env.clone();
+
+        let mut target = ProtoMachine::new(M, policy());
+        let r = target.poll(t(1), Event::Deliver(reg), &mut env);
+        assert_eq!(env.registered, vec![(M, A, 12)]);
+        let out = who.poll(t(2), Event::Deliver(r.outgoing[0].env.clone()), &mut env);
+        assert_eq!(out.completions, vec![Completion::Registered { target: M }]);
+        assert_eq!(env.committed, vec![(A, M)], "lease granted only after the ack");
+    }
+
+    #[test]
+    fn delivery_at_owner_completes_without_forwarding() {
+        let mut env = MockEnv::default().with_node(A, 1, 1);
+        let mut m = ProtoMachine::new(A, policy());
+        // A owns the target: next_hop_mobile returns None.
+        let (route_id, out) = m.start_route(t(0), &mut env, Key(999));
+        assert_eq!(out.completions, vec![Completion::Delivered { origin: A, route_id }]);
+        assert!(out.outgoing.is_empty());
+        assert_eq!(env.meter.total_messages(), 0);
+    }
+
+    #[test]
+    fn hop_failure_to_mobile_peer_falls_back_to_discovery_once() {
+        let mut env = MockEnv::default()
+            .with_node(A, 1, 1)
+            .with_node(B, 2, 5)
+            .with_node(M, 3, 9)
+            .mobile(M);
+        env.mobile_hops.insert((A, M), M);
+        env.entries.insert(A, B);
+        env.believed.insert((A, M), env.current_addr(M)); // valid belief
+        let mut m = ProtoMachine::new(A, policy());
+        let (_, out) = m.start_route(t(0), &mut env, M);
+        let msg_id = out.outgoing[0].env.msg_id;
+        assert!(matches!(out.outgoing[0].env.msg, WireMessage::RouteHop { .. }));
+
+        // Exhaust the hop retries without an ack.
+        m.poll(t(100), Event::Timer(TimerKind::HopRetry { msg_id }), &mut env);
+        m.poll(t(300), Event::Timer(TimerKind::HopRetry { msg_id }), &mut env);
+        let out = m.poll(t(900), Event::Timer(TimerKind::HopRetry { msg_id }), &mut env);
+        assert!(out.completions.is_empty(), "mobile peer: not a failure yet");
+        assert_eq!(out.outgoing.len(), 1);
+        assert!(
+            matches!(out.outgoing[0].env.msg, WireMessage::Discovery { subject, .. } if subject == M),
+            "falls back to the stationary layer"
+        );
+        assert_eq!(env.meter.count(MessageKind::DiscoveryRetry), 1);
+
+        // Resolution succeeds; the re-sent hop fails again -> final.
+        let sid = match out.outgoing[0].env.msg {
+            WireMessage::Discovery { session, .. } => session,
+            _ => unreachable!(),
+        };
+        let reply = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 50,
+            msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(env.current_addr(M)) },
+        };
+        let out = m.poll(t(1000), Event::Deliver(reply), &mut env);
+        let id2 = out.outgoing[0].env.msg_id;
+        m.poll(t(1100), Event::Timer(TimerKind::HopRetry { msg_id: id2 }), &mut env);
+        m.poll(t(1300), Event::Timer(TimerKind::HopRetry { msg_id: id2 }), &mut env);
+        let out = m.poll(t(1900), Event::Timer(TimerKind::HopRetry { msg_id: id2 }), &mut env);
+        assert_eq!(out.completions.len(), 1);
+        assert!(matches!(out.completions[0], Completion::RouteFailed { .. }), "second failure is final");
+    }
+
+    #[test]
+    fn concurrent_forwards_share_one_discovery_session() {
+        let mut env = MockEnv::default()
+            .with_node(A, 1, 1)
+            .with_node(B, 2, 5)
+            .with_node(M, 3, 9)
+            .mobile(M);
+        env.mobile_hops.insert((A, M), M);
+        env.mobile_hops.insert((A, Key(31)), M);
+        env.entries.insert(A, B);
+        let mut m = ProtoMachine::new(A, policy());
+        let (_, o1) = m.start_route(t(0), &mut env, M);
+        let (_, o2) = m.start_route(t(1), &mut env, Key(31));
+        assert_eq!(o1.outgoing.len(), 1);
+        assert!(o2.outgoing.is_empty(), "second forward joins the in-flight session");
+        assert_eq!(m.inflight(), 1);
+        let sid = match o1.outgoing[0].env.msg {
+            WireMessage::Discovery { session, .. } => session,
+            _ => unreachable!(),
+        };
+        let reply = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 0,
+            msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(env.current_addr(M)) },
+        };
+        let out = m.poll(t(10), Event::Deliver(reply), &mut env);
+        assert_eq!(out.outgoing.len(), 2, "both parked forwards resume");
+    }
+}

@@ -1,0 +1,345 @@
+//! Transport abstraction and the deterministic in-memory simulator.
+//!
+//! [`Transport`] is the machine-facing contract: given a send at some
+//! time between two routers, produce zero or more timestamped
+//! deliveries. [`SimTransport`] implements it over the physical
+//! topology's [`DistanceCache`] — per-link latency is the shortest-path
+//! weight plus a configured base and seeded jitter — and injects faults
+//! (drops, duplication, reordering via jitter, link and partition
+//! outages) from a seeded [`Pcg64`], so every run with the same seed and
+//! fault schedule produces a byte-identical delivery trace.
+
+use std::sync::Arc;
+
+use bristle_core::time::SimTime;
+use bristle_netsim::dijkstra::DistanceCache;
+use bristle_netsim::graph::RouterId;
+use bristle_netsim::rng::Pcg64;
+
+use crate::wire::Envelope;
+
+/// A scheduled delivery: when, at which router, carrying what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Router the bytes arrive at (the destination the *sender* chose;
+    /// if the host has moved away since, the driver discards it).
+    pub to_router: RouterId,
+    /// The message.
+    pub env: Envelope,
+}
+
+/// The machine-facing transport contract.
+pub trait Transport {
+    /// Submits `env` from `from` toward `to` at time `now`; returns the
+    /// deliveries this causes (empty = dropped, two = duplicated).
+    fn send(&mut self, now: SimTime, from: RouterId, to: RouterId, env: Envelope) -> Vec<Delivery>;
+}
+
+/// Fault-injection knobs, all off by default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a send is silently dropped.
+    pub drop_probability: f64,
+    /// Probability a delivered send also arrives a second time.
+    pub duplicate_probability: f64,
+    /// Base latency added to every link's path weight.
+    pub min_latency: u64,
+    /// Maximum extra seeded jitter per delivery (inclusive); non-zero
+    /// jitter reorders messages that race on different links.
+    pub jitter: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_probability: 0.0, duplicate_probability: 0.0, min_latency: 1, jitter: 0 }
+    }
+}
+
+impl FaultConfig {
+    /// A perfect network: every send arrives exactly once.
+    pub fn perfect() -> Self {
+        Self::default()
+    }
+
+    /// A lossy network dropping the given fraction of sends.
+    pub fn lossy(drop_probability: f64) -> Self {
+        FaultConfig { drop_probability, ..Self::default() }
+    }
+}
+
+/// Deterministic link/partition outages consulted before every send.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkFilter {
+    /// Unordered router pairs whose link is down.
+    pub blocked_links: Vec<(RouterId, RouterId)>,
+    /// Routers partitioned off entirely (no traffic in or out).
+    pub partitioned: Vec<RouterId>,
+}
+
+impl LinkFilter {
+    /// Whether traffic from `a` to `b` is blocked.
+    pub fn blocks(&self, a: RouterId, b: RouterId) -> bool {
+        self.partitioned.contains(&a)
+            || self.partitioned.contains(&b)
+            || self
+                .blocked_links
+                .iter()
+                .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+}
+
+/// What happened to one send, for the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Arrived exactly once.
+    Delivered,
+    /// Silently lost (random drop).
+    Dropped,
+    /// Arrived twice.
+    Duplicated,
+    /// Blocked by an outage or partition.
+    Blocked,
+}
+
+impl Fate {
+    fn code(self) -> u8 {
+        match self {
+            Fate::Delivered => 0,
+            Fate::Dropped => 1,
+            Fate::Duplicated => 2,
+            Fate::Blocked => 3,
+        }
+    }
+}
+
+/// One row of the transport's append-only trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Send order (0-based).
+    pub seq: u64,
+    /// Submission time.
+    pub sent_at: SimTime,
+    /// Source router.
+    pub from: RouterId,
+    /// Destination router.
+    pub to: RouterId,
+    /// Message tag (see [`crate::wire::WireMessage::tag`]).
+    pub tag: u8,
+    /// Sender-scoped message id.
+    pub msg_id: u64,
+    /// Outcome.
+    pub fate: Fate,
+    /// First arrival time, when delivered.
+    pub arrival: Option<SimTime>,
+}
+
+/// The deterministic in-memory transport.
+pub struct SimTransport {
+    dcache: Arc<DistanceCache>,
+    faults: FaultConfig,
+    filter: LinkFilter,
+    rng: Pcg64,
+    trace: Vec<TraceRecord>,
+}
+
+impl SimTransport {
+    /// A transport over `dcache`'s topology with the given faults,
+    /// drawing all randomness from `seed`.
+    pub fn new(dcache: Arc<DistanceCache>, faults: FaultConfig, seed: u64) -> Self {
+        SimTransport { dcache, faults, filter: LinkFilter::default(), rng: Pcg64::seed_from_u64(seed), trace: Vec::new() }
+    }
+
+    /// Replaces the outage schedule.
+    pub fn set_filter(&mut self, filter: LinkFilter) {
+        self.filter = filter;
+    }
+
+    /// Current fault configuration.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// The append-only send trace.
+    pub fn trace(&self) -> &[TraceRecord] {
+        &self.trace
+    }
+
+    /// Serializes the trace into a canonical byte string; two runs are
+    /// behaviourally identical iff their trace bytes are equal.
+    pub fn trace_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.trace.len() * 48);
+        for r in &self.trace {
+            out.extend_from_slice(&r.seq.to_le_bytes());
+            out.extend_from_slice(&r.sent_at.0.to_le_bytes());
+            out.extend_from_slice(&r.from.0.to_le_bytes());
+            out.extend_from_slice(&r.to.0.to_le_bytes());
+            out.push(r.tag);
+            out.extend_from_slice(&r.msg_id.to_le_bytes());
+            out.push(r.fate.code());
+            out.extend_from_slice(&r.arrival.map(|t| t.0).unwrap_or(u64::MAX).to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, now: SimTime, from: RouterId, to: RouterId, env: Envelope) -> Vec<Delivery> {
+        let seq = self.trace.len() as u64;
+        let tag = env.msg.tag();
+        let msg_id = env.msg_id;
+        let mut record = TraceRecord { seq, sent_at: now, from, to, tag, msg_id, fate: Fate::Delivered, arrival: None };
+
+        if self.filter.blocks(from, to) {
+            record.fate = Fate::Blocked;
+            self.trace.push(record);
+            return Vec::new();
+        }
+
+        // Fixed draw order per send — drop, duplicate, jitter, dup-jitter —
+        // so the random stream (and thus the trace) is reproducible even
+        // as probabilities vary.
+        let dropped = self.rng.chance(self.faults.drop_probability);
+        let duplicated = self.rng.chance(self.faults.duplicate_probability);
+        let jitter = if self.faults.jitter > 0 { self.rng.range_inclusive(0, self.faults.jitter) } else { 0 };
+        let dup_jitter =
+            if self.faults.jitter > 0 { self.rng.range_inclusive(0, self.faults.jitter) } else { 0 };
+
+        if dropped {
+            record.fate = Fate::Dropped;
+            self.trace.push(record);
+            return Vec::new();
+        }
+
+        let base = self.dcache.distance(from, to) + self.faults.min_latency;
+        let arrival = now.plus(base + jitter);
+        record.arrival = Some(arrival);
+        let mut deliveries = vec![Delivery { at: arrival, to_router: to, env: env.clone() }];
+        if duplicated {
+            record.fate = Fate::Duplicated;
+            deliveries.push(Delivery { at: now.plus(base + dup_jitter), to_router: to, env });
+        }
+        self.trace.push(record);
+        deliveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_netsim::graph::Graph;
+    use bristle_overlay::key::Key;
+    use crate::wire::WireMessage;
+
+    fn line_cache(n: usize) -> Arc<DistanceCache> {
+        let mut g = Graph::with_vertices(n);
+        for i in 0..n - 1 {
+            g.add_edge(RouterId(i as u32), RouterId(i as u32 + 1), 3);
+        }
+        Arc::new(DistanceCache::new(Arc::new(g), n))
+    }
+
+    fn envelope(id: u64) -> Envelope {
+        Envelope { src: Key(1), dst: Key(2), msg_id: id, msg: WireMessage::Refresh { key: Key(1) } }
+    }
+
+    #[test]
+    fn perfect_transport_delivers_once_with_link_latency() {
+        let mut t = SimTransport::new(line_cache(4), FaultConfig::perfect(), 7);
+        let d = t.send(SimTime(10), RouterId(0), RouterId(3), envelope(0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, SimTime(10 + 9 + 1), "3 hops x weight 3 + min latency");
+        assert_eq!(d[0].to_router, RouterId(3));
+        assert_eq!(t.trace().len(), 1);
+        assert_eq!(t.trace()[0].fate, Fate::Delivered);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::lossy(1.0), 7);
+        for i in 0..50 {
+            assert!(t.send(SimTime(i), RouterId(0), RouterId(2), envelope(i)).is_empty());
+        }
+        assert!(t.trace().iter().all(|r| r.fate == Fate::Dropped));
+    }
+
+    #[test]
+    fn same_seed_same_trace_bytes() {
+        let faults = FaultConfig { drop_probability: 0.3, duplicate_probability: 0.2, min_latency: 2, jitter: 9 };
+        let runs: Vec<Vec<u8>> = (0..2)
+            .map(|_| {
+                let mut t = SimTransport::new(line_cache(5), faults.clone(), 99);
+                for i in 0..200 {
+                    t.send(SimTime(i), RouterId((i % 5) as u32), RouterId(((i + 2) % 5) as u32), envelope(i));
+                }
+                t.trace_bytes()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "byte-identical replay");
+        assert!(!runs[0].is_empty());
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let faults = FaultConfig { drop_probability: 0.5, ..FaultConfig::default() };
+        let mut a = SimTransport::new(line_cache(3), faults.clone(), 1);
+        let mut b = SimTransport::new(line_cache(3), faults, 2);
+        for i in 0..100 {
+            a.send(SimTime(i), RouterId(0), RouterId(2), envelope(i));
+            b.send(SimTime(i), RouterId(0), RouterId(2), envelope(i));
+        }
+        assert_ne!(a.trace_bytes(), b.trace_bytes());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let faults = FaultConfig { duplicate_probability: 1.0, ..FaultConfig::default() };
+        let mut t = SimTransport::new(line_cache(3), faults, 3);
+        let d = t.send(SimTime(0), RouterId(0), RouterId(1), envelope(0));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].env, d[1].env);
+        assert_eq!(t.trace()[0].fate, Fate::Duplicated);
+    }
+
+    #[test]
+    fn jitter_reorders_racing_sends() {
+        let faults = FaultConfig { jitter: 50, ..FaultConfig::default() };
+        let mut t = SimTransport::new(line_cache(3), faults, 11);
+        // Submit many racing pairs; with jitter up to 50 on a 3-weight
+        // link some later send must overtake an earlier one.
+        let mut arrivals = Vec::new();
+        for i in 0..40 {
+            let d = t.send(SimTime(i), RouterId(0), RouterId(1), envelope(i));
+            arrivals.push(d[0].at);
+        }
+        assert!(
+            arrivals.windows(2).any(|w| w[1] < w[0]),
+            "some pair must arrive out of submission order: {arrivals:?}"
+        );
+    }
+
+    #[test]
+    fn blocked_links_and_partitions_stop_traffic() {
+        let mut t = SimTransport::new(line_cache(4), FaultConfig::perfect(), 5);
+        t.set_filter(LinkFilter {
+            blocked_links: vec![(RouterId(0), RouterId(3))],
+            partitioned: vec![RouterId(2)],
+        });
+        assert!(t.send(SimTime(0), RouterId(0), RouterId(3), envelope(0)).is_empty());
+        assert!(t.send(SimTime(0), RouterId(3), RouterId(0), envelope(1)).is_empty(), "blocks both ways");
+        assert!(t.send(SimTime(0), RouterId(1), RouterId(2), envelope(2)).is_empty(), "partitioned in");
+        assert!(t.send(SimTime(0), RouterId(2), RouterId(1), envelope(3)).is_empty(), "partitioned out");
+        assert_eq!(t.send(SimTime(0), RouterId(0), RouterId(1), envelope(4)).len(), 1, "others flow");
+        assert!(t.trace()[..4].iter().all(|r| r.fate == Fate::Blocked));
+    }
+
+    #[test]
+    fn outage_lift_restores_traffic_deterministically() {
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 5);
+        t.set_filter(LinkFilter { partitioned: vec![RouterId(1)], ..LinkFilter::default() });
+        assert!(t.send(SimTime(0), RouterId(0), RouterId(1), envelope(0)).is_empty());
+        t.set_filter(LinkFilter::default());
+        assert_eq!(t.send(SimTime(1), RouterId(0), RouterId(1), envelope(1)).len(), 1);
+    }
+}

@@ -1,0 +1,492 @@
+//! Typed wire messages and a hand-rolled binary codec.
+//!
+//! Every protocol interaction the paper describes — mobile-layer
+//! forwarding, `_discovery`, `register`/`update` dissemination, location
+//! publication, join/leave/refresh — is expressed as a [`WireMessage`]
+//! carried in an [`Envelope`]. The encoding is a fixed little-endian
+//! layout with a one-byte message tag: no serde, no varints, nothing the
+//! container does not already ship. Decoding is total — every byte string
+//! either round-trips or yields a [`WireError`], never a panic.
+
+use bristle_netsim::attach::{Attachment, HostId};
+use bristle_netsim::graph::RouterId;
+use bristle_overlay::addr::NetAddr;
+use bristle_overlay::key::Key;
+
+/// A network address as it travels on the wire: which host, attached to
+/// which router, as of which epoch. Mirrors [`NetAddr`] exactly; the
+/// split exists so the wire format is a closed set of plain integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireAddr {
+    /// Host identity.
+    pub host: u32,
+    /// Router the host was attached to when the address was learned.
+    pub router: u32,
+    /// Attachment epoch at learning time; stale epochs mean stale addresses.
+    pub epoch: u64,
+}
+
+impl WireAddr {
+    /// Converts a simulator address into its wire form.
+    pub fn from_net(a: NetAddr) -> WireAddr {
+        WireAddr { host: a.host.0, router: a.attachment.router.0, epoch: a.attachment.epoch }
+    }
+
+    /// Converts back into the simulator's address type.
+    pub fn to_net(self) -> NetAddr {
+        NetAddr {
+            host: HostId(self.host),
+            attachment: Attachment { router: RouterId(self.router), epoch: self.epoch },
+        }
+    }
+
+    /// The router this address points at.
+    pub fn router_id(self) -> RouterId {
+        RouterId(self.router)
+    }
+}
+
+/// The protocol's message vocabulary.
+///
+/// Metered kinds (RouteHop, Discovery, DiscoveryReply, Register, Update,
+/// Publish, JoinProbe, Leave, Refresh) correspond one-to-one with the
+/// paper's operations; the remaining variants (acks and the probe-miss
+/// notification) are unmetered control traffic that exists only because
+/// message passing, unlike a function call, can fail to return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// One mobile-layer forwarding hop of a route toward `target`.
+    RouteHop {
+        /// Node that originated the route.
+        origin: Key,
+        /// Originator-scoped route identifier (for completion reporting).
+        route_id: u64,
+        /// The key being routed toward.
+        target: Key,
+    },
+    /// Acknowledges receipt of the `RouteHop` carried as `acked` msg id.
+    HopAck {
+        /// `Envelope::msg_id` of the acknowledged hop.
+        acked: u64,
+    },
+    /// A `_discovery` query hop in the stationary layer.
+    Discovery {
+        /// The mobile node whose address is being resolved.
+        subject: Key,
+        /// The node that issued the discovery (reply destination).
+        asker: Key,
+        /// Asker-scoped discovery session (ties replies to retries).
+        session: u64,
+        /// `None` while routing toward the record owner; `Some(terminus)`
+        /// while walking the replica chain after a miss at the owner.
+        probe: Option<Key>,
+    },
+    /// The resolver's answer, sent directly back to the asker.
+    DiscoveryReply {
+        /// The subject the session asked about.
+        subject: Key,
+        /// Asker-scoped session id being answered.
+        session: u64,
+        /// Resolved address, or `None` when no replica held a record.
+        addr: Option<WireAddr>,
+    },
+    /// Replica-chain exhaustion notice back to the route terminus, which
+    /// then answers the asker itself (matching the function-call path,
+    /// where a total miss replies from the terminus).
+    ProbeMiss {
+        /// Subject that could not be resolved.
+        subject: Key,
+        /// Asker awaiting the (negative) reply.
+        asker: Key,
+        /// Session id to answer under.
+        session: u64,
+    },
+    /// `register`: declare interest in a mobile node's location (§2.3.1).
+    Register {
+        /// The mobile node being registered with.
+        target: Key,
+        /// Registrant's capacity report (shapes the target's LDT).
+        capacity: u32,
+    },
+    /// Acknowledges a `Register`.
+    RegisterAck {
+        /// `Envelope::msg_id` of the acknowledged registration.
+        acked: u64,
+    },
+    /// `update`: one LDT-edge push of a moved node's fresh address (§2.3).
+    Update {
+        /// The node whose address changed.
+        subject: Key,
+        /// Its new address.
+        addr: WireAddr,
+        /// Movement sequence number (receivers ignore stale sequences).
+        seq: u64,
+    },
+    /// Acknowledges an `Update`.
+    UpdateAck {
+        /// `Envelope::msg_id` of the acknowledged update.
+        acked: u64,
+    },
+    /// Publishes a location record into the stationary layer.
+    Publish {
+        /// The mobile node the record describes.
+        subject: Key,
+        /// Its current address.
+        addr: WireAddr,
+        /// Movement sequence number.
+        seq: u64,
+    },
+    /// Join-protocol liveness/ownership probe (Fig. 5).
+    JoinProbe {
+        /// Key the joining node is probing for.
+        key: Key,
+    },
+    /// Departure notice.
+    Leave {
+        /// The leaving node.
+        key: Key,
+    },
+    /// Periodic soft-state refresh.
+    Refresh {
+        /// The refreshing node.
+        key: Key,
+    },
+}
+
+impl WireMessage {
+    /// One-byte discriminant used by the codec and the transport trace.
+    pub fn tag(&self) -> u8 {
+        match self {
+            WireMessage::RouteHop { .. } => 0,
+            WireMessage::HopAck { .. } => 1,
+            WireMessage::Discovery { .. } => 2,
+            WireMessage::DiscoveryReply { .. } => 3,
+            WireMessage::ProbeMiss { .. } => 4,
+            WireMessage::Register { .. } => 5,
+            WireMessage::RegisterAck { .. } => 6,
+            WireMessage::Update { .. } => 7,
+            WireMessage::UpdateAck { .. } => 8,
+            WireMessage::Publish { .. } => 9,
+            WireMessage::JoinProbe { .. } => 10,
+            WireMessage::Leave { .. } => 11,
+            WireMessage::Refresh { .. } => 12,
+        }
+    }
+}
+
+/// A message addressed between two overlay nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node's key.
+    pub src: Key,
+    /// Destination node's key.
+    pub dst: Key,
+    /// Sender-scoped message id; retransmissions reuse it, so
+    /// `(src, msg_id)` is the receiver's deduplication key.
+    pub msg_id: u64,
+    /// The payload.
+    pub msg: WireMessage,
+}
+
+/// Codec failure: the byte string is not a well-formed envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the layout requires.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// An option prefix byte that is neither 0 nor 1.
+    BadOption(u8),
+    /// Well-formed message followed by extra bytes.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated envelope"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadOption(b) => write!(f, "bad option prefix {b}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after envelope"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn key(&mut self, k: Key) {
+        self.u64(k.0);
+    }
+    fn addr(&mut self, a: WireAddr) {
+        self.u32(a.host);
+        self.u32(a.router);
+        self.u64(a.epoch);
+    }
+    fn opt_addr(&mut self, a: Option<WireAddr>) {
+        match a {
+            None => self.u8(0),
+            Some(a) => {
+                self.u8(1);
+                self.addr(a);
+            }
+        }
+    }
+    fn opt_key(&mut self, k: Option<Key>) {
+        match k {
+            None => self.u8(0),
+            Some(k) => {
+                self.u8(1);
+                self.key(k);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn key(&mut self) -> Result<Key, WireError> {
+        Ok(Key(self.u64()?))
+    }
+    fn addr(&mut self) -> Result<WireAddr, WireError> {
+        Ok(WireAddr { host: self.u32()?, router: self.u32()?, epoch: self.u64()? })
+    }
+    fn opt_addr(&mut self) -> Result<Option<WireAddr>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.addr()?)),
+            b => Err(WireError::BadOption(b)),
+        }
+    }
+    fn opt_key(&mut self) -> Result<Option<Key>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.key()?)),
+            b => Err(WireError::BadOption(b)),
+        }
+    }
+}
+
+impl Envelope {
+    /// Serializes the envelope: `src, dst, msg_id` then a tagged message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64));
+        w.key(self.src);
+        w.key(self.dst);
+        w.u64(self.msg_id);
+        w.u8(self.msg.tag());
+        match &self.msg {
+            WireMessage::RouteHop { origin, route_id, target } => {
+                w.key(*origin);
+                w.u64(*route_id);
+                w.key(*target);
+            }
+            WireMessage::HopAck { acked }
+            | WireMessage::RegisterAck { acked }
+            | WireMessage::UpdateAck { acked } => w.u64(*acked),
+            WireMessage::Discovery { subject, asker, session, probe } => {
+                w.key(*subject);
+                w.key(*asker);
+                w.u64(*session);
+                w.opt_key(*probe);
+            }
+            WireMessage::DiscoveryReply { subject, session, addr } => {
+                w.key(*subject);
+                w.u64(*session);
+                w.opt_addr(*addr);
+            }
+            WireMessage::ProbeMiss { subject, asker, session } => {
+                w.key(*subject);
+                w.key(*asker);
+                w.u64(*session);
+            }
+            WireMessage::Register { target, capacity } => {
+                w.key(*target);
+                w.u32(*capacity);
+            }
+            WireMessage::Update { subject, addr, seq } | WireMessage::Publish { subject, addr, seq } => {
+                w.key(*subject);
+                w.addr(*addr);
+                w.u64(*seq);
+            }
+            WireMessage::JoinProbe { key } | WireMessage::Leave { key } | WireMessage::Refresh { key } => {
+                w.key(*key)
+            }
+        }
+        w.0
+    }
+
+    /// Parses an envelope, consuming the whole buffer.
+    pub fn decode(bytes: &[u8]) -> Result<Envelope, WireError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let src = r.key()?;
+        let dst = r.key()?;
+        let msg_id = r.u64()?;
+        let tag = r.u8()?;
+        let msg = match tag {
+            0 => WireMessage::RouteHop { origin: r.key()?, route_id: r.u64()?, target: r.key()? },
+            1 => WireMessage::HopAck { acked: r.u64()? },
+            2 => WireMessage::Discovery {
+                subject: r.key()?,
+                asker: r.key()?,
+                session: r.u64()?,
+                probe: r.opt_key()?,
+            },
+            3 => WireMessage::DiscoveryReply { subject: r.key()?, session: r.u64()?, addr: r.opt_addr()? },
+            4 => WireMessage::ProbeMiss { subject: r.key()?, asker: r.key()?, session: r.u64()? },
+            5 => WireMessage::Register { target: r.key()?, capacity: r.u32()? },
+            6 => WireMessage::RegisterAck { acked: r.u64()? },
+            7 => WireMessage::Update { subject: r.key()?, addr: r.addr()?, seq: r.u64()? },
+            8 => WireMessage::UpdateAck { acked: r.u64()? },
+            9 => WireMessage::Publish { subject: r.key()?, addr: r.addr()?, seq: r.u64()? },
+            10 => WireMessage::JoinProbe { key: r.key()? },
+            11 => WireMessage::Leave { key: r.key()? },
+            12 => WireMessage::Refresh { key: r.key()? },
+            t => return Err(WireError::BadTag(t)),
+        };
+        if r.pos != bytes.len() {
+            return Err(WireError::TrailingBytes(bytes.len() - r.pos));
+        }
+        Ok(Envelope { src, dst, msg_id, msg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(h: u32, r: u32, e: u64) -> WireAddr {
+        WireAddr { host: h, router: r, epoch: e }
+    }
+
+    fn every_message() -> Vec<WireMessage> {
+        vec![
+            WireMessage::RouteHop { origin: Key(1), route_id: 7, target: Key(u64::MAX) },
+            WireMessage::HopAck { acked: 99 },
+            WireMessage::Discovery { subject: Key(2), asker: Key(3), session: 4, probe: None },
+            WireMessage::Discovery { subject: Key(2), asker: Key(3), session: 4, probe: Some(Key(9)) },
+            WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: None },
+            WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: Some(addr(1, 2, 3)) },
+            WireMessage::ProbeMiss { subject: Key(8), asker: Key(9), session: 10 },
+            WireMessage::Register { target: Key(11), capacity: 12 },
+            WireMessage::RegisterAck { acked: 13 },
+            WireMessage::Update { subject: Key(14), addr: addr(4, 5, 6), seq: 15 },
+            WireMessage::UpdateAck { acked: 16 },
+            WireMessage::Publish { subject: Key(17), addr: addr(7, 8, 9), seq: 18 },
+            WireMessage::JoinProbe { key: Key(19) },
+            WireMessage::Leave { key: Key(20) },
+            WireMessage::Refresh { key: Key(21) },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for (i, msg) in every_message().into_iter().enumerate() {
+            let env = Envelope { src: Key(100 + i as u64), dst: Key(200), msg_id: i as u64, msg };
+            let bytes = env.encode();
+            let back = Envelope::decode(&bytes).expect("decodes");
+            assert_eq!(back, env, "variant {i}");
+        }
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for msg in every_message() {
+            seen.insert(msg.tag());
+        }
+        assert_eq!(seen.len(), 13);
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_an_error_not_a_panic() {
+        for msg in every_message() {
+            let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, msg };
+            let bytes = env.encode();
+            for cut in 0..bytes.len() {
+                assert_eq!(Envelope::decode(&bytes[..cut]), Err(WireError::Truncated), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, msg: WireMessage::Leave { key: Key(4) } };
+        let mut bytes = env.encode();
+        bytes.push(0xff);
+        assert_eq!(Envelope::decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, msg: WireMessage::Leave { key: Key(4) } };
+        let mut bytes = env.encode();
+        bytes[24] = 200; // tag byte follows src+dst+msg_id
+        assert_eq!(Envelope::decode(&bytes), Err(WireError::BadTag(200)));
+    }
+
+    #[test]
+    fn bad_option_prefix_rejected() {
+        let env = Envelope {
+            src: Key(1),
+            dst: Key(2),
+            msg_id: 3,
+            msg: WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: None },
+        };
+        let mut bytes = env.encode();
+        *bytes.last_mut().unwrap() = 7; // option prefix is the final byte
+        assert_eq!(Envelope::decode(&bytes), Err(WireError::BadOption(7)));
+    }
+
+    #[test]
+    fn wire_addr_net_round_trip() {
+        let net = NetAddr {
+            host: HostId(42),
+            attachment: Attachment { router: RouterId(17), epoch: 5 },
+        };
+        let wire = WireAddr::from_net(net);
+        assert_eq!(wire.to_net(), net);
+        assert_eq!(wire.router_id(), RouterId(17));
+    }
+
+    #[test]
+    fn empty_buffer_is_truncated() {
+        assert_eq!(Envelope::decode(&[]), Err(WireError::Truncated));
+    }
+}

@@ -150,16 +150,15 @@ fn run_point(cfg: &Fig7Config, fraction: f64) -> Fig7Row {
 pub fn run(cfg: &Fig7Config) -> Fig7Result {
     let rows: Vec<Fig7Row> = if cfg.parallel && cfg.fractions.len() > 1 {
         let mut out: Vec<Option<Fig7Row>> = vec![None; cfg.fractions.len()];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for (i, &f) in cfg.fractions.iter().enumerate() {
-                handles.push((i, s.spawn(move |_| run_point(cfg, f))));
+                handles.push((i, s.spawn(move || run_point(cfg, f))));
             }
             for (i, h) in handles {
                 out[i] = Some(h.join().expect("sweep point"));
             }
-        })
-        .expect("scope");
+        });
         out.into_iter().map(|r| r.expect("filled")).collect()
     } else {
         cfg.fractions.iter().map(|&f| run_point(cfg, f)).collect()

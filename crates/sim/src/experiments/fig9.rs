@@ -169,17 +169,16 @@ pub fn run(cfg: &Fig9Config) -> Fig9Result {
 
     let rows: Vec<Fig9Row> = if cfg.parallel && cfg.fractions.len() > 1 {
         let mut out: Vec<Option<Fig9Row>> = vec![None; cfg.fractions.len()];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for (i, &f) in cfg.fractions.iter().enumerate() {
                 let point = &point;
-                handles.push((i, s.spawn(move |_| point(f))));
+                handles.push((i, s.spawn(move || point(f))));
             }
             for (i, h) in handles {
                 out[i] = Some(h.join().expect("sweep point"));
             }
-        })
-        .expect("scope");
+        });
         out.into_iter().map(|r| r.expect("filled")).collect()
     } else {
         cfg.fractions.iter().map(|&f| point(f)).collect()

@@ -24,6 +24,7 @@ pub mod baseline_type_b;
 pub mod churn;
 pub mod engine;
 pub mod experiments;
+pub mod messaging;
 pub mod metrics;
 pub mod mobility;
 pub mod report;
@@ -35,6 +36,7 @@ pub use baseline_type_b::TypeBSystem;
 pub use churn::{ChurnAction, ChurnModel};
 pub use engine::EventQueue;
 pub use experiments::Scale;
+pub use messaging::{MessagingBristleSystem, MessagingError, MessagingRouteReport};
 pub use metrics::{Histogram, Samples};
 pub use mobility::MobilityModel;
 pub use report::Table;

@@ -1,0 +1,504 @@
+//! Message-passing driver: runs a [`BristleSystem`] over the
+//! `bristle-proto` state machines and a fault-injecting transport.
+//!
+//! The function-call path in `bristle-core` computes a whole route (or
+//! discovery, or update fan-out) in one synchronous call. This driver
+//! replays the same protocols as *messages*: every hop is an envelope
+//! submitted to a [`SimTransport`], every ack has a timeout, and lost
+//! messages are retried with exponential backoff by the per-node
+//! [`ProtoMachine`]s. With a perfect transport the per-kind meter tallies
+//! match the function-call path exactly; under loss the extra
+//! retransmissions, [`MessageKind::Timeout`]s and
+//! [`MessageKind::DiscoveryRetry`]s become visible in the same meter.
+//!
+//! Time has two scales. The system's coarse [`Clock`](bristle_core::time::Clock)
+//! (lease windows, record TTLs) stays frozen while an operation is in
+//! flight, exactly as the function-call path completes a route "within"
+//! one clock instant; the driver's own [`EventQueue`] runs a fine-grained
+//! micro-clock for link latencies and retry timers.
+
+use std::collections::HashMap;
+
+use bristle_core::location::LocationRecord;
+use bristle_core::naming::Mobility;
+use bristle_core::registry::Registrant;
+use bristle_core::system::BristleSystem;
+use bristle_core::time::SimTime;
+use bristle_netsim::graph::RouterId;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::MessageKind;
+use bristle_proto::machine::{Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind};
+use bristle_proto::transport::{Delivery, FaultConfig, SimTransport, Transport};
+use bristle_proto::wire::WireAddr;
+
+use crate::engine::EventQueue;
+
+/// Hard cap on events processed per driver operation; hitting it means a
+/// protocol bug (unbounded retry), not a slow network.
+const MAX_EVENTS_PER_OP: u64 = 2_000_000;
+
+/// Events on the driver's micro-clock.
+enum MsgEvent {
+    /// Bytes arrive at a router (discarded if the destination host has
+    /// moved away from it in the meantime).
+    Deliver(Delivery),
+    /// A machine's retry timer expires.
+    Timer {
+        /// The machine the timer belongs to.
+        node: Key,
+        /// The timer payload.
+        kind: TimerKind,
+    },
+    /// A scheduled mid-operation disruption: move a mobile node.
+    Move {
+        /// The node to move.
+        key: Key,
+        /// Destination router (random when `None`).
+        to: Option<RouterId>,
+    },
+}
+
+/// Why a messaging operation did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessagingError {
+    /// Every retry of some hop was exhausted; the route died at `at`.
+    RouteFailed {
+        /// Route originator.
+        origin: Key,
+        /// Originator-scoped route id.
+        route_id: u64,
+        /// Node at which forwarding gave up.
+        at: Key,
+    },
+    /// The event queue drained without the operation completing.
+    Stalled,
+    /// The per-operation event budget was hit — a retry loop is not
+    /// converging.
+    Runaway,
+    /// The named node is not part of the system.
+    UnknownNode(Key),
+}
+
+impl std::fmt::Display for MessagingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessagingError::RouteFailed { origin, route_id, at } => {
+                write!(f, "route {route_id} from {origin} failed at {at}: retries exhausted")
+            }
+            MessagingError::Stalled => write!(f, "event queue drained before the operation completed"),
+            MessagingError::Runaway => write!(f, "event budget exhausted: retry loop not converging"),
+            MessagingError::UnknownNode(k) => write!(f, "unknown node {k}"),
+        }
+    }
+}
+
+impl std::error::Error for MessagingError {}
+
+/// What a completed messaging route reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessagingRouteReport {
+    /// Originator-scoped route id.
+    pub route_id: u64,
+    /// Micro-clock time the route reached its target's owner.
+    pub delivered_at: SimTime,
+    /// Events processed while the route was in flight.
+    pub events: u64,
+}
+
+/// The machines' window onto the shared system: every [`NodeEnv`] query
+/// or commit maps onto the exact state the function-call path reads and
+/// writes, which is what makes the meter tallies comparable.
+struct SystemEnv<'a> {
+    sys: &'a mut BristleSystem,
+}
+
+impl NodeEnv for SystemEnv<'_> {
+    fn next_hop_mobile(&self, cur: Key, target: Key) -> Option<Key> {
+        self.sys.mobile.next_hop(cur, target).ok().flatten()
+    }
+
+    fn next_hop_stationary(&self, cur: Key, target: Key) -> Option<Key> {
+        self.sys.stationary.next_hop(cur, target).ok().flatten()
+    }
+
+    fn is_mobile(&self, key: Key) -> bool {
+        self.sys.is_mobile(key)
+    }
+
+    fn entry_stationary(&self, from: Key) -> Key {
+        self.sys.entry_stationary_for(from).unwrap_or(from)
+    }
+
+    fn replicas(&self, subject: Key) -> Vec<Key> {
+        self.sys
+            .stationary
+            .replica_set(subject, self.sys.config().location_replicas)
+            .unwrap_or_default()
+    }
+
+    fn current_addr(&self, key: Key) -> WireAddr {
+        let host = self.sys.node_info(key).expect("known node").host;
+        WireAddr::from_net(bristle_overlay::addr::NetAddr::current(host, &self.sys.attachments))
+    }
+
+    fn addr_current(&self, addr: WireAddr) -> bool {
+        addr.to_net().is_valid(&self.sys.attachments)
+    }
+
+    fn believed_addr(&self, holder: Key, subject: Key) -> Option<WireAddr> {
+        let cached = self.sys.mobile.node(holder).ok()?.entry(subject).and_then(|p| p.addr)?;
+        if self.sys.leases.is_fresh(holder, subject, self.sys.clock.now()) {
+            Some(WireAddr::from_net(cached))
+        } else {
+            None
+        }
+    }
+
+    fn location_record(&self, holder: Key, subject: Key) -> Option<WireAddr> {
+        let rec = self.sys.stationary.node(holder).ok()?.store.get(&subject)?;
+        Some(WireAddr::from_net(rec.addr))
+    }
+
+    fn distance(&self, a: RouterId, b: RouterId) -> u64 {
+        self.sys.distances().distance(a, b)
+    }
+
+    fn meter(&mut self, kind: MessageKind, cost: u64) {
+        self.sys.meter.record(kind, cost);
+    }
+
+    fn bump(&mut self, kind: MessageKind) {
+        self.sys.meter.bump(kind, 1);
+    }
+
+    fn commit_resolution(&mut self, asker: Key, subject: Key, addr: WireAddr) {
+        let now = self.sys.clock.now();
+        let ttl = self.sys.config().lease_ttl;
+        self.sys.leases.grant(asker, subject, now, ttl);
+        if let Ok(node) = self.sys.mobile.node_mut(asker) {
+            if let Some(pair) = node.entry_mut(subject) {
+                pair.addr = Some(addr.to_net());
+            }
+        }
+    }
+
+    fn apply_update(&mut self, receiver: Key, subject: Key, addr: WireAddr, _seq: u64) {
+        let now = self.sys.clock.now();
+        let ttl = self.sys.config().lease_ttl;
+        self.sys.leases.grant(receiver, subject, now, ttl);
+        if let Ok(node) = self.sys.mobile.node_mut(receiver) {
+            if let Some(pair) = node.entry_mut(subject) {
+                pair.addr = Some(addr.to_net());
+            }
+        }
+    }
+
+    fn apply_register(&mut self, target: Key, who: Key, capacity: u32) {
+        self.sys.registry.register(Registrant::new(who, capacity), target);
+    }
+
+    fn commit_register(&mut self, who: Key, target: Key) {
+        let now = self.sys.clock.now();
+        let ttl = self.sys.config().lease_ttl;
+        self.sys.leases.grant(who, target, now, ttl);
+    }
+
+    fn apply_publish(&mut self, holder: Key, subject: Key, addr: WireAddr, seq: u64) {
+        let record = LocationRecord {
+            subject,
+            addr: addr.to_net(),
+            seq,
+            published_at: self.sys.clock.now(),
+            ttl: self.sys.config().location_ttl,
+        };
+        if let Ok(node) = self.sys.stationary.node_mut(holder) {
+            let keep = node.store.get(&subject).map(|r| r.seq <= seq).unwrap_or(true);
+            if keep {
+                node.store.insert(subject, record);
+            }
+        }
+    }
+}
+
+/// A [`BristleSystem`] driven entirely by messages over a
+/// [`SimTransport`].
+pub struct MessagingBristleSystem {
+    /// The shared system state (routing tables, leases, meter, clock).
+    pub sys: BristleSystem,
+    transport: SimTransport,
+    machines: HashMap<Key, ProtoMachine>,
+    queue: EventQueue<MsgEvent>,
+    policy: RetryPolicy,
+    completions: Vec<Completion>,
+}
+
+impl MessagingBristleSystem {
+    /// Wraps `sys` with per-node machines and a seeded transport with the
+    /// given fault schedule.
+    pub fn new(sys: BristleSystem, faults: FaultConfig, seed: u64) -> Self {
+        Self::with_policy(sys, faults, seed, RetryPolicy::default())
+    }
+
+    /// Like [`Self::new`] with an explicit retry policy. The policy's
+    /// timeouts must comfortably exceed the worst link latency or a
+    /// loss-free run will retransmit spuriously and break meter parity.
+    pub fn with_policy(sys: BristleSystem, faults: FaultConfig, seed: u64, policy: RetryPolicy) -> Self {
+        let transport = SimTransport::new(sys.distances_arc(), faults, seed);
+        MessagingBristleSystem {
+            sys,
+            transport,
+            machines: HashMap::new(),
+            queue: EventQueue::new(),
+            policy,
+            completions: Vec::new(),
+        }
+    }
+
+    /// The transport (for its trace).
+    pub fn transport(&self) -> &SimTransport {
+        &self.transport
+    }
+
+    /// The driver's micro-clock.
+    pub fn micro_now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedules a mobile node's move at micro-time `at`, to be executed
+    /// while a later operation's event loop runs past that time.
+    pub fn schedule_move(&mut self, at: SimTime, key: Key, to: Option<RouterId>) {
+        self.queue.schedule_at(at, MsgEvent::Move { key, to });
+    }
+
+    /// Routes a message from `src` toward `target` entirely by message
+    /// passing, driving the event loop until the route completes or
+    /// fails. Lost hops time out and retransmit; hops to a moved mobile
+    /// peer fall back to a `_discovery` through the stationary layer.
+    pub fn route(&mut self, src: Key, target: Key) -> Result<MessagingRouteReport, MessagingError> {
+        if self.sys.node_info(src).is_err() {
+            return Err(MessagingError::UnknownNode(src));
+        }
+        let now = self.queue.now();
+        let (route_id, out) = {
+            let machine =
+                self.machines.entry(src).or_insert_with(|| ProtoMachine::new(src, self.policy));
+            let mut env = SystemEnv { sys: &mut self.sys };
+            machine.start_route(now, &mut env, target)
+        };
+        self.dispatch(src, out);
+        let mut events = 0u64;
+        loop {
+            if let Some(done) = self.take_route_completion(src, route_id)? {
+                return Ok(MessagingRouteReport { route_id, delivered_at: done, events });
+            }
+            if events >= MAX_EVENTS_PER_OP {
+                return Err(MessagingError::Runaway);
+            }
+            if !self.step() {
+                return Err(MessagingError::Stalled);
+            }
+            events += 1;
+        }
+    }
+
+    /// Disseminates `key`'s current address through its LDT by reliable
+    /// Update messages (the message-passing `advertise_update`), running
+    /// the event loop until every edge is acked or exhausts its retries.
+    /// Returns the number of acknowledged edges.
+    pub fn disseminate_update(&mut self, key: Key) -> Result<usize, MessagingError> {
+        let info = *self.sys.node_info(key).map_err(|_| MessagingError::UnknownNode(key))?;
+        let ldt = self.sys.build_ldt(key).map_err(|_| MessagingError::UnknownNode(key))?;
+        let addr = WireAddr::from_net(bristle_overlay::addr::NetAddr::current(
+            info.host,
+            &self.sys.attachments,
+        ));
+        let mut by_parent: Vec<(Key, Vec<Key>)> = Vec::new();
+        for (parent, child) in ldt.edges() {
+            match by_parent.iter_mut().find(|(p, _)| *p == parent) {
+                Some((_, cs)) => cs.push(child),
+                None => by_parent.push((parent, vec![child])),
+            }
+        }
+        let mut expected = 0usize;
+        for (parent, children) in by_parent {
+            expected += children.len();
+            let now = self.queue.now();
+            let out = {
+                let machine = self
+                    .machines
+                    .entry(parent)
+                    .or_insert_with(|| ProtoMachine::new(parent, self.policy));
+                let mut env = SystemEnv { sys: &mut self.sys };
+                machine.start_update(now, &mut env, key, addr, info.seq, &children)
+            };
+            self.dispatch(parent, out);
+        }
+        let mut acked = 0usize;
+        let mut settled = 0usize;
+        let mut events = 0u64;
+        while settled < expected {
+            self.completions.retain(|c| match c {
+                Completion::UpdateAcked { .. } => {
+                    acked += 1;
+                    settled += 1;
+                    false
+                }
+                Completion::UpdateFailed { .. } => {
+                    settled += 1;
+                    false
+                }
+                _ => true,
+            });
+            if settled >= expected {
+                break;
+            }
+            if events >= MAX_EVENTS_PER_OP {
+                return Err(MessagingError::Runaway);
+            }
+            if !self.step() {
+                return Err(MessagingError::Stalled);
+            }
+            events += 1;
+        }
+        Ok(acked)
+    }
+
+    /// Registers `who`'s interest in mobile `target` by message, driving
+    /// the loop until the registration is acked (lease granted) or fails.
+    pub fn register(&mut self, who: Key, target: Key) -> Result<(), MessagingError> {
+        let info = *self.sys.node_info(who).map_err(|_| MessagingError::UnknownNode(who))?;
+        if self.sys.node_info(target).map(|i| i.mobility) != Ok(Mobility::Mobile) {
+            return Err(MessagingError::UnknownNode(target));
+        }
+        let now = self.queue.now();
+        let out = {
+            let machine =
+                self.machines.entry(who).or_insert_with(|| ProtoMachine::new(who, self.policy));
+            let mut env = SystemEnv { sys: &mut self.sys };
+            machine.start_register(now, &mut env, target, info.capacity)
+        };
+        self.dispatch(who, out);
+        let mut events = 0u64;
+        loop {
+            let mut done = None;
+            self.completions.retain(|c| match *c {
+                Completion::Registered { target: t } if t == target => {
+                    done = Some(Ok(()));
+                    false
+                }
+                Completion::RegisterFailed { target: t } if t == target => {
+                    done = Some(Err(MessagingError::Stalled));
+                    false
+                }
+                _ => true,
+            });
+            if let Some(r) = done {
+                return r;
+            }
+            if events >= MAX_EVENTS_PER_OP {
+                return Err(MessagingError::Runaway);
+            }
+            if !self.step() {
+                return Err(MessagingError::Stalled);
+            }
+            events += 1;
+        }
+    }
+
+    /// Drains every pending event (stray acks, stale timers) so the next
+    /// operation starts from a quiet network.
+    pub fn settle(&mut self) {
+        let mut budget = MAX_EVENTS_PER_OP;
+        while budget > 0 && self.step() {
+            budget -= 1;
+        }
+        self.completions.clear();
+    }
+
+    /// Pops and handles one event. Returns false when the queue is empty.
+    fn step(&mut self) -> bool {
+        let Some((now, event)) = self.queue.pop() else {
+            return false;
+        };
+        match event {
+            MsgEvent::Deliver(d) => {
+                // The sender addressed a router; if the destination host
+                // has moved away since, the bytes black-hole there.
+                let dst = d.env.dst;
+                match self.sys.router_of(dst) {
+                    Ok(r) if r == d.to_router => {
+                        let out = {
+                            let machine = self
+                                .machines
+                                .entry(dst)
+                                .or_insert_with(|| ProtoMachine::new(dst, self.policy));
+                            let mut env = SystemEnv { sys: &mut self.sys };
+                            machine.poll(now, Event::Deliver(d.env), &mut env)
+                        };
+                        self.dispatch(dst, out);
+                    }
+                    _ => {}
+                }
+            }
+            MsgEvent::Timer { node, kind } => {
+                if let Some(machine) = self.machines.get_mut(&node) {
+                    let out = {
+                        let mut env = SystemEnv { sys: &mut self.sys };
+                        machine.poll(now, Event::Timer(kind), &mut env)
+                    };
+                    self.dispatch(node, out);
+                }
+            }
+            MsgEvent::Move { key, to } => {
+                let _ = self.sys.move_node(key, to);
+            }
+        }
+        true
+    }
+
+    /// Turns one machine's [`Output`] into transport sends, scheduled
+    /// deliveries and armed timers.
+    fn dispatch(&mut self, from: Key, out: Output) {
+        let now = self.queue.now();
+        let from_router = match self.sys.router_of(from) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        for o in out.outgoing {
+            let to_router = o.to_addr.router_id();
+            for d in self.transport.send(now, from_router, to_router, o.env) {
+                self.queue.schedule_at(d.at, MsgEvent::Deliver(d));
+            }
+        }
+        for t in out.timers {
+            self.queue.schedule_at(t.at, MsgEvent::Timer { node: from, kind: t.kind });
+        }
+        self.completions.extend(out.completions);
+    }
+
+    /// Scans buffered completions for this route's outcome.
+    fn take_route_completion(
+        &mut self,
+        origin: Key,
+        route_id: u64,
+    ) -> Result<Option<SimTime>, MessagingError> {
+        let mut found = None;
+        let now = self.queue.now();
+        self.completions.retain(|c| match *c {
+            Completion::Delivered { origin: o, route_id: r } if o == origin && r == route_id => {
+                if found.is_none() {
+                    found = Some(Ok(Some(now)));
+                }
+                false
+            }
+            Completion::RouteFailed { origin: o, route_id: r, at } if o == origin && r == route_id => {
+                if found.is_none() {
+                    found = Some(Err(MessagingError::RouteFailed { origin: o, route_id: r, at }));
+                }
+                false
+            }
+            _ => true,
+        });
+        found.unwrap_or(Ok(None))
+    }
+}

@@ -7,7 +7,10 @@
 //! * [`core`] — the Bristle protocol (two layers, LDTs, clustered naming).
 //! * [`overlay`] — the HS-P2P substrate (ring DHT, replication).
 //! * [`netsim`] — the physical network simulator (transit-stub, Dijkstra).
-//! * [`sim`] — experiment harness, baselines, per-figure drivers.
+//! * [`proto`] — sans-I/O wire protocol, state machines, fault-injecting
+//!   transport.
+//! * [`sim`] — experiment harness, baselines, per-figure drivers,
+//!   message-passing driver.
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction notes.
@@ -15,6 +18,7 @@
 pub use bristle_core as core;
 pub use bristle_netsim as netsim;
 pub use bristle_overlay as overlay;
+pub use bristle_proto as proto;
 pub use bristle_sim as sim;
 
 pub use bristle_core::prelude;
