@@ -73,7 +73,11 @@ pub fn sort_by_capacity(registrants: &mut [Registrant]) {
 /// assert_eq!(steps.len(), 1);
 /// assert_eq!(steps[0].head.capacity, 6);
 /// ```
-pub fn plan_advertisement(registrants: &[Registrant], avail: u32, unit_cost: u32) -> Vec<AdvertiseStep> {
+pub fn plan_advertisement(
+    registrants: &[Registrant],
+    avail: u32,
+    unit_cost: u32,
+) -> Vec<AdvertiseStep> {
     assert!(unit_cost >= 1, "unit cost v must be positive");
     if registrants.is_empty() {
         return Vec::new();

@@ -279,8 +279,12 @@ mod tests {
         let hist = tree.level_histogram();
         if hist.len() >= 3 {
             let avg_at = |lvl: u32| {
-                let v: Vec<u32> =
-                    tree.nodes().iter().filter(|n| n.level == lvl && n.parent.is_some()).map(|n| n.capacity).collect();
+                let v: Vec<u32> = tree
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.level == lvl && n.parent.is_some())
+                    .map(|n| n.capacity)
+                    .collect();
                 v.iter().sum::<u32>() as f64 / v.len() as f64
             };
             assert!(avg_at(2) >= avg_at(tree.depth()), "capable nodes sit higher");

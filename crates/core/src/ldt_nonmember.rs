@@ -70,8 +70,11 @@ impl NonMemberTree {
             }
         }
         let member_set: HashSet<Key> = members.iter().copied().collect();
-        let helpers =
-            participants.iter().copied().filter(|k| *k != root && !member_set.contains(k)).collect();
+        let helpers = participants
+            .iter()
+            .copied()
+            .filter(|k| *k != root && !member_set.contains(k))
+            .collect();
         Ok(NonMemberTree { root, members: members.to_vec(), participants, helpers, edges })
     }
 

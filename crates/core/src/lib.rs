@@ -73,8 +73,8 @@ pub use naming::{Mobility, NamingScheme};
 pub use registry::{Registrant, Registry};
 pub use stats::SystemStats;
 pub use system::{BristleBuilder, BristleSystem, MoveReport, NodeInfo};
-pub use upkeep::UpkeepReport;
 pub use time::{Clock, SimTime};
+pub use upkeep::UpkeepReport;
 
 /// Everything most users need, re-exported flat.
 pub mod prelude {

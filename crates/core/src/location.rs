@@ -36,7 +36,13 @@ impl LocationRecord {
         now: SimTime,
         ttl: u64,
     ) -> LocationRecord {
-        LocationRecord { subject, addr: NetAddr::current(host, attachments), seq, published_at: now, ttl }
+        LocationRecord {
+            subject,
+            addr: NetAddr::current(host, attachments),
+            seq,
+            published_at: now,
+            ttl,
+        }
     }
 
     /// Whether the recorded address still reaches the subject.

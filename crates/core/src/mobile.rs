@@ -209,7 +209,12 @@ impl BristleSystem {
 
     /// Stores application data under `data_key` in the mobile-layer
     /// HS-P2P: routes to the owner (Fig. 2 semantics) and stores there.
-    pub fn store_data(&mut self, src: Key, data_key: Key, payload: Vec<u8>) -> Result<MobileRouteReport> {
+    pub fn store_data(
+        &mut self,
+        src: Key,
+        data_key: Key,
+        payload: Vec<u8>,
+    ) -> Result<MobileRouteReport> {
         let report = self.route_mobile(src, data_key)?;
         self.mobile.node_mut(report.terminus)?.store.insert(data_key, payload);
         Ok(report)
@@ -217,7 +222,11 @@ impl BristleSystem {
 
     /// Fetches application data stored under `data_key`, returning the
     /// payload (if present at the owner) and the route report.
-    pub fn fetch_data(&mut self, src: Key, data_key: Key) -> Result<(Option<Vec<u8>>, MobileRouteReport)> {
+    pub fn fetch_data(
+        &mut self,
+        src: Key,
+        data_key: Key,
+    ) -> Result<(Option<Vec<u8>>, MobileRouteReport)> {
         let report = self.route_mobile(src, data_key)?;
         let payload = self.mobile.node(report.terminus)?.store.get(&data_key).cloned();
         Ok((payload, report))

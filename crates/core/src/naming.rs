@@ -71,7 +71,7 @@ impl NamingScheme {
         );
         let band = (stationary_fraction * RING_SIZE_F64) as u64;
         let band = band.max(2); // keep the band non-degenerate
-        // Center the band: L = (ρ − band) / 2, U = L + band − 1.
+                                // Center the band: L = (ρ − band) / 2, U = L + band − 1.
         let l = ((RING_SIZE_F64 - band as f64) / 2.0) as u64;
         let l = l.max(1); // 0 < L
         let u = l.saturating_add(band - 1).min(u64::MAX - 1); // U < ρ

@@ -72,7 +72,11 @@ impl BristleSystem {
             expired_records,
             leases: self.leases.len(),
             registrations,
-            avg_registrants_per_mobile: if mobile == 0 { 0.0 } else { registrations as f64 / mobile as f64 },
+            avg_registrants_per_mobile: if mobile == 0 {
+                0.0
+            } else {
+                registrations as f64 / mobile as f64
+            },
             total_messages: self.meter.total_messages(),
             total_message_cost: self.meter.total_cost(),
             total_moves: self.attachments.total_moves(),

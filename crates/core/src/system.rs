@@ -158,12 +158,15 @@ impl BristleBuilder {
         let mut topo_rng = rng.split(1);
         let topo = TransitStubTopology::generate(&self.topology, &mut topo_rng);
         let stub_routers = topo.stub_routers().to_vec();
-        let dcache = Arc::new(DistanceCache::new(Arc::new(topo.into_graph()), self.distance_cache_rows));
+        let dcache =
+            Arc::new(DistanceCache::new(Arc::new(topo.into_graph()), self.distance_cache_rows));
 
         let total = self.n_stationary + self.n_mobile;
         let naming = match self.config.naming {
             NamingPolicy::Scrambled => NamingScheme::Scrambled,
-            NamingPolicy::Clustered => NamingScheme::clustered(self.n_stationary as f64 / total as f64),
+            NamingPolicy::Clustered => {
+                NamingScheme::clustered(self.n_stationary as f64 / total as f64)
+            }
         };
         let ring = self.config.ring.clone();
 
@@ -607,8 +610,10 @@ mod tests {
     #[test]
     fn registrations_per_mobile_scale_like_log_n() {
         let sys = small_system(100, 50, 5);
-        let avg = sys.mobile_keys().iter().map(|&m| sys.registry.registrants_of(m).len()).sum::<usize>() as f64
-            / sys.mobile_keys().len() as f64;
+        let avg =
+            sys.mobile_keys().iter().map(|&m| sys.registry.registrants_of(m).len()).sum::<usize>()
+                as f64
+                / sys.mobile_keys().len() as f64;
         // O(log N): log2(150) ≈ 7.2, our tables hold ~2–5× that.
         assert!(avg > 3.0 && avg < 60.0, "avg registrants {avg}");
     }
@@ -621,7 +626,10 @@ mod tests {
         let report = sys.move_node(m, None).unwrap();
         assert!(report.publish_hops >= 1);
         assert_eq!(report.updates_sent, report.ldt.edge_count());
-        assert_eq!(sys.meter.count(MessageKind::Update) - before_updates, report.updates_sent as u64);
+        assert_eq!(
+            sys.meter.count(MessageKind::Update) - before_updates,
+            report.updates_sent as u64
+        );
         // The published record reflects the *new* attachment.
         let owner = sys.stationary.owner(m).unwrap();
         let rec = sys.stationary.node(owner).unwrap().store.get(&m).unwrap();

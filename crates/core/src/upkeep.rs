@@ -64,7 +64,8 @@ impl BristleSystem {
         // Failure detection + local repair, both layers.
         let dcache = self.distances_arc();
         let mut rng = self.rng().split(6);
-        report.mobile_repair = self.mobile.repair_sweep(&self.attachments, &dcache, &mut rng, &mut self.meter);
+        report.mobile_repair =
+            self.mobile.repair_sweep(&self.attachments, &dcache, &mut rng, &mut self.meter);
         report.stationary_repair =
             self.stationary.repair_sweep(&self.attachments, &dcache, &mut rng, &mut self.meter);
 

@@ -61,7 +61,12 @@ impl AttachmentMap {
     }
 
     /// Registers `n` new hosts at random routers drawn from `candidates`.
-    pub fn attach_many(&mut self, n: usize, candidates: &[RouterId], rng: &mut Pcg64) -> Vec<HostId> {
+    pub fn attach_many(
+        &mut self,
+        n: usize,
+        candidates: &[RouterId],
+        rng: &mut Pcg64,
+    ) -> Vec<HostId> {
         assert!(!candidates.is_empty(), "no attachment candidates");
         (0..n).map(|_| self.attach_new(*rng.choose(candidates))).collect()
     }
@@ -99,7 +104,12 @@ impl AttachmentMap {
 
     /// Moves `host` to a random router from `candidates` distinct from its
     /// current one when possible.
-    pub fn move_host_random(&mut self, host: HostId, candidates: &[RouterId], rng: &mut Pcg64) -> Attachment {
+    pub fn move_host_random(
+        &mut self,
+        host: HostId,
+        candidates: &[RouterId],
+        rng: &mut Pcg64,
+    ) -> Attachment {
         assert!(!candidates.is_empty(), "no attachment candidates");
         let cur = self.router(host);
         let mut target = *rng.choose(candidates);

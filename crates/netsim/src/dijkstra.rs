@@ -112,7 +112,11 @@ impl DistanceCache {
         DistanceCache {
             graph,
             capacity: capacity.max(1),
-            slots: RwLock::new(CacheSlots { index: vec![u32::MAX; n], entries: Vec::new(), cursor: 0 }),
+            slots: RwLock::new(CacheSlots {
+                index: vec![u32::MAX; n],
+                entries: Vec::new(),
+                cursor: 0,
+            }),
         }
     }
 
@@ -229,14 +233,22 @@ mod tests {
         // Random spanning tree, then extra chords.
         for i in 1..n {
             let j = rng.index(i);
-            g.add_edge(RouterId(i as u32), RouterId(j as u32), rng.range_inclusive(1, 20) as Weight);
+            g.add_edge(
+                RouterId(i as u32),
+                RouterId(j as u32),
+                rng.range_inclusive(1, 20) as Weight,
+            );
         }
         let mut added = 0;
         while added < extra {
             let a = rng.index(n);
             let b = rng.index(n);
             if a != b && !g.has_edge(RouterId(a as u32), RouterId(b as u32)) {
-                g.add_edge(RouterId(a as u32), RouterId(b as u32), rng.range_inclusive(1, 20) as Weight);
+                g.add_edge(
+                    RouterId(a as u32),
+                    RouterId(b as u32),
+                    rng.range_inclusive(1, 20) as Weight,
+                );
                 added += 1;
             }
         }

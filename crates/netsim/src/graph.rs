@@ -81,9 +81,7 @@ impl Graph {
 
     /// Returns whether an edge `a — b` exists (any weight).
     pub fn has_edge(&self, a: RouterId, b: RouterId) -> bool {
-        self.adj
-            .get(a.index())
-            .is_some_and(|edges| edges.iter().any(|e| e.to == b))
+        self.adj.get(a.index()).is_some_and(|edges| edges.iter().any(|e| e.to == b))
     }
 
     /// The neighbors (with weights) of vertex `v`.
@@ -127,11 +125,7 @@ impl Graph {
 
     /// Sum of all link weights (each undirected edge counted once).
     pub fn total_weight(&self) -> u64 {
-        self.adj
-            .iter()
-            .flat_map(|edges| edges.iter().map(|e| e.weight as u64))
-            .sum::<u64>()
-            / 2
+        self.adj.iter().flat_map(|edges| edges.iter().map(|e| e.weight as u64)).sum::<u64>() / 2
     }
 }
 
@@ -160,7 +154,10 @@ mod tests {
         let g = triangle();
         for v in g.vertices() {
             for e in g.neighbors(v) {
-                assert!(g.neighbors(e.to).iter().any(|back| back.to == v && back.weight == e.weight));
+                assert!(g
+                    .neighbors(e.to)
+                    .iter()
+                    .any(|back| back.to == v && back.weight == e.weight));
             }
         }
     }

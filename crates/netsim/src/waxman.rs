@@ -66,12 +66,11 @@ impl WaxmanTopology {
         config.validate();
         let n = config.routers;
         let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.f64(), rng.f64())).collect();
-        let dist =
-            |a: usize, b: usize| -> f64 {
-                let (ax, ay) = positions[a];
-                let (bx, by) = positions[b];
-                ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
-            };
+        let dist = |a: usize, b: usize| -> f64 {
+            let (ax, ay) = positions[a];
+            let (bx, by) = positions[b];
+            ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+        };
         let l = 2f64.sqrt(); // max distance in the unit square
         let weight_of = |d: f64| -> Weight {
             ((d / l) * config.max_link_weight as f64).round().max(1.0) as Weight

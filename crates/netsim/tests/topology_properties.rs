@@ -104,12 +104,14 @@ mod proptest_based {
     use proptest::prelude::*;
 
     fn config_strategy() -> impl Strategy<Value = TransitStubConfig> {
-        (1usize..=3, 1usize..=3, 1usize..=3, 1usize..=6).prop_map(|(td, rpt, spt, rps)| TransitStubConfig {
-            transit_domains: td,
-            routers_per_transit: rpt,
-            stubs_per_transit_router: spt,
-            routers_per_stub: rps,
-            ..TransitStubConfig::tiny()
+        (1usize..=3, 1usize..=3, 1usize..=3, 1usize..=6).prop_map(|(td, rpt, spt, rps)| {
+            TransitStubConfig {
+                transit_domains: td,
+                routers_per_transit: rpt,
+                stubs_per_transit_router: spt,
+                routers_per_stub: rps,
+                ..TransitStubConfig::tiny()
+            }
         })
     }
 

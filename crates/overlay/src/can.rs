@@ -240,10 +240,7 @@ impl<V> CanOverlay<V> {
 
     /// The node whose zone contains `p`.
     pub fn owner_of_point(&self, p: &Point) -> Option<Key> {
-        self.nodes
-            .values()
-            .find(|n| n.zones.iter().any(|z| z.contains(p)))
-            .map(|n| n.key)
+        self.nodes.values().find(|n| n.zones.iter().any(|z| z.contains(p))).map(|n| n.key)
     }
 
     /// The owner of record key `k` (its derived point).
@@ -253,7 +250,12 @@ impl<V> CanOverlay<V> {
 
     /// Joins a node: splits the zone containing the joiner's point.
     /// The first node takes the whole torus.
-    pub fn join(&mut self, key: Key, host: HostId, rng: &mut Pcg64) -> Result<(), crate::ring::RingError> {
+    pub fn join(
+        &mut self,
+        key: Key,
+        host: HostId,
+        rng: &mut Pcg64,
+    ) -> Result<(), crate::ring::RingError> {
         if self.nodes.contains_key(&key) {
             return Err(crate::ring::RingError::DuplicateKey(key));
         }
@@ -272,18 +274,14 @@ impl<V> CanOverlay<V> {
         }
         let victim = self.owner_of_point(&p).expect("torus fully covered");
         let victim_node = self.nodes.get_mut(&victim).expect("known");
-        let zone_idx = victim_node
-            .zones
-            .iter()
-            .position(|z| z.contains(&p))
-            .expect("owner contains point");
+        let zone_idx =
+            victim_node.zones.iter().position(|z| z.contains(&p)).expect("owner contains point");
         let (lower, upper) = victim_node.zones[zone_idx].split();
         // The half containing p goes to whoever keeps splitting balanced:
         // give the joiner the half containing p.
         let (keep, give) = if upper.contains(&p) { (lower, upper) } else { (upper, lower) };
         victim_node.zones[zone_idx] = keep;
-        self.nodes
-            .insert(key, CanNode { key, host, zones: vec![give], neighbors: Vec::new() });
+        self.nodes.insert(key, CanNode { key, host, zones: vec![give], neighbors: Vec::new() });
         self.rewire_neighbors();
         Ok(())
     }
@@ -348,18 +346,15 @@ impl<V> CanOverlay<V> {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.values().map(|n| n.neighbors.len()).sum::<usize>() as f64 / self.nodes.len() as f64
+        self.nodes.values().map(|n| n.neighbors.len()).sum::<usize>() as f64
+            / self.nodes.len() as f64
     }
 
     /// Greedy-routes from `src` toward the point of `target`, returning
     /// the node sequence visited after `src`.
     pub fn route(&self, src: Key, target: Key) -> Result<Vec<Key>, crate::ring::RingError> {
         let p = point_of_key(target, self.dims);
-        let mut cur = self
-            .nodes
-            .get(&src)
-            .ok_or(crate::ring::RingError::UnknownNode(src))?
-            .key;
+        let mut cur = self.nodes.get(&src).ok_or(crate::ring::RingError::UnknownNode(src))?.key;
         let mut hops = Vec::new();
         let mut cur_dist = self.node_distance(cur, &p);
         let limit = 16 * (self.nodes.len() + 4);
@@ -385,12 +380,7 @@ impl<V> CanOverlay<V> {
     }
 
     fn node_distance(&self, key: Key, p: &Point) -> u128 {
-        self.nodes[&key]
-            .zones
-            .iter()
-            .map(|z| z.distance_to(p))
-            .min()
-            .unwrap_or(u128::MAX)
+        self.nodes[&key].zones.iter().map(|z| z.distance_to(p)).min().unwrap_or(u128::MAX)
     }
 
     /// Stores a record at the owner of `k`.

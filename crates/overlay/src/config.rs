@@ -33,7 +33,12 @@ impl RingConfig {
     /// selection. Matches the route-length magnitudes in the paper
     /// (≈ 5–6 application hops at N = 2 000).
     pub fn tornado() -> Self {
-        RingConfig { bits_per_digit: 2, leaf_radius: 4, candidate_window: 6, selection: NeighborSelection::Proximity }
+        RingConfig {
+            bits_per_digit: 2,
+            leaf_radius: 4,
+            candidate_window: 6,
+            selection: NeighborSelection::Proximity,
+        }
     }
 
     /// Tornado-like structure but locality-blind (paper Fig. 9's "without
@@ -45,7 +50,12 @@ impl RingConfig {
     /// Chord-like baseline: base-2 fingers, successor-only selection,
     /// no proximity awareness.
     pub fn chord() -> Self {
-        RingConfig { bits_per_digit: 1, leaf_radius: 4, candidate_window: 1, selection: NeighborSelection::First }
+        RingConfig {
+            bits_per_digit: 1,
+            leaf_radius: 4,
+            candidate_window: 1,
+            selection: NeighborSelection::First,
+        }
     }
 
     /// Number of digit levels implied by the digit width.

@@ -88,7 +88,14 @@ mod tests {
             let target = Key::random(&mut rng);
             let recursive = dht.route(src, target, &attachments, &dcache, &mut meter).unwrap();
             let iterative = dht
-                .route_iterative(src, target, MessageKind::DiscoveryHop, &attachments, &dcache, &mut meter)
+                .route_iterative(
+                    src,
+                    target,
+                    MessageKind::DiscoveryHop,
+                    &attachments,
+                    &dcache,
+                    &mut meter,
+                )
                 .unwrap();
             assert_eq!(recursive.hops, iterative.hops, "same greedy decisions");
         }
@@ -105,7 +112,14 @@ mod tests {
             let target = Key::random(&mut rng);
             rec += dht.route(src, target, &attachments, &dcache, &mut meter).unwrap().path_cost;
             ite += dht
-                .route_iterative(src, target, MessageKind::DiscoveryHop, &attachments, &dcache, &mut meter)
+                .route_iterative(
+                    src,
+                    target,
+                    MessageKind::DiscoveryHop,
+                    &attachments,
+                    &dcache,
+                    &mut meter,
+                )
                 .unwrap()
                 .path_cost;
         }
@@ -117,8 +131,15 @@ mod tests {
         let (dht, attachments, dcache, _) = setup(60, 3);
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
-        dht.route_iterative(keys[0], keys[keys.len() / 2], MessageKind::DiscoveryHop, &attachments, &dcache, &mut meter)
-            .unwrap();
+        dht.route_iterative(
+            keys[0],
+            keys[keys.len() / 2],
+            MessageKind::DiscoveryHop,
+            &attachments,
+            &dcache,
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(meter.count(MessageKind::RouteHop), 0);
         assert!(meter.count(MessageKind::DiscoveryHop) > 0);
     }

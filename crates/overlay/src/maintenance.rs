@@ -175,7 +175,14 @@ mod tests {
         assert_eq!(dht.node(heir).unwrap().store.get(&record_key), Some(&5));
         // And the heir is now the owner, so lookups keep working.
         let out = dht
-            .lookup(*dht.keys().next().as_ref().unwrap(), record_key, 1, &attachments, &dcache, &mut meter)
+            .lookup(
+                *dht.keys().next().as_ref().unwrap(),
+                record_key,
+                1,
+                &attachments,
+                &dcache,
+                &mut meter,
+            )
             .unwrap();
         assert_eq!(out.value, Some(5));
     }

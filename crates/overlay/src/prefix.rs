@@ -230,7 +230,12 @@ impl<V> PrefixDht<V> {
     }
 
     /// Rebuilds every node's state.
-    pub fn build_all_tables(&mut self, attachments: &AttachmentMap, dcache: &DistanceCache, rng: &mut Pcg64) {
+    pub fn build_all_tables(
+        &mut self,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        rng: &mut Pcg64,
+    ) {
         let keys: Vec<Key> = self.keys().collect();
         for k in keys {
             self.rebuild_node(k, attachments, dcache, rng).expect("known key");

@@ -66,7 +66,10 @@ impl<V> RingDht<V> {
             match self.node(e) {
                 Ok(n) => {
                     // Live: the probe costs one round trip.
-                    meter.record(MessageKind::Refresh, dcache.distance(my_router, attachments.router(n.host)));
+                    meter.record(
+                        MessageKind::Refresh,
+                        dcache.distance(my_router, attachments.router(n.host)),
+                    );
                 }
                 Err(_) => {
                     // Dead: the probe times out (still costs the attempt,

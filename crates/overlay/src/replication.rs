@@ -89,7 +89,12 @@ impl<V: Clone> RingDht<V> {
             }
             prev_router = router;
             if let Some(v) = self.node(candidate)?.store.get(&key) {
-                return Ok(LookupOutcome { value: Some(v.clone()), served_by: Some(candidate), hops, path_cost });
+                return Ok(LookupOutcome {
+                    value: Some(v.clone()),
+                    served_by: Some(candidate),
+                    hops,
+                    path_cost,
+                });
             }
         }
         Ok(LookupOutcome { value: None, served_by: None, hops, path_cost })
@@ -178,7 +183,8 @@ mod tests {
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
         let record_key = Key::random(&mut rng);
-        let set = dht.publish(keys[0], record_key, 99, 3, &attachments, &dcache, &mut meter).unwrap();
+        let set =
+            dht.publish(keys[0], record_key, 99, 3, &attachments, &dcache, &mut meter).unwrap();
         assert_eq!(set.len(), 3);
         let out = dht.lookup(keys[5], record_key, 3, &attachments, &dcache, &mut meter).unwrap();
         assert_eq!(out.value, Some(99));
@@ -191,7 +197,9 @@ mod tests {
         let (dht, attachments, dcache, mut rng) = setup(32, 2);
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
-        let out = dht.lookup(keys[0], Key::random(&mut rng), 3, &attachments, &dcache, &mut meter).unwrap();
+        let out = dht
+            .lookup(keys[0], Key::random(&mut rng), 3, &attachments, &dcache, &mut meter)
+            .unwrap();
         assert!(out.value.is_none());
         assert!(out.served_by.is_none());
     }
@@ -202,7 +210,8 @@ mod tests {
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
         let record_key = Key::random(&mut rng);
-        let set = dht.publish(keys[0], record_key, 7, 3, &attachments, &dcache, &mut meter).unwrap();
+        let set =
+            dht.publish(keys[0], record_key, 7, 3, &attachments, &dcache, &mut meter).unwrap();
         // Kill the owner without repairing anything.
         dht.remove(set[0]);
         let src = *keys.iter().find(|k| !set.contains(k)).unwrap();
@@ -217,7 +226,8 @@ mod tests {
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
         let record_key = Key::random(&mut rng);
-        let set = dht.publish(keys[0], record_key, 7, 1, &attachments, &dcache, &mut meter).unwrap();
+        let set =
+            dht.publish(keys[0], record_key, 7, 1, &attachments, &dcache, &mut meter).unwrap();
         dht.remove(set[0]);
         let src = *keys.iter().find(|k| !set.contains(k)).unwrap();
         let out = dht.lookup(src, record_key, 1, &attachments, &dcache, &mut meter).unwrap();
@@ -242,7 +252,8 @@ mod tests {
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
         let record_key = Key::random(&mut rng);
-        let set = dht.publish(keys[0], record_key, 1, 3, &attachments, &dcache, &mut meter).unwrap();
+        let set =
+            dht.publish(keys[0], record_key, 1, 3, &attachments, &dcache, &mut meter).unwrap();
         dht.remove(set[0]);
         dht.remove(set[1]);
         let moved = dht.rebalance_replicas(3, &attachments, &dcache, &mut meter).unwrap();

@@ -314,7 +314,12 @@ impl<V> RingDht<V> {
     }
 
     /// Rebuilds every node's routing state (steady-state snapshot).
-    pub fn build_all_tables(&mut self, attachments: &AttachmentMap, dcache: &DistanceCache, rng: &mut Pcg64) {
+    pub fn build_all_tables(
+        &mut self,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        rng: &mut Pcg64,
+    ) {
         let keys: Vec<Key> = self.keys().collect();
         for k in keys {
             self.rebuild_node(k, attachments, dcache, rng).expect("known key");
@@ -611,7 +616,8 @@ mod tests {
             sum as f64 / n as f64
         };
         let prox = avg_dist(RingConfig::tornado());
-        let first = avg_dist(RingConfig { selection: NeighborSelection::First, ..RingConfig::tornado() });
+        let first =
+            avg_dist(RingConfig { selection: NeighborSelection::First, ..RingConfig::tornado() });
         assert!(prox < first, "proximity {prox} must beat first {first}");
     }
 

@@ -137,8 +137,15 @@ mod tests {
         let (dht, attachments, dcache) = setup(80, 4);
         let keys: Vec<Key> = dht.keys().collect();
         let mut meter = Meter::new();
-        dht.route_as(keys[0], keys[keys.len() / 2], MessageKind::DiscoveryHop, &attachments, &dcache, &mut meter)
-            .unwrap();
+        dht.route_as(
+            keys[0],
+            keys[keys.len() / 2],
+            MessageKind::DiscoveryHop,
+            &attachments,
+            &dcache,
+            &mut meter,
+        )
+        .unwrap();
         assert_eq!(meter.count(MessageKind::RouteHop), 0);
         assert!(meter.count(MessageKind::DiscoveryHop) > 0);
     }

@@ -13,6 +13,10 @@ pub mod machine;
 pub mod transport;
 pub mod wire;
 
-pub use machine::{Completion, Event, NodeEnv, Outgoing, Output, ProtoMachine, RetryPolicy, Timer, TimerKind};
-pub use transport::{Delivery, FaultConfig, Fate, LinkFilter, SimTransport, TraceRecord, Transport};
+pub use machine::{
+    Completion, Event, NodeEnv, Outgoing, Output, ProtoMachine, RetryPolicy, Timer, TimerKind,
+};
+pub use transport::{
+    Delivery, Fate, FaultConfig, LinkFilter, SimTransport, TraceRecord, Transport,
+};
 pub use wire::{Envelope, WireAddr, WireError, WireMessage};

@@ -317,11 +317,15 @@ impl ProtoMachine {
     /// Starts routing a message from this node toward `target`.
     /// Returns the route id (for matching the eventual completion) and
     /// the first batch of effects.
-    pub fn start_route(&mut self, now: SimTime, env: &mut dyn NodeEnv, target: Key) -> (u64, Output) {
+    pub fn start_route(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        target: Key,
+    ) -> (u64, Output) {
         let route_id = self.fresh_msg_id();
         let mut out = Output::none();
-        let parked =
-            ParkedForward { origin: self.key, route_id, target, after_failure: false };
+        let parked = ParkedForward { origin: self.key, route_id, target, after_failure: false };
         self.forward_route(now, env, parked, &mut out);
         (route_id, out)
     }
@@ -386,8 +390,10 @@ impl ProtoMachine {
         };
         out.outgoing.push(outgoing.clone());
         self.registers.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: target });
-        out.timers
-            .push(Timer { at: now.plus(self.policy.ack_timeout), kind: TimerKind::RegisterRetry { msg_id } });
+        out.timers.push(Timer {
+            at: now.plus(self.policy.ack_timeout),
+            kind: TimerKind::RegisterRetry { msg_id },
+        });
         out
     }
 
@@ -498,8 +504,10 @@ impl ProtoMachine {
                 after_failure: parked.after_failure,
             },
         );
-        out.timers
-            .push(Timer { at: now.plus(self.policy.ack_timeout), kind: TimerKind::HopRetry { msg_id } });
+        out.timers.push(Timer {
+            at: now.plus(self.policy.ack_timeout),
+            kind: TimerKind::HopRetry { msg_id },
+        });
     }
 
     // -----------------------------------------------------------------
@@ -554,7 +562,12 @@ impl ProtoMachine {
                     src: self.key,
                     dst: entry,
                     msg_id,
-                    msg: WireMessage::Discovery { subject, asker: self.key, session: sid, probe: None },
+                    msg: WireMessage::Discovery {
+                        subject,
+                        asker: self.key,
+                        session: sid,
+                        probe: None,
+                    },
                 },
             });
         }
@@ -587,7 +600,12 @@ impl ProtoMachine {
                             src: self.key,
                             dst: nh,
                             msg_id,
-                            msg: WireMessage::Discovery { subject, asker, session: sid, probe: None },
+                            msg: WireMessage::Discovery {
+                                subject,
+                                asker,
+                                session: sid,
+                                probe: None,
+                            },
                         },
                     });
                     return;
@@ -751,8 +769,7 @@ impl ProtoMachine {
                     },
                 });
                 if !dup {
-                    let parked =
-                        ParkedForward { origin, route_id, target, after_failure: false };
+                    let parked = ParkedForward { origin, route_id, target, after_failure: false };
                     self.forward_route(now, env, parked, &mut out);
                 }
             }
@@ -822,7 +839,9 @@ impl ProtoMachine {
                     env.apply_publish(self.key, subject, addr, seq);
                 }
             }
-            WireMessage::JoinProbe { .. } | WireMessage::Leave { .. } | WireMessage::Refresh { .. } => {
+            WireMessage::JoinProbe { .. }
+            | WireMessage::Leave { .. }
+            | WireMessage::Refresh { .. } => {
                 // Vocabulary completeness: observed, deduplicated, no
                 // protocol reaction yet.
                 self.seen.insert((src, msg_id));
@@ -839,7 +858,9 @@ impl ProtoMachine {
         let mut out = Output::none();
         match kind {
             TimerKind::HopRetry { msg_id } => self.hop_retry(now, env, msg_id, &mut out),
-            TimerKind::DiscoveryRetry { session } => self.discovery_retry(now, env, session, &mut out),
+            TimerKind::DiscoveryRetry { session } => {
+                self.discovery_retry(now, env, session, &mut out)
+            }
             TimerKind::UpdateRetry { msg_id } => {
                 Self::ack_retry(
                     &mut self.updates,
@@ -918,7 +939,10 @@ impl ProtoMachine {
             env.bump(MessageKind::DiscoveryRetry);
             self.emit_discovery(now, env, sid, subject, out);
             let backoff = self.policy.discovery_timeout << attempt;
-            out.timers.push(Timer { at: now.plus(backoff), kind: TimerKind::DiscoveryRetry { session: sid } });
+            out.timers.push(Timer {
+                at: now.plus(backoff),
+                kind: TimerKind::DiscoveryRetry { session: sid },
+            });
             return;
         }
         env.bump(MessageKind::Timeout);
@@ -1069,7 +1093,8 @@ mod tests {
         assert_eq!(env.meter.count(MessageKind::RouteHop), 1);
         assert_eq!(env.meter.cost(MessageKind::RouteHop), 4);
         let hop_id = out.outgoing[0].env.msg_id;
-        let ack = Envelope { src: B, dst: A, msg_id: 0, msg: WireMessage::HopAck { acked: hop_id } };
+        let ack =
+            Envelope { src: B, dst: A, msg_id: 0, msg: WireMessage::HopAck { acked: hop_id } };
         m.poll(t(10), Event::Deliver(ack), &mut env);
         assert_eq!(m.inflight(), 0);
         // The stale timer fires harmlessly.
@@ -1129,11 +1154,8 @@ mod tests {
 
     #[test]
     fn unresolved_mobile_next_hop_triggers_discovery_then_forwards() {
-        let mut env = MockEnv::default()
-            .with_node(A, 1, 1)
-            .with_node(B, 2, 5)
-            .with_node(M, 3, 9)
-            .mobile(M);
+        let mut env =
+            MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9).mobile(M);
         env.mobile_hops.insert((A, M), M);
         env.entries.insert(A, B);
         let mut m = ProtoMachine::new(A, policy());
@@ -1163,18 +1185,17 @@ mod tests {
         assert!(out.completions.contains(&Completion::Resolved { subject: M }));
         assert_eq!(env.resolutions, vec![(A, M, m_addr)]);
         assert_eq!(out.outgoing.len(), 1);
-        assert!(matches!(out.outgoing[0].env.msg, WireMessage::RouteHop { target, .. } if target == M));
+        assert!(
+            matches!(out.outgoing[0].env.msg, WireMessage::RouteHop { target, .. } if target == M)
+        );
         assert_eq!(env.meter.count(MessageKind::RouteHop), 1, "forward after resolution");
         assert_eq!(env.meter.cost(MessageKind::RouteHop), 8, "|1 - 9|");
     }
 
     #[test]
     fn stale_belief_meters_wasted_attempt_before_discovery() {
-        let mut env = MockEnv::default()
-            .with_node(A, 1, 1)
-            .with_node(B, 2, 5)
-            .with_node(M, 3, 9)
-            .mobile(M);
+        let mut env =
+            MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9).mobile(M);
         env.mobile_hops.insert((A, M), M);
         env.entries.insert(A, B);
         // A confidently believes a stale address (epoch 0 no longer valid).
@@ -1191,11 +1212,8 @@ mod tests {
 
     #[test]
     fn discovery_timeout_retries_then_gives_up_via_oracle() {
-        let mut env = MockEnv::default()
-            .with_node(A, 1, 1)
-            .with_node(B, 2, 5)
-            .with_node(M, 3, 9)
-            .mobile(M);
+        let mut env =
+            MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9).mobile(M);
         env.mobile_hops.insert((A, M), M);
         env.entries.insert(A, B);
         let mut m = ProtoMachine::new(A, policy());
@@ -1206,13 +1224,16 @@ mod tests {
         };
         assert_eq!(out.timers[0].at, t(1000));
 
-        let o1 = m.poll(t(1000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
+        let o1 =
+            m.poll(t(1000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
         assert_eq!(o1.outgoing.len(), 1, "re-issued");
         assert_eq!(o1.timers[0].at, t(1000 + 2000), "backoff doubles");
         assert_eq!(env.meter.count(MessageKind::DiscoveryRetry), 1);
-        let o2 = m.poll(t(3000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
+        let o2 =
+            m.poll(t(3000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
         assert_eq!(o2.outgoing.len(), 1);
-        let o3 = m.poll(t(9000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
+        let o3 =
+            m.poll(t(9000), Event::Timer(TimerKind::DiscoveryRetry { session: sid }), &mut env);
         assert!(o3.completions.contains(&Completion::ResolutionFailed { subject: M }));
         // Gives up on resolving but still forwards to the true address.
         assert_eq!(o3.outgoing.len(), 1);
@@ -1266,11 +1287,8 @@ mod tests {
     fn owner_miss_probes_replicas_then_terminus_answers() {
         let s1 = Key(100);
         let s2 = Key(200);
-        let mut env = MockEnv::default()
-            .with_node(s1, 1, 2)
-            .with_node(s2, 2, 6)
-            .with_node(A, 3, 1)
-            .mobile(M);
+        let mut env =
+            MockEnv::default().with_node(s1, 1, 2).with_node(s2, 2, 6).with_node(A, 3, 1).mobile(M);
         env.replica_sets.insert(M, vec![s1, s2]);
 
         // s1 is the terminus (owns M) but has no record: probes s2.
@@ -1334,7 +1352,8 @@ mod tests {
         assert_ne!(id2, msg_id);
         sender.poll(t(200), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
         sender.poll(t(400), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
-        let out = sender.poll(t(900), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
+        let out =
+            sender.poll(t(900), Event::Timer(TimerKind::UpdateRetry { msg_id: id2 }), &mut env);
         assert_eq!(out.completions, vec![Completion::UpdateFailed { child: B }]);
         assert_eq!(env.meter.count(MessageKind::Update), 1 + 3, "initial x2 + 2 retransmits");
         assert_eq!(env.meter.count(MessageKind::Timeout), 3);
@@ -1370,11 +1389,8 @@ mod tests {
 
     #[test]
     fn hop_failure_to_mobile_peer_falls_back_to_discovery_once() {
-        let mut env = MockEnv::default()
-            .with_node(A, 1, 1)
-            .with_node(B, 2, 5)
-            .with_node(M, 3, 9)
-            .mobile(M);
+        let mut env =
+            MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9).mobile(M);
         env.mobile_hops.insert((A, M), M);
         env.entries.insert(A, B);
         env.believed.insert((A, M), env.current_addr(M)); // valid belief
@@ -1404,7 +1420,11 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 50,
-            msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(env.current_addr(M)) },
+            msg: WireMessage::DiscoveryReply {
+                subject: M,
+                session: sid,
+                addr: Some(env.current_addr(M)),
+            },
         };
         let out = m.poll(t(1000), Event::Deliver(reply), &mut env);
         let id2 = out.outgoing[0].env.msg_id;
@@ -1412,16 +1432,16 @@ mod tests {
         m.poll(t(1300), Event::Timer(TimerKind::HopRetry { msg_id: id2 }), &mut env);
         let out = m.poll(t(1900), Event::Timer(TimerKind::HopRetry { msg_id: id2 }), &mut env);
         assert_eq!(out.completions.len(), 1);
-        assert!(matches!(out.completions[0], Completion::RouteFailed { .. }), "second failure is final");
+        assert!(
+            matches!(out.completions[0], Completion::RouteFailed { .. }),
+            "second failure is final"
+        );
     }
 
     #[test]
     fn concurrent_forwards_share_one_discovery_session() {
-        let mut env = MockEnv::default()
-            .with_node(A, 1, 1)
-            .with_node(B, 2, 5)
-            .with_node(M, 3, 9)
-            .mobile(M);
+        let mut env =
+            MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9).mobile(M);
         env.mobile_hops.insert((A, M), M);
         env.mobile_hops.insert((A, Key(31)), M);
         env.entries.insert(A, B);
@@ -1439,7 +1459,11 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 0,
-            msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(env.current_addr(M)) },
+            msg: WireMessage::DiscoveryReply {
+                subject: M,
+                session: sid,
+                addr: Some(env.current_addr(M)),
+            },
         };
         let out = m.poll(t(10), Event::Deliver(reply), &mut env);
         assert_eq!(out.outgoing.len(), 2, "both parked forwards resume");

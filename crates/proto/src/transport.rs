@@ -83,10 +83,7 @@ impl LinkFilter {
     pub fn blocks(&self, a: RouterId, b: RouterId) -> bool {
         self.partitioned.contains(&a)
             || self.partitioned.contains(&b)
-            || self
-                .blocked_links
-                .iter()
-                .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+            || self.blocked_links.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
     }
 }
 
@@ -148,7 +145,13 @@ impl SimTransport {
     /// A transport over `dcache`'s topology with the given faults,
     /// drawing all randomness from `seed`.
     pub fn new(dcache: Arc<DistanceCache>, faults: FaultConfig, seed: u64) -> Self {
-        SimTransport { dcache, faults, filter: LinkFilter::default(), rng: Pcg64::seed_from_u64(seed), trace: Vec::new() }
+        SimTransport {
+            dcache,
+            faults,
+            filter: LinkFilter::default(),
+            rng: Pcg64::seed_from_u64(seed),
+            trace: Vec::new(),
+        }
     }
 
     /// Replaces the outage schedule.
@@ -189,7 +192,16 @@ impl Transport for SimTransport {
         let seq = self.trace.len() as u64;
         let tag = env.msg.tag();
         let msg_id = env.msg_id;
-        let mut record = TraceRecord { seq, sent_at: now, from, to, tag, msg_id, fate: Fate::Delivered, arrival: None };
+        let mut record = TraceRecord {
+            seq,
+            sent_at: now,
+            from,
+            to,
+            tag,
+            msg_id,
+            fate: Fate::Delivered,
+            arrival: None,
+        };
 
         if self.filter.blocks(from, to) {
             record.fate = Fate::Blocked;
@@ -202,9 +214,16 @@ impl Transport for SimTransport {
         // as probabilities vary.
         let dropped = self.rng.chance(self.faults.drop_probability);
         let duplicated = self.rng.chance(self.faults.duplicate_probability);
-        let jitter = if self.faults.jitter > 0 { self.rng.range_inclusive(0, self.faults.jitter) } else { 0 };
-        let dup_jitter =
-            if self.faults.jitter > 0 { self.rng.range_inclusive(0, self.faults.jitter) } else { 0 };
+        let jitter = if self.faults.jitter > 0 {
+            self.rng.range_inclusive(0, self.faults.jitter)
+        } else {
+            0
+        };
+        let dup_jitter = if self.faults.jitter > 0 {
+            self.rng.range_inclusive(0, self.faults.jitter)
+        } else {
+            0
+        };
 
         if dropped {
             record.fate = Fate::Dropped;
@@ -228,9 +247,9 @@ impl Transport for SimTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::WireMessage;
     use bristle_netsim::graph::Graph;
     use bristle_overlay::key::Key;
-    use crate::wire::WireMessage;
 
     fn line_cache(n: usize) -> Arc<DistanceCache> {
         let mut g = Graph::with_vertices(n);
@@ -266,12 +285,22 @@ mod tests {
 
     #[test]
     fn same_seed_same_trace_bytes() {
-        let faults = FaultConfig { drop_probability: 0.3, duplicate_probability: 0.2, min_latency: 2, jitter: 9 };
+        let faults = FaultConfig {
+            drop_probability: 0.3,
+            duplicate_probability: 0.2,
+            min_latency: 2,
+            jitter: 9,
+        };
         let runs: Vec<Vec<u8>> = (0..2)
             .map(|_| {
                 let mut t = SimTransport::new(line_cache(5), faults.clone(), 99);
                 for i in 0..200 {
-                    t.send(SimTime(i), RouterId((i % 5) as u32), RouterId(((i + 2) % 5) as u32), envelope(i));
+                    t.send(
+                        SimTime(i),
+                        RouterId((i % 5) as u32),
+                        RouterId(((i + 2) % 5) as u32),
+                        envelope(i),
+                    );
                 }
                 t.trace_bytes()
             })
@@ -327,10 +356,23 @@ mod tests {
             partitioned: vec![RouterId(2)],
         });
         assert!(t.send(SimTime(0), RouterId(0), RouterId(3), envelope(0)).is_empty());
-        assert!(t.send(SimTime(0), RouterId(3), RouterId(0), envelope(1)).is_empty(), "blocks both ways");
-        assert!(t.send(SimTime(0), RouterId(1), RouterId(2), envelope(2)).is_empty(), "partitioned in");
-        assert!(t.send(SimTime(0), RouterId(2), RouterId(1), envelope(3)).is_empty(), "partitioned out");
-        assert_eq!(t.send(SimTime(0), RouterId(0), RouterId(1), envelope(4)).len(), 1, "others flow");
+        assert!(
+            t.send(SimTime(0), RouterId(3), RouterId(0), envelope(1)).is_empty(),
+            "blocks both ways"
+        );
+        assert!(
+            t.send(SimTime(0), RouterId(1), RouterId(2), envelope(2)).is_empty(),
+            "partitioned in"
+        );
+        assert!(
+            t.send(SimTime(0), RouterId(2), RouterId(1), envelope(3)).is_empty(),
+            "partitioned out"
+        );
+        assert_eq!(
+            t.send(SimTime(0), RouterId(0), RouterId(1), envelope(4)).len(),
+            1,
+            "others flow"
+        );
         assert!(t.trace()[..4].iter().all(|r| r.fate == Fate::Blocked));
     }
 

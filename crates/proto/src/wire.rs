@@ -340,14 +340,15 @@ impl Envelope {
                 w.key(*target);
                 w.u32(*capacity);
             }
-            WireMessage::Update { subject, addr, seq } | WireMessage::Publish { subject, addr, seq } => {
+            WireMessage::Update { subject, addr, seq }
+            | WireMessage::Publish { subject, addr, seq } => {
                 w.key(*subject);
                 w.addr(*addr);
                 w.u64(*seq);
             }
-            WireMessage::JoinProbe { key } | WireMessage::Leave { key } | WireMessage::Refresh { key } => {
-                w.key(*key)
-            }
+            WireMessage::JoinProbe { key }
+            | WireMessage::Leave { key }
+            | WireMessage::Refresh { key } => w.key(*key),
         }
         w.0
     }
@@ -368,7 +369,11 @@ impl Envelope {
                 session: r.u64()?,
                 probe: r.opt_key()?,
             },
-            3 => WireMessage::DiscoveryReply { subject: r.key()?, session: r.u64()?, addr: r.opt_addr()? },
+            3 => WireMessage::DiscoveryReply {
+                subject: r.key()?,
+                session: r.u64()?,
+                addr: r.opt_addr()?,
+            },
             4 => WireMessage::ProbeMiss { subject: r.key()?, asker: r.key()?, session: r.u64()? },
             5 => WireMessage::Register { target: r.key()?, capacity: r.u32()? },
             6 => WireMessage::RegisterAck { acked: r.u64()? },
@@ -400,7 +405,12 @@ mod tests {
             WireMessage::RouteHop { origin: Key(1), route_id: 7, target: Key(u64::MAX) },
             WireMessage::HopAck { acked: 99 },
             WireMessage::Discovery { subject: Key(2), asker: Key(3), session: 4, probe: None },
-            WireMessage::Discovery { subject: Key(2), asker: Key(3), session: 4, probe: Some(Key(9)) },
+            WireMessage::Discovery {
+                subject: Key(2),
+                asker: Key(3),
+                session: 4,
+                probe: Some(Key(9)),
+            },
             WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: None },
             WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: Some(addr(1, 2, 3)) },
             WireMessage::ProbeMiss { subject: Key(8), asker: Key(9), session: 10 },
@@ -447,7 +457,12 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, msg: WireMessage::Leave { key: Key(4) } };
+        let env = Envelope {
+            src: Key(1),
+            dst: Key(2),
+            msg_id: 3,
+            msg: WireMessage::Leave { key: Key(4) },
+        };
         let mut bytes = env.encode();
         bytes.push(0xff);
         assert_eq!(Envelope::decode(&bytes), Err(WireError::TrailingBytes(1)));
@@ -455,7 +470,12 @@ mod tests {
 
     #[test]
     fn bad_tag_rejected() {
-        let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, msg: WireMessage::Leave { key: Key(4) } };
+        let env = Envelope {
+            src: Key(1),
+            dst: Key(2),
+            msg_id: 3,
+            msg: WireMessage::Leave { key: Key(4) },
+        };
         let mut bytes = env.encode();
         bytes[24] = 200; // tag byte follows src+dst+msg_id
         assert_eq!(Envelope::decode(&bytes), Err(WireError::BadTag(200)));
@@ -476,10 +496,8 @@ mod tests {
 
     #[test]
     fn wire_addr_net_round_trip() {
-        let net = NetAddr {
-            host: HostId(42),
-            attachment: Attachment { router: RouterId(17), epoch: 5 },
-        };
+        let net =
+            NetAddr { host: HostId(42), attachment: Attachment { router: RouterId(17), epoch: 5 } };
         let wire = WireAddr::from_net(net);
         assert_eq!(wire.to_net(), net);
         assert_eq!(wire.router_id(), RouterId(17));

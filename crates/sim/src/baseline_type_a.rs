@@ -154,7 +154,8 @@ impl TypeASystem {
         let new_key = self.fresh_key();
         self.dht.insert(new_key, b.host, 1)?;
         let mut wire_rng = self.rng.split(4);
-        let entries = self.dht.rebuild_node(new_key, &self.attachments, &self.dcache, &mut wire_rng)?;
+        let entries =
+            self.dht.rebuild_node(new_key, &self.attachments, &self.dcache, &mut wire_rng)?;
         // Join cost: the paper's 2·O(log N) — one exchange per table row.
         let join_msgs = 2 * entries as u64;
         self.meter.bump(MessageKind::Join, join_msgs);
@@ -163,17 +164,36 @@ impl TypeASystem {
     }
 
     /// Publishes a record from `src_body` under `data_key`.
-    pub fn publish(&mut self, src_body: BodyId, data_key: Key, value: Vec<u8>) -> Result<(), RingError> {
+    pub fn publish(
+        &mut self,
+        src_body: BodyId,
+        data_key: Key,
+        value: Vec<u8>,
+    ) -> Result<(), RingError> {
         let src = self.current_key(src_body);
-        self.dht.publish(src, data_key, value, self.replicas, &self.attachments, &self.dcache, &mut self.meter)?;
+        self.dht.publish(
+            src,
+            data_key,
+            value,
+            self.replicas,
+            &self.attachments,
+            &self.dcache,
+            &mut self.meter,
+        )?;
         Ok(())
     }
 
     /// Looks a record up from `src_body`. Returns `(found, hops)`.
     pub fn lookup(&mut self, src_body: BodyId, data_key: Key) -> Result<(bool, usize), RingError> {
         let src = self.current_key(src_body);
-        let out =
-            self.dht.lookup(src, data_key, self.replicas, &self.attachments, &self.dcache, &mut self.meter)?;
+        let out = self.dht.lookup(
+            src,
+            data_key,
+            self.replicas,
+            &self.attachments,
+            &self.dcache,
+            &mut self.meter,
+        )?;
         Ok((out.value.is_some(), out.hops))
     }
 
@@ -242,7 +262,7 @@ mod tests {
         // Find a data key whose full replica set lives on the mover.
         let mover_key = sys.current_key(body);
         let data_key = Key(mover_key.0.wrapping_sub(1)); // owned by the mover
-        // Force single-replica to isolate the effect.
+                                                         // Force single-replica to isolate the effect.
         sys.replicas = 1;
         sys.publish(reader, data_key, vec![1]).unwrap();
         let (found, _) = sys.lookup(reader, data_key).unwrap();

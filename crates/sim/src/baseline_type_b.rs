@@ -72,7 +72,12 @@ pub struct TypeBSystem {
 impl TypeBSystem {
     /// Builds a Type B system. Every mobile node is assigned a home agent
     /// at a random stub router (its "home network").
-    pub fn build(seed: u64, n_stationary: usize, n_mobile: usize, topology: &TransitStubConfig) -> Self {
+    pub fn build(
+        seed: u64,
+        n_stationary: usize,
+        n_mobile: usize,
+        topology: &TransitStubConfig,
+    ) -> Self {
         let mut rng = Pcg64::seed_from_u64(seed);
         let mut topo_rng = rng.split(1);
         let topo = TransitStubTopology::generate(topology, &mut topo_rng);

@@ -8,7 +8,11 @@ fn main() {
         Scale::Quick => fig9::Fig9Config::quick(),
         Scale::Paper => fig9::Fig9Config::paper(),
     };
-    eprintln!("fig9: up to {} nodes on {:?}-router topology", cfg.max_nodes, cfg.topology.total_routers());
+    eprintln!(
+        "fig9: up to {} nodes on {:?}-router topology",
+        cfg.max_nodes,
+        cfg.topology.total_routers()
+    );
     let result = fig9::run(&cfg);
     fig9::to_table(&result).print();
 }

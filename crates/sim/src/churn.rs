@@ -30,7 +30,12 @@ pub struct ChurnModel {
 impl ChurnModel {
     /// A balanced model: equal joins and leaves, occasional failures.
     pub fn balanced(mean_interval: u64) -> Self {
-        ChurnModel { mean_interval: mean_interval.max(1), join_weight: 4, leave_weight: 3, fail_weight: 1 }
+        ChurnModel {
+            mean_interval: mean_interval.max(1),
+            join_weight: 4,
+            leave_weight: 3,
+            fail_weight: 1,
+        }
     }
 
     /// A model with no churn at all (useful as a control).
@@ -40,7 +45,8 @@ impl ChurnModel {
 
     /// Whether this model ever produces events.
     pub fn is_active(&self) -> bool {
-        self.join_weight + self.leave_weight + self.fail_weight > 0 && self.mean_interval != u64::MAX
+        self.join_weight + self.leave_weight + self.fail_weight > 0
+            && self.mean_interval != u64::MAX
     }
 
     /// Draws the delay until the next churn event (exponential, ≥ 1).
@@ -73,7 +79,8 @@ mod tests {
 
     #[test]
     fn action_mix_matches_weights() {
-        let model = ChurnModel { mean_interval: 10, join_weight: 6, leave_weight: 3, fail_weight: 1 };
+        let model =
+            ChurnModel { mean_interval: 10, join_weight: 6, leave_weight: 3, fail_weight: 1 };
         let mut rng = Pcg64::seed_from_u64(1);
         let mut counts = [0usize; 3];
         let n = 30_000;

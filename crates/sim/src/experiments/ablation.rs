@@ -138,7 +138,12 @@ fn flat_env() -> (AttachmentMap, DistanceCache) {
     (AttachmentMap::new(), DistanceCache::new(Arc::new(g), 4))
 }
 
-fn measure_ring(cfg: &AblationConfig, ring: RingConfig, name: &'static str, seed: u64) -> SubstrateRow {
+fn measure_ring(
+    cfg: &AblationConfig,
+    ring: RingConfig,
+    name: &'static str,
+    seed: u64,
+) -> SubstrateRow {
     let mut rng = Pcg64::seed_from_u64(seed);
     let (mut attachments, dcache) = flat_env();
     let mut dht: RingDht<()> = RingDht::new(ring);
@@ -255,7 +260,14 @@ fn measure_binding(cfg: &AblationConfig) -> Vec<BindingRow> {
     let mut rows = Vec::new();
     for (name, base) in [
         ("early binding", BristleConfig::recommended()),
-        ("late binding", BristleConfig { lease_ttl: 0, binding: bristle_core::config::BindingMode::Late, ..BristleConfig::recommended() }),
+        (
+            "late binding",
+            BristleConfig {
+                lease_ttl: 0,
+                binding: bristle_core::config::BindingMode::Late,
+                ..BristleConfig::recommended()
+            },
+        ),
     ] {
         let mut sys = BristleBuilder::new(cfg.seed ^ 0xb1)
             .stationary_nodes(cfg.binding_nodes.0)
@@ -268,7 +280,8 @@ fn measure_binding(cfg: &AblationConfig) -> Vec<BindingRow> {
         for m in sys.mobile_keys().to_vec() {
             sys.move_node(m, None).expect("move");
         }
-        let proactive_msgs = (sys.meter.count(MessageKind::Publish) + sys.meter.count(MessageKind::Update)
+        let proactive_msgs = (sys.meter.count(MessageKind::Publish)
+            + sys.meter.count(MessageKind::Update)
             + sys.meter.count(MessageKind::Replicate))
             - (before.count(MessageKind::Publish)
                 + before.count(MessageKind::Update)
@@ -296,7 +309,7 @@ fn measure_binding(cfg: &AblationConfig) -> Vec<BindingRow> {
 
 fn measure_query_modes(cfg: &AblationConfig) -> Vec<QueryModeRow> {
     use bristle_netsim::transit_stub::TransitStubTopology;
-    use bristle_overlay::meter::{Meter, MessageKind};
+    use bristle_overlay::meter::{MessageKind, Meter};
     // A physically realistic network this time: round trips must cost
     // real distance for the comparison to mean anything.
     let mut rng = Pcg64::seed_from_u64(cfg.seed ^ 0x17e2);
@@ -323,8 +336,15 @@ fn measure_query_modes(cfg: &AblationConfig) -> Vec<QueryModeRow> {
         let target = Key::random(&mut rng);
         dht.route_as(src, target, MessageKind::DiscoveryHop, &attachments, &dcache, &mut rec)
             .expect("route");
-        dht.route_iterative(src, target, MessageKind::DiscoveryHop, &attachments, &dcache, &mut ite)
-            .expect("route");
+        dht.route_iterative(
+            src,
+            target,
+            MessageKind::DiscoveryHop,
+            &attachments,
+            &dcache,
+            &mut ite,
+        )
+        .expect("route");
     }
     let row = |name, m: &Meter| QueryModeRow {
         name,
@@ -337,8 +357,18 @@ fn measure_query_modes(cfg: &AblationConfig) -> Vec<QueryModeRow> {
 /// Runs all four studies.
 pub fn run(cfg: &AblationConfig) -> AblationResult {
     let substrates = vec![
-        measure_ring(cfg, RingConfig { selection: NeighborSelection::First, ..RingConfig::tornado() }, "ring base-4 (Tornado-like)", cfg.seed ^ 1),
-        measure_ring(cfg, RingConfig { selection: NeighborSelection::First, ..RingConfig::chord() }, "ring base-2 (Chord-like)", cfg.seed ^ 2),
+        measure_ring(
+            cfg,
+            RingConfig { selection: NeighborSelection::First, ..RingConfig::tornado() },
+            "ring base-4 (Tornado-like)",
+            cfg.seed ^ 1,
+        ),
+        measure_ring(
+            cfg,
+            RingConfig { selection: NeighborSelection::First, ..RingConfig::chord() },
+            "ring base-2 (Chord-like)",
+            cfg.seed ^ 2,
+        ),
         measure_prefix(cfg, "prefix base-4 (Pastry-like)", cfg.seed ^ 7),
         measure_can(cfg, 2, "CAN d=2", cfg.seed ^ 3),
         measure_can(cfg, 4, "CAN d=4", cfg.seed ^ 4),
@@ -382,7 +412,12 @@ pub fn to_table_binding(result: &AblationResult) -> Table {
         &["mode", "proactive msgs", "disc/route", "hops/route"],
     );
     for r in &result.binding {
-        t.row(vec![r.name.to_string(), r.proactive_msgs.to_string(), f2(r.discoveries), f2(r.route_hops)]);
+        t.row(vec![
+            r.name.to_string(),
+            r.proactive_msgs.to_string(),
+            f2(r.discoveries),
+            f2(r.route_hops),
+        ]);
     }
     t
 }
@@ -445,7 +480,12 @@ mod tests {
         let result = run(&tiny());
         let can2 = &result.substrates[3];
         let can4 = &result.substrates[4];
-        assert!(can4.route_hops <= can2.route_hops * 1.2, "d=4 {} vs d=2 {}", can4.route_hops, can2.route_hops);
+        assert!(
+            can4.route_hops <= can2.route_hops * 1.2,
+            "d=4 {} vs d=2 {}",
+            can4.route_hops,
+            can2.route_hops
+        );
     }
 
     #[test]
@@ -462,7 +502,12 @@ mod tests {
         let result = run(&tiny());
         let early = &result.binding[0];
         let late = &result.binding[1];
-        assert!(late.discoveries > early.discoveries, "late {} vs early {}", late.discoveries, early.discoveries);
+        assert!(
+            late.discoveries > early.discoveries,
+            "late {} vs early {}",
+            late.discoveries,
+            early.discoveries
+        );
         assert!(late.route_hops >= early.route_hops);
     }
 
@@ -471,7 +516,12 @@ mod tests {
         let result = run(&tiny());
         let rec = &result.query_modes[0];
         let ite = &result.query_modes[1];
-        assert!(ite.cost_per_query > rec.cost_per_query, "iterative {} vs recursive {}", ite.cost_per_query, rec.cost_per_query);
+        assert!(
+            ite.cost_per_query > rec.cost_per_query,
+            "iterative {} vs recursive {}",
+            ite.cost_per_query,
+            rec.cost_per_query
+        );
         // Same greedy path → same message count.
         assert!((ite.msgs_per_query - rec.msgs_per_query).abs() < 1e-9);
     }

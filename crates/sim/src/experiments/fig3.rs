@@ -108,7 +108,13 @@ pub fn run(cfg: &Fig3Config) -> Fig3Result {
     let rev = dht.reverse_index();
     let capacities: HashMap<Key, u32> = keys
         .iter()
-        .map(|&k| (k, rng.range_inclusive(cfg.capacity_range.0 as u64, cfg.capacity_range.1 as u64) as u32))
+        .map(|&k| {
+            (
+                k,
+                rng.range_inclusive(cfg.capacity_range.0 as u64, cfg.capacity_range.1 as u64)
+                    as u32,
+            )
+        })
         .collect();
 
     let mut rows = Vec::with_capacity(cfg.fractions.len());
@@ -131,7 +137,9 @@ pub fn run(cfg: &Fig3Config) -> Fig3Result {
         for &root in &mobile {
             let registrants: Vec<Registrant> = rev
                 .get(&root)
-                .map(|holders| holders.iter().map(|&h| Registrant::new(h, capacities[&h])).collect())
+                .map(|holders| {
+                    holders.iter().map(|&h| Registrant::new(h, capacities[&h])).collect()
+                })
                 .unwrap_or_default();
             let tree = Ldt::build(Registrant::new(root, capacities[&root]), &registrants, |_| 0, 1);
             for node in tree.nodes().iter().skip(1) {
@@ -167,8 +175,9 @@ pub fn run(cfg: &Fig3Config) -> Fig3Result {
             let root_rep = stationary_dht.owner(root).expect("stationary layer non-empty");
             let entries: Vec<Key> =
                 members.iter().map(|&m| stationary_dht.owner(m).expect("non-empty")).collect();
-            let tree = NonMemberTree::build(&stationary_dht, root_rep, &entries, &attachments, &dcache)
-                .expect("overlay intact");
+            let tree =
+                NonMemberTree::build(&stationary_dht, root_rep, &entries, &attachments, &dcache)
+                    .expect("overlay intact");
             for &p in &tree.participants {
                 *non_member_load.entry(p).or_default() += 1;
             }
@@ -190,7 +199,13 @@ pub fn run(cfg: &Fig3Config) -> Fig3Result {
 pub fn to_table(result: &Fig3Result) -> Table {
     let mut t = Table::new(
         "Figure 3 — responsibility vs M/N (analytic N = 2^20; measured overlay)",
-        &["M/N", "member-only (analytic)", "non-member (analytic)", "member-only (measured)", "non-member (measured)"],
+        &[
+            "M/N",
+            "member-only (analytic)",
+            "non-member (analytic)",
+            "member-only (measured)",
+            "non-member (measured)",
+        ],
     );
     for row in &result.rows {
         t.row(vec![

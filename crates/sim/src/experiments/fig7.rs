@@ -120,7 +120,12 @@ pub struct Fig7Result {
     pub rows: Vec<Fig7Row>,
 }
 
-fn measure_scheme(cfg: &Fig7Config, fraction: f64, base: BristleConfig, seed_tag: u64) -> SchemeMetrics {
+fn measure_scheme(
+    cfg: &Fig7Config,
+    fraction: f64,
+    base: BristleConfig,
+    seed_tag: u64,
+) -> SchemeMetrics {
     let m = cfg.mobile_count(fraction);
     let mut sys: BristleSystem = BristleBuilder::new(cfg.seed ^ seed_tag)
         .stationary_nodes(cfg.n_stationary)
@@ -137,7 +142,11 @@ fn measure_scheme(cfg: &Fig7Config, fraction: f64, base: BristleConfig, seed_tag
     }
     let pairs = sample_stationary_pairs(&mut sys, cfg.routes);
     let agg = measure_routes(&mut sys, &pairs);
-    SchemeMetrics { hops: agg.mean_hops(), path_cost: agg.mean_cost(), discoveries: agg.mean_discoveries() }
+    SchemeMetrics {
+        hops: agg.mean_hops(),
+        path_cost: agg.mean_cost(),
+        discoveries: agg.mean_discoveries(),
+    }
 }
 
 fn run_point(cfg: &Fig7Config, fraction: f64) -> Fig7Row {
@@ -249,7 +258,7 @@ mod tests {
     }
 
     #[test]
-    fn rdp_starts_near_one(){
+    fn rdp_starts_near_one() {
         let result = run(&tiny());
         let r0 = &result.rows[0];
         assert!((r0.rdp_hops() - 1.0).abs() < 0.25, "rdp at M=0 is {}", r0.rdp_hops());

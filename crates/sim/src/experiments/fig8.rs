@@ -166,12 +166,14 @@ pub fn run(cfg: &Fig8Config) -> Fig8Result {
             }
             depth_sum += tree.depth() as u64;
             max_depth = max_depth.max(tree.depth());
-            if max_cap == *cfg.max_capacities.iter().max().unwrap() && trees_at_max.len() < cfg.detail_trees
+            if max_cap == *cfg.max_capacities.iter().max().unwrap()
+                && trees_at_max.len() < cfg.detail_trees
             {
                 trees_at_max.push(tree);
             }
         }
-        let fractions: Vec<f64> = (0..level_hist.buckets()).map(|b| level_hist.fraction(b)).collect();
+        let fractions: Vec<f64> =
+            (0..level_hist.buckets()).map(|b| level_hist.fraction(b)).collect();
         distributions.push(LevelDistribution {
             max_capacity: max_cap,
             fractions,
@@ -266,7 +268,12 @@ mod tests {
         let result = run(&tiny());
         let d1 = &result.distributions[0];
         let d15 = &result.distributions[2];
-        assert!(d1.mean_depth > d15.mean_depth * 2.0, "MAX=1 depth {} vs MAX=15 depth {}", d1.mean_depth, d15.mean_depth);
+        assert!(
+            d1.mean_depth > d15.mean_depth * 2.0,
+            "MAX=1 depth {} vs MAX=15 depth {}",
+            d1.mean_depth,
+            d15.mean_depth
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ fn measure_bristle(cfg: &Table1Config) -> SystemMetrics {
             queue.schedule_at(SimTime(delay + i as u64), Ev::Move(i));
         }
         for i in 0..cfg.lookups {
-            queue.schedule_at(SimTime(1 + (i as u64 * cfg.move_interval * 4) / cfg.lookups.max(1) as u64), Ev::Lookup(i));
+            queue.schedule_at(
+                SimTime(1 + (i as u64 * cfg.move_interval * 4) / cfg.lookups.max(1) as u64),
+                Ev::Lookup(i),
+            );
         }
     }
     let stationaries = sys.stationary_keys().to_vec();
@@ -406,7 +409,11 @@ mod tests {
         let type_a = &result.systems[0];
         let bristle = &result.systems[2];
         assert_eq!(type_a.session_survival, 0.0, "Type A identities die on move");
-        assert!(bristle.session_survival > 0.95, "Bristle keeps sessions: {}", bristle.session_survival);
+        assert!(
+            bristle.session_survival > 0.95,
+            "Bristle keeps sessions: {}",
+            bristle.session_survival
+        );
     }
 
     #[test]
@@ -439,7 +446,11 @@ mod tests {
         let result = run(&tiny());
         let type_a = &result.systems[0];
         let type_b = &result.systems[1];
-        assert!(type_b.path_stretch > type_a.path_stretch, "triangles cost: {}", type_b.path_stretch);
+        assert!(
+            type_b.path_stretch > type_a.path_stretch,
+            "triangles cost: {}",
+            type_b.path_stretch
+        );
     }
 
     #[test]

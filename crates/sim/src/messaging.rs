@@ -27,7 +27,9 @@ use bristle_core::time::SimTime;
 use bristle_netsim::graph::RouterId;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
-use bristle_proto::machine::{Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind};
+use bristle_proto::machine::{
+    Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind,
+};
 use bristle_proto::transport::{Delivery, FaultConfig, SimTransport, Transport};
 use bristle_proto::wire::WireAddr;
 
@@ -85,8 +87,12 @@ impl std::fmt::Display for MessagingError {
             MessagingError::RouteFailed { origin, route_id, at } => {
                 write!(f, "route {route_id} from {origin} failed at {at}: retries exhausted")
             }
-            MessagingError::Stalled => write!(f, "event queue drained before the operation completed"),
-            MessagingError::Runaway => write!(f, "event budget exhausted: retry loop not converging"),
+            MessagingError::Stalled => {
+                write!(f, "event queue drained before the operation completed")
+            }
+            MessagingError::Runaway => {
+                write!(f, "event budget exhausted: retry loop not converging")
+            }
             MessagingError::UnknownNode(k) => write!(f, "unknown node {k}"),
         }
     }
@@ -242,7 +248,12 @@ impl MessagingBristleSystem {
     /// Like [`Self::new`] with an explicit retry policy. The policy's
     /// timeouts must comfortably exceed the worst link latency or a
     /// loss-free run will retransmit spuriously and break meter parity.
-    pub fn with_policy(sys: BristleSystem, faults: FaultConfig, seed: u64, policy: RetryPolicy) -> Self {
+    pub fn with_policy(
+        sys: BristleSystem,
+        faults: FaultConfig,
+        seed: u64,
+        policy: RetryPolicy,
+    ) -> Self {
         let transport = SimTransport::new(sys.distances_arc(), faults, seed);
         MessagingBristleSystem {
             sys,
@@ -491,7 +502,9 @@ impl MessagingBristleSystem {
                 }
                 false
             }
-            Completion::RouteFailed { origin: o, route_id: r, at } if o == origin && r == route_id => {
+            Completion::RouteFailed { origin: o, route_id: r, at }
+                if o == origin && r == route_id =>
+            {
                 if found.is_none() {
                     found = Some(Err(MessagingError::RouteFailed { origin: o, route_id: r, at }));
                 }

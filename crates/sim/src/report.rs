@@ -15,7 +15,11 @@ pub struct Table {
 impl Table {
     /// Starts a table with a title and column headers.
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
-        Table { title: title.into(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row (must match the header arity).
@@ -57,7 +61,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));

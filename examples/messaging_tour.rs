@@ -76,16 +76,19 @@ fn main() {
         .expect("another stub router exists");
     let t0 = mbs.micro_now();
     mbs.schedule_move(SimTime(t0.0 + 1), target, Some(new_router));
-    println!("\nact 2 — {target} moves {old_router} -> {new_router} one tick after the forward is sent");
+    println!(
+        "\nact 2 — {target} moves {old_router} -> {new_router} one tick after the forward is sent"
+    );
 
     let before = snapshot(&mbs.sys.meter);
     let rep = mbs.route(src, target).expect("route recovers through the stationary layer");
     println!("  delivered anyway at micro-time {}", rep.delivered_at);
     print_delta("  ", &before, &mbs.sys.meter);
 
-    let timeouts = mbs.sys.meter.count(MessageKind::Timeout) - before_count(&before, MessageKind::Timeout);
-    let rediscoveries =
-        mbs.sys.meter.count(MessageKind::DiscoveryRetry) - before_count(&before, MessageKind::DiscoveryRetry);
+    let timeouts =
+        mbs.sys.meter.count(MessageKind::Timeout) - before_count(&before, MessageKind::Timeout);
+    let rediscoveries = mbs.sys.meter.count(MessageKind::DiscoveryRetry)
+        - before_count(&before, MessageKind::DiscoveryRetry);
     assert!(timeouts >= 1, "the black-holed hop must time out");
     assert!(rediscoveries >= 1, "recovery must go through _discovery");
     println!(
@@ -96,17 +99,18 @@ fn main() {
 }
 
 fn snapshot(meter: &bristle::overlay::meter::Meter) -> Vec<(MessageKind, u64, u64)> {
-    bristle::overlay::meter::ALL_KINDS
-        .iter()
-        .map(|&k| (k, meter.count(k), meter.cost(k)))
-        .collect()
+    bristle::overlay::meter::ALL_KINDS.iter().map(|&k| (k, meter.count(k), meter.cost(k))).collect()
 }
 
 fn before_count(snap: &[(MessageKind, u64, u64)], kind: MessageKind) -> u64 {
     snap.iter().find(|(k, _, _)| *k == kind).map(|(_, c, _)| *c).unwrap_or(0)
 }
 
-fn print_delta(indent: &str, before: &[(MessageKind, u64, u64)], after: &bristle::overlay::meter::Meter) {
+fn print_delta(
+    indent: &str,
+    before: &[(MessageKind, u64, u64)],
+    after: &bristle::overlay::meter::Meter,
+) {
     for &(k, c0, cost0) in before {
         let (c1, cost1) = (after.count(k), after.cost(k));
         if c1 > c0 {

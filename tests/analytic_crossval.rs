@@ -47,7 +47,8 @@ fn measured_registrations_match_model_scale() {
     let stats = sys.stats();
     let m_over_n = 80.0 / 200.0;
     let rows_per_node = stats.mobile_state_rows as f64 / stats.nodes as f64;
-    let measured_ratio = stats.avg_registrants_per_mobile * (stats.mobile as f64 / stats.nodes as f64)
+    let measured_ratio = stats.avg_registrants_per_mobile
+        * (stats.mobile as f64 / stats.nodes as f64)
         / rows_per_node;
     // registrations = rows pointing at mobile subjects ≈ (M/N) × rows.
     assert!(
@@ -101,7 +102,8 @@ fn measured_rdp_between_model_curves() {
     let row = fig7::run(&cfg).rows[0];
     let n = 200.0; // total at M/N = 0.5 with 100 stationary
     let p = analysis::Population::new(n, 100.0);
-    let model_ratio = analysis::scrambled_route_hops(p, 4.0) / analysis::clustered_route_hops(p, 4.0);
+    let model_ratio =
+        analysis::scrambled_route_hops(p, 4.0) / analysis::clustered_route_hops(p, 4.0);
     let measured_ratio = row.rdp_hops();
     assert!(
         measured_ratio > 1.0 && measured_ratio < model_ratio * 1.5,

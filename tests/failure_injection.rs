@@ -57,10 +57,8 @@ fn fully_silent_move_still_delivers_via_replicas_going_stale_then_discovery() {
 fn all_location_replicas_failing_loses_discovery_until_republish() {
     let mut sys = system(3, BristleConfig::recommended());
     let m = sys.mobile_keys()[0];
-    let replicas = sys
-        .stationary
-        .replica_set(m, sys.config().location_replicas)
-        .expect("replica set");
+    let replicas =
+        sys.stationary.replica_set(m, sys.config().location_replicas).expect("replica set");
     for r in replicas {
         sys.fail_node(r).expect("fail");
     }
@@ -77,10 +75,8 @@ fn all_location_replicas_failing_loses_discovery_until_republish() {
 fn partial_replica_failure_is_invisible() {
     let mut sys = system(4, BristleConfig::recommended());
     let m = sys.mobile_keys()[2];
-    let replicas = sys
-        .stationary
-        .replica_set(m, sys.config().location_replicas)
-        .expect("replica set");
+    let replicas =
+        sys.stationary.replica_set(m, sys.config().location_replicas).expect("replica set");
     // Kill all but the last replica.
     for r in &replicas[..replicas.len() - 1] {
         sys.fail_node(*r).expect("fail");
@@ -146,7 +142,8 @@ fn overlay_survives_forty_percent_abrupt_failure() {
     for i in (0..survivors.len()).step_by(5) {
         let src = survivors[i];
         let dst = survivors[(i * 3 + 1) % survivors.len()];
-        let route = sys.mobile.route(src, dst, &sys.attachments, &dcache, &mut meter).expect("route");
+        let route =
+            sys.mobile.route(src, dst, &sys.attachments, &dcache, &mut meter).expect("route");
         assert_eq!(route.terminus(), sys.mobile.owner(dst).expect("owner"));
     }
 }
@@ -172,7 +169,8 @@ fn type_b_agent_flap_recovers() {
 
 #[test]
 fn binding_mode_late_survives_total_lease_loss() {
-    let cfg = BristleConfig { binding: BindingMode::Late, lease_ttl: 0, ..BristleConfig::recommended() };
+    let cfg =
+        BristleConfig { binding: BindingMode::Late, lease_ttl: 0, ..BristleConfig::recommended() };
     let mut sys = system(9, cfg);
     for m in sys.mobile_keys().to_vec() {
         sys.move_node(m, None).expect("move");

@@ -33,10 +33,7 @@ fn counts(meter: &Meter) -> Vec<(MessageKind, u64, u64)> {
 }
 
 fn delta(before: &[(MessageKind, u64, u64)], after: &Meter) -> Vec<(MessageKind, u64, u64)> {
-    before
-        .iter()
-        .map(|&(k, c0, w0)| (k, after.count(k) - c0, after.cost(k) - w0))
-        .collect()
+    before.iter().map(|&(k, c0, w0)| (k, after.count(k) - c0, after.cost(k) - w0)).collect()
 }
 
 /// A pair whose mobile-layer route is a single direct hop to a mobile
@@ -76,7 +73,11 @@ fn perfect_transport_matches_function_call_meter_exactly() {
         let target = fn_sys.mobile_keys()[0];
 
         let before = counts(&fn_sys.meter);
-        assert_eq!(before, counts(&msg_sys.meter), "twin builds must start identical (seed {seed})");
+        assert_eq!(
+            before,
+            counts(&msg_sys.meter),
+            "twin builds must start identical (seed {seed})"
+        );
 
         fn_sys.route_mobile(src, target).expect("function-call route");
         let want = delta(&before, &fn_sys.meter);

@@ -170,7 +170,9 @@ fn partitions_cover_exactly_once_seeded() {
         let steps = plan_advertisement(&regs, avail, v);
         let mut covered: Vec<Key> = steps
             .iter()
-            .flat_map(|s: &AdvertiseStep| std::iter::once(s.head.key).chain(s.delegated.iter().map(|r| r.key)))
+            .flat_map(|s: &AdvertiseStep| {
+                std::iter::once(s.head.key).chain(s.delegated.iter().map(|r| r.key))
+            })
             .collect();
         covered.sort_unstable();
         let mut expected: Vec<Key> = regs.iter().map(|r| r.key).collect();
@@ -401,7 +403,10 @@ mod proptest_based {
 
     fn registrants_strategy() -> impl Strategy<Value = Vec<Registrant>> {
         prop::collection::vec(1u32..=15, 0..40).prop_map(|caps| {
-            caps.into_iter().enumerate().map(|(i, c)| Registrant::new(Key(i as u64 + 1), c)).collect()
+            caps.into_iter()
+                .enumerate()
+                .map(|(i, c)| Registrant::new(Key(i as u64 + 1), c))
+                .collect()
         })
     }
 

@@ -29,9 +29,7 @@ fn system(n_stat: usize, n_mob: usize, seed: u64) -> BristleSystem {
 /// All ordered stationary pairs (x1, x2) whose route cannot wrap: the
 /// clockwise arc from x1 to x2 stays inside the band [L, U].
 fn non_wrapping_pairs(sys: &BristleSystem) -> Vec<(Key, Key)> {
-    let NamingScheme::Clustered { .. } = sys.naming() else {
-        panic!("clustered config expected")
-    };
+    let NamingScheme::Clustered { .. } = sys.naming() else { panic!("clustered config expected") };
     let mut keys = sys.stationary_keys().to_vec();
     keys.sort_unstable();
     let mut out = Vec::new();
@@ -55,10 +53,7 @@ fn non_wrapping_stationary_routes_never_resolve_mobile_addresses() {
     for (src, dst) in pairs {
         let rep = sys.route_mobile(src, dst).expect("route");
         assert_eq!(rep.terminus, dst);
-        assert_eq!(
-            rep.discoveries, 0,
-            "x1 < x2 route {src}→{dst} touched the mobile band"
-        );
+        assert_eq!(rep.discoveries, 0, "x1 < x2 route {src}→{dst} touched the mobile band");
         assert_eq!(rep.stale_attempts, 0);
     }
 }
@@ -75,10 +70,7 @@ fn monotone_routing_keeps_intermediate_keys_inside_the_arc() {
         // Check at the overlay level directly.
         let mut cur = src;
         while let Some(next) = sys.mobile.next_hop(cur, dst).expect("hop") {
-            assert!(
-                src.in_cw_range(next, dst),
-                "hop {next} escaped the arc ({src}, {dst}]"
-            );
+            assert!(src.in_cw_range(next, dst), "hop {next} escaped the arc ({src}, {dst}]");
             assert!(!sys.is_mobile(next), "stationary arc contains no mobile nodes");
             cur = next;
         }
