@@ -1,0 +1,361 @@
+//! Crash-failure confirmation and self-healing (robustness layer).
+//!
+//! When the failure detector (in `bristle-proto`) confirms a node dead,
+//! the system must do more than forget it: every LDT the corpse belonged
+//! to has an orphaned subtree that would miss future `update`s, leases it
+//! held are worthless, and — if it was stationary — the location records
+//! it stored are gone from one replica. [`BristleSystem::confirm_dead`]
+//! performs the whole funeral in one deterministic pass and reports what
+//! it fixed; [`BristleSystem::anti_entropy_locations`] is the periodic
+//! reconciliation that restores full replication afterwards.
+
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::MessageKind;
+
+use crate::error::Result;
+use crate::ldt::Ldt;
+use crate::registry::Registrant;
+use crate::system::BristleSystem;
+
+/// What [`BristleSystem::confirm_dead`] repaired.
+#[derive(Debug, Clone)]
+pub struct DeathReport {
+    /// The node declared dead.
+    pub dead: Key,
+    /// Whether the node was still present (false on repeated confirmations
+    /// or when the corpse was already removed by other means).
+    pub was_present: bool,
+    /// Whether the dead node was mobile.
+    pub was_mobile: bool,
+    /// Mobile targets whose LDTs lost a member and were re-grafted.
+    pub ldts_repaired: Vec<Key>,
+    /// Orphaned LDT descendants re-attached across all repaired trees.
+    pub orphans_regrafted: usize,
+    /// Registration-state entries pruned (as registrant and as target).
+    pub registrations_pruned: usize,
+    /// Lease contracts revoked (held by or granted on the dead node).
+    pub leases_revoked: usize,
+    /// Stale routing-table entries dropped by the repair sweeps.
+    pub entries_dropped: usize,
+    /// Location-record copies removed (a dead *mobile* node's records
+    /// must not keep answering `_discovery`).
+    pub records_unpublished: usize,
+    /// Whether every repaired tree passed the reachability invariant:
+    /// root-rooted, cycle-free, and containing all surviving registrants.
+    pub invariant_ok: bool,
+}
+
+impl BristleSystem {
+    /// Whether `key` has been confirmed crashed.
+    pub fn is_confirmed_dead(&self, key: Key) -> bool {
+        self.dead.contains(&key)
+    }
+
+    /// Declares `key` crashed and heals everything it touched:
+    ///
+    /// 1. materializes the LDT of every live mobile target `key` was
+    ///    registered to (while the corpse is still a member),
+    /// 2. removes the corpse from both layers and prunes its
+    ///    registrations and leases,
+    /// 3. sweeps stale routing entries out of both layers,
+    /// 4. re-grafts each orphaned LDT subtree via [`Ldt::heal`] and
+    ///    disseminates the repaired tree (one `update` per edge, counted
+    ///    as [`MessageKind::LdtRepair`] per tree),
+    /// 5. unpublishes a dead mobile node's location records so
+    ///    `_discovery` stops resurrecting it.
+    ///
+    /// Idempotent: confirming an already-confirmed corpse is a no-op.
+    pub fn confirm_dead(&mut self, key: Key) -> Result<DeathReport> {
+        let mut report = DeathReport {
+            dead: key,
+            was_present: false,
+            was_mobile: false,
+            ldts_repaired: Vec::new(),
+            orphans_regrafted: 0,
+            registrations_pruned: 0,
+            leases_revoked: 0,
+            entries_dropped: 0,
+            records_unpublished: 0,
+            invariant_ok: true,
+        };
+        if !self.dead.insert(key) {
+            return Ok(report);
+        }
+        report.was_present = self.node_info(key).is_ok();
+        report.was_mobile = self.is_mobile(key);
+
+        // (1) Targets whose LDT contains the corpse, with trees built
+        // while the corpse is still registered (sorted for determinism).
+        let mut affected: Vec<Key> = self
+            .registry
+            .iter()
+            .filter(|(target, regs)| *target != key && regs.iter().any(|r| r.key == key))
+            .map(|(target, _)| target)
+            .filter(|&t| self.node_info(t).is_ok())
+            .collect();
+        affected.sort_unstable();
+        let mut trees: Vec<(Key, Ldt)> = Vec::with_capacity(affected.len());
+        for &target in &affected {
+            trees.push((target, self.build_ldt(target)?));
+        }
+
+        // (2) Remove the corpse and its bookkeeping.
+        if report.was_present {
+            self.fail_node(key)?;
+        }
+        report.registrations_pruned =
+            self.registry.remove_everywhere(key) + self.registry.drop_target(key);
+        report.leases_revoked = self.leases.revoke_subject(key) + self.leases.revoke_holder(key);
+
+        // (3) Drop dangling routing entries so repairs route cleanly.
+        let dcache = self.distances_arc();
+        let mut rng = self.rng().split(6);
+        let swept = self.mobile.repair_sweep(&self.attachments, &dcache, &mut rng, &mut self.meter);
+        report.entries_dropped += swept.dropped;
+        let swept =
+            self.stationary.repair_sweep(&self.attachments, &dcache, &mut rng, &mut self.meter);
+        report.entries_dropped += swept.dropped;
+
+        // (4) Re-graft every orphaned subtree and disseminate the repair.
+        let unit_cost = self.config().unit_cost;
+        for (target, mut tree) in trees {
+            let Some(healed) =
+                tree.heal(key, |k| self.mobile.node(k).map(|n| n.used).unwrap_or(0), unit_cost)
+            else {
+                continue; // corpse was not actually a member
+            };
+            report.orphans_regrafted += healed.orphans;
+            let survivors: Vec<Registrant> = self
+                .registry
+                .registrants_of(target)
+                .iter()
+                .copied()
+                .filter(|r| self.node_info(r.key).is_ok())
+                .collect();
+            let reachable =
+                tree.all_reachable_from_root() && survivors.iter().all(|r| tree.contains(r.key));
+            report.invariant_ok &= reachable;
+            self.advertise_update(target)?;
+            self.meter.bump(MessageKind::LdtRepair, 1);
+            report.ldts_repaired.push(target);
+        }
+
+        // (5) A dead mobile node's published location is a lie.
+        if report.was_mobile {
+            report.records_unpublished =
+                self.stationary.unpublish(key, self.config().location_replicas)?;
+        }
+        Ok(report)
+    }
+
+    /// Anti-entropy pass over the location store: for every live mobile
+    /// node, reconciles its record across the current replica set — the
+    /// newest copy (by sequence, then publication time) wins and is
+    /// pushed to replicas that miss it or hold an older one. Restores
+    /// full replication after stationary-node deaths and repairs
+    /// divergence after a primary rejoins. Returns copies installed.
+    pub fn anti_entropy_locations(&mut self) -> Result<usize> {
+        let replicas = self.config().location_replicas;
+        let subjects = self.mobile_keys().to_vec();
+        let mut installed = 0usize;
+        for subject in subjects {
+            let set = self.stationary.replica_set(subject, replicas)?;
+            let mut best: Option<(Key, crate::location::LocationRecord)> = None;
+            for &replica in &set {
+                if let Some(rec) = self.stationary.node(replica)?.store.get(&subject) {
+                    best = Some(match best {
+                        None => (replica, *rec),
+                        Some((holder, have)) => {
+                            let newer = have.newer_of(*rec);
+                            if newer == have {
+                                (holder, have)
+                            } else {
+                                (replica, newer)
+                            }
+                        }
+                    });
+                }
+            }
+            let Some((holder, record)) = best else {
+                continue; // never published (or unpublished): nothing to heal
+            };
+            let holder_router = self.router_of(holder)?;
+            for &replica in &set {
+                let stale = match self.stationary.node(replica)?.store.get(&subject) {
+                    Some(have) => have.newer_of(record) != *have,
+                    None => true,
+                };
+                if !stale {
+                    continue;
+                }
+                let cost = self.distances().distance(holder_router, self.router_of(replica)?);
+                self.meter.record(MessageKind::Replicate, cost);
+                self.stationary.node_mut(replica)?.store.insert(subject, record);
+                installed += 1;
+            }
+        }
+        Ok(installed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BristleConfig;
+    use crate::system::{BristleBuilder, BristleSystem};
+    use bristle_netsim::transit_stub::TransitStubConfig;
+
+    fn system(n_stat: usize, n_mob: usize, seed: u64) -> BristleSystem {
+        BristleBuilder::new(seed)
+            .stationary_nodes(n_stat)
+            .mobile_nodes(n_mob)
+            .topology(TransitStubConfig::tiny())
+            .config(BristleConfig::recommended())
+            .build()
+            .unwrap()
+    }
+
+    /// Some (target, registrant) pair where the registrant is not the
+    /// target itself.
+    fn pick_member(sys: &BristleSystem) -> (Key, Key) {
+        for &target in sys.mobile_keys() {
+            if let Some(r) = sys.registry.registrants_of(target).iter().find(|r| r.key != target) {
+                return (target, r.key);
+            }
+        }
+        panic!("no registrations in test system");
+    }
+
+    #[test]
+    fn confirm_dead_prunes_and_repairs_every_affected_ldt() {
+        let mut sys = system(40, 12, 1);
+        let (target, victim) = pick_member(&sys);
+        let repairs_before = sys.meter.count(MessageKind::LdtRepair);
+        let report = sys.confirm_dead(victim).unwrap();
+        assert!(report.was_present);
+        assert!(report.invariant_ok, "repaired trees must stay root-reachable");
+        assert!(report.ldts_repaired.contains(&target), "the LDT that lost {victim} is repaired");
+        assert!(report.registrations_pruned > 0);
+        assert!(sys.is_confirmed_dead(victim));
+        assert!(sys.node_info(victim).is_err(), "corpse removed from the system");
+        assert_eq!(
+            sys.meter.count(MessageKind::LdtRepair) - repairs_before,
+            report.ldts_repaired.len() as u64
+        );
+        // The registry no longer mentions the corpse anywhere.
+        for (t, regs) in sys.registry.iter() {
+            assert_ne!(t, victim);
+            assert!(regs.iter().all(|r| r.key != victim));
+        }
+        // Rebuilt trees exclude it and keep every survivor reachable.
+        for &t in &report.ldts_repaired {
+            let tree = sys.build_ldt(t).unwrap();
+            assert!(!tree.contains(victim));
+            assert!(tree.all_reachable_from_root());
+        }
+    }
+
+    #[test]
+    fn confirm_dead_is_idempotent() {
+        let mut sys = system(30, 8, 2);
+        let (_, victim) = pick_member(&sys);
+        let first = sys.confirm_dead(victim).unwrap();
+        assert!(first.was_present);
+        let second = sys.confirm_dead(victim).unwrap();
+        assert!(!second.was_present);
+        assert!(second.ldts_repaired.is_empty());
+        assert_eq!(second.registrations_pruned, 0);
+    }
+
+    #[test]
+    fn dead_mobile_node_stops_answering_discovery() {
+        let mut sys = system(30, 8, 3);
+        let victim = sys.mobile_keys()[0];
+        let report = sys.confirm_dead(victim).unwrap();
+        assert!(report.was_mobile);
+        assert!(report.records_unpublished > 0, "published records are withdrawn");
+        let asker = sys.stationary_keys()[0];
+        let disc = sys.discover(asker, victim).unwrap();
+        assert!(disc.resolved.is_none(), "no stale resurrection after confirmation");
+    }
+
+    #[test]
+    fn discovery_fails_over_to_replica_when_primary_dies() {
+        let mut sys = system(40, 10, 4);
+        assert!(sys.config().location_replicas >= 3, "test needs a replica chain");
+        let subject = sys.mobile_keys()[0];
+        let primary = sys.stationary.owner(subject).unwrap();
+        let asker = *sys.stationary_keys().iter().find(|&&s| s != primary).unwrap();
+        sys.confirm_dead(primary).unwrap();
+
+        // The old second replica was promoted to owner and serves
+        // directly — delivery survives the death without a probe.
+        let disc = sys.discover(asker, subject).unwrap();
+        assert!(disc.resolved.is_some(), "a surviving replica must answer");
+        assert_eq!(sys.meter.count(MessageKind::ReplicaFailover), 0, "owner-served, no probe");
+
+        // Model the replication gap: the promoted owner has not yet
+        // received the record (the same state a freshly joined owner is
+        // in). The chain must absorb the miss, and the failover counts.
+        let new_owner = sys.stationary.owner(subject).unwrap();
+        sys.stationary.node_mut(new_owner).unwrap().store.remove(&subject);
+        let disc = sys.discover(asker, subject).unwrap();
+        assert!(disc.resolved.is_some(), "a deeper replica must answer");
+        assert_eq!(sys.meter.count(MessageKind::ReplicaFailover), 1, "probed failover is metered");
+    }
+
+    #[test]
+    fn anti_entropy_restores_replication_after_stationary_death() {
+        let mut sys = system(40, 10, 5);
+        let replicas = sys.config().location_replicas;
+        let subject = sys.mobile_keys()[0];
+        let primary = sys.stationary.owner(subject).unwrap();
+        sys.confirm_dead(primary).unwrap();
+        let installed = sys.anti_entropy_locations().unwrap();
+        assert!(installed > 0, "lost copies must be re-installed");
+        let set = sys.stationary.replica_set(subject, replicas).unwrap();
+        for r in set {
+            assert!(
+                sys.stationary.node(r).unwrap().store.contains_key(&subject),
+                "replica {r} must hold {subject} after reconciliation"
+            );
+        }
+        // A second pass finds nothing left to fix.
+        assert_eq!(sys.anti_entropy_locations().unwrap(), 0);
+    }
+
+    #[test]
+    fn anti_entropy_prefers_the_newest_record() {
+        let mut sys = system(40, 10, 6);
+        let replicas = sys.config().location_replicas;
+        let subject = sys.mobile_keys()[0];
+        // Move the subject so a fresh record (seq 1) lands at the replica
+        // set, then plant a stale seq-0 copy at the first replica.
+        sys.move_node(subject, None).unwrap();
+        let set = sys.stationary.replica_set(subject, replicas).unwrap();
+        let fresh = *sys.stationary.node(set[0]).unwrap().store.get(&subject).unwrap();
+        let mut stale = fresh;
+        stale.seq = 0;
+        sys.stationary.node_mut(set[0]).unwrap().store.insert(subject, stale);
+        sys.anti_entropy_locations().unwrap();
+        for &r in &set {
+            let rec = sys.stationary.node(r).unwrap().store.get(&subject).unwrap();
+            assert_eq!(rec.seq, fresh.seq, "newest copy wins at replica {r}");
+        }
+    }
+
+    #[test]
+    fn confirm_dead_meter_trace_is_deterministic() {
+        let run = |seed: u64| {
+            let mut sys = system(30, 10, seed);
+            let (_, victim) = pick_member(&sys);
+            sys.confirm_dead(victim).unwrap();
+            let tallies: Vec<(MessageKind, u64, u64)> = bristle_overlay::meter::ALL_KINDS
+                .iter()
+                .map(|&k| (k, sys.meter.count(k), sys.meter.cost(k)))
+                .collect();
+            tallies
+        };
+        assert_eq!(run(7), run(7), "same seed, same funeral, same bill");
+    }
+}

@@ -163,6 +163,140 @@ impl Ldt {
     pub fn member(&self, key: Key) -> Option<&LdtNode> {
         self.nodes.iter().find(|n| n.key == key)
     }
+
+    /// Whether `key` is a member of this tree.
+    pub fn contains(&self, key: Key) -> bool {
+        self.member(key).is_some()
+    }
+
+    /// Checks the dissemination invariant: index 0 is the unique root
+    /// and every other member's parent chain terminates there (no
+    /// orphans, no cycles, no out-of-range parents).
+    pub fn all_reachable_from_root(&self) -> bool {
+        if self.nodes.is_empty() || self.nodes[0].parent.is_some() {
+            return false;
+        }
+        for i in 1..self.nodes.len() {
+            let mut cur = i;
+            let mut steps = 0usize;
+            while let Some(p) = self.nodes[cur].parent {
+                cur = p as usize;
+                if cur >= self.nodes.len() {
+                    return false;
+                }
+                steps += 1;
+                if steps > self.nodes.len() {
+                    return false; // cycle
+                }
+            }
+            if cur != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Removes the confirmed-dead member `dead` and re-grafts its
+    /// orphaned subtree under `dead`'s parent via the same
+    /// capacity-aware advertisement partitioning (Fig. 4) that built
+    /// the tree, so the repair keeps capable survivors near the root.
+    ///
+    /// Returns `None` when `dead` is not a member or is the root (a
+    /// dead root dissolves the whole tree — the caller handles that).
+    /// On success every surviving member stays in the tree and
+    /// [`Ldt::all_reachable_from_root`] holds again.
+    pub fn heal(
+        &mut self,
+        dead: Key,
+        mut used: impl FnMut(Key) -> u32,
+        unit_cost: u32,
+    ) -> Option<LdtHeal> {
+        let dead_idx = self.nodes.iter().position(|n| n.key == dead)?;
+        if dead_idx == 0 {
+            return None;
+        }
+        // Mark the dead subtree in one forward pass (parents always
+        // precede children in `nodes`, an invariant of the build loop
+        // that the rebuild below preserves).
+        let mut in_subtree = vec![false; self.nodes.len()];
+        in_subtree[dead_idx] = true;
+        for i in dead_idx + 1..self.nodes.len() {
+            if let Some(p) = self.nodes[i].parent {
+                in_subtree[i] = in_subtree[p as usize];
+            }
+        }
+        let graft_idx = self.nodes[dead_idx].parent.expect("non-root has a parent") as usize;
+        let orphans: Vec<Registrant> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| in_subtree[i] && i != dead_idx)
+            .map(|(_, n)| Registrant::new(n.key, n.capacity))
+            .collect();
+
+        // Rebuild the kept prefix with remapped parent indices. The
+        // remap is monotone, so parent-precedes-child survives.
+        let mut remap = vec![u32::MAX; self.nodes.len()];
+        let mut kept: Vec<LdtNode> = Vec::with_capacity(self.nodes.len() - 1);
+        for (i, n) in self.nodes.iter().enumerate() {
+            if in_subtree[i] {
+                continue;
+            }
+            remap[i] = kept.len() as u32;
+            let mut node = *n;
+            node.parent = n.parent.map(|p| remap[p as usize]);
+            kept.push(node);
+        }
+        // Every kept ancestor of the graft point loses exactly one
+        // member from its partition: the dead node (its orphaned
+        // descendants re-attach below the same ancestors).
+        let mut cur = Some(remap[graft_idx] as usize);
+        while let Some(i) = cur {
+            kept[i].assigned = kept[i].assigned.saturating_sub(1);
+            cur = kept[i].parent.map(|p| p as usize);
+        }
+        self.nodes = kept;
+
+        // Re-graft the orphans under the dead node's parent with the
+        // same recursive partitioning the original build used.
+        let report = LdtHeal {
+            dead,
+            orphans: orphans.len(),
+            graft_parent: self.nodes[remap[graft_idx] as usize].key,
+        };
+        let mut stack: Vec<(u32, Vec<Registrant>)> = vec![(remap[graft_idx], orphans)];
+        while let Some((parent_idx, list)) = stack.pop() {
+            if list.is_empty() {
+                continue;
+            }
+            let parent = self.nodes[parent_idx as usize];
+            let avail = parent.capacity.saturating_sub(used(parent.key));
+            for step in plan_advertisement(&list, avail, unit_cost) {
+                let child = LdtNode {
+                    key: step.head.key,
+                    capacity: step.head.capacity,
+                    level: parent.level + 1,
+                    parent: Some(parent_idx),
+                    assigned: step.partition_size(),
+                };
+                self.nodes.push(child);
+                let child_idx = (self.nodes.len() - 1) as u32;
+                stack.push((child_idx, step.delegated));
+            }
+        }
+        Some(report)
+    }
+}
+
+/// Outcome of one [`Ldt::heal`] repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LdtHeal {
+    /// The member that was removed.
+    pub dead: Key,
+    /// How many orphaned descendants were re-grafted.
+    pub orphans: usize,
+    /// The surviving member the orphans were re-attached under.
+    pub graft_parent: Key,
 }
 
 #[cfg(test)]
@@ -289,5 +423,78 @@ mod tests {
             };
             assert!(avg_at(2) >= avg_at(tree.depth()), "capable nodes sit higher");
         }
+    }
+
+    #[test]
+    fn heal_regrafts_orphans_and_keeps_everyone_reachable() {
+        let members = regs(&[3, 7, 1, 9, 4, 4, 2, 8, 6, 5]);
+        let mut tree = Ldt::build(root(2), &members, |_| 0, 1);
+        assert!(tree.all_reachable_from_root());
+        // Kill an interior member (one with children, if any exists;
+        // otherwise any non-root member still exercises the path).
+        let victim = tree
+            .edges()
+            .map(|(p, _)| p)
+            .find(|&p| p != Key(0))
+            .unwrap_or_else(|| tree.nodes()[1].key);
+        let before_len = tree.len();
+        let report = tree.heal(victim, |_| 0, 1).expect("member heals");
+        assert_eq!(report.dead, victim);
+        assert_eq!(tree.len(), before_len - 1);
+        assert!(tree.member(victim).is_none(), "dead member removed");
+        assert!(tree.all_reachable_from_root(), "repair restores the invariant");
+        for m in &members {
+            if m.key != victim {
+                assert!(tree.contains(m.key), "survivor {:?} kept", m.key);
+            }
+        }
+        // Levels still consistent after the re-graft.
+        for n in tree.nodes() {
+            match n.parent {
+                None => assert_eq!(n.level, 1),
+                Some(p) => assert_eq!(n.level, tree.nodes()[p as usize].level + 1),
+            }
+        }
+        assert_eq!(tree.root().assigned, members.len() - 1, "root partition shrank by one");
+    }
+
+    #[test]
+    fn heal_leaf_has_no_orphans() {
+        let members = regs(&[5, 5, 5]);
+        let mut tree = Ldt::build(root(8), &members, |_| 0, 1);
+        let leaf = tree
+            .nodes()
+            .iter()
+            .map(|n| n.key)
+            .find(|&k| k != Key(0) && tree.edges().all(|(p, _)| p != k))
+            .expect("a leaf exists");
+        let report = tree.heal(leaf, |_| 0, 1).expect("leaf heals");
+        assert_eq!(report.orphans, 0);
+        assert!(tree.all_reachable_from_root());
+    }
+
+    #[test]
+    fn heal_root_or_stranger_is_refused() {
+        let members = regs(&[5, 5]);
+        let mut tree = Ldt::build(root(8), &members, |_| 0, 1);
+        assert_eq!(tree.heal(Key(0), |_| 0, 1), None, "a dead root dissolves the tree");
+        assert_eq!(tree.heal(Key(999), |_| 0, 1), None, "not a member");
+        assert_eq!(tree.len(), 3, "refused heals change nothing");
+    }
+
+    #[test]
+    fn heal_chain_interior_reattaches_deep_subtree() {
+        // Unit capacities force a chain; killing the second link orphans
+        // the entire tail, which must re-graft under the root.
+        let members = regs(&[1; 6]);
+        let mut tree = Ldt::build(root(1), &members, |_| 0, 1);
+        assert_eq!(tree.depth(), 7);
+        let second = tree.nodes().iter().find(|n| n.level == 2).expect("chain link").key;
+        let report = tree.heal(second, |_| 0, 1).expect("heals");
+        assert_eq!(report.orphans, 5, "the whole tail was orphaned");
+        assert_eq!(report.graft_parent, Key(0));
+        assert!(tree.all_reachable_from_root());
+        assert_eq!(tree.len(), 6);
+        assert_eq!(tree.depth(), 6, "chain re-forms one link shorter");
     }
 }

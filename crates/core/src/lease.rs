@@ -82,6 +82,14 @@ impl LeaseTable {
         before - self.leases.len()
     }
 
+    /// Drops every lease held *by* `holder` — used when the holder is
+    /// confirmed crashed, so its contracts cannot outlive it.
+    pub fn revoke_holder(&mut self, holder: Key) -> usize {
+        let before = self.leases.len();
+        self.leases.retain(|&(h, _), _| h != holder);
+        before - self.leases.len()
+    }
+
     /// Drops every expired lease; returns how many were purged.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let before = self.leases.len();
@@ -140,6 +148,42 @@ mod tests {
         assert_eq!(t.revoke_subject(Key(9)), 1);
         assert_eq!(t.len(), 1);
         assert!(t.is_fresh(Key(1), Key(3), SimTime(5)));
+    }
+
+    #[test]
+    fn revoke_holder_drops_only_the_holders_contracts() {
+        let mut t = LeaseTable::new();
+        t.grant(Key(1), Key(9), SimTime(0), 10);
+        t.grant(Key(1), Key(3), SimTime(0), 10);
+        t.grant(Key(2), Key(1), SimTime(0), 10);
+        assert_eq!(t.revoke_holder(Key(1)), 2);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_fresh(Key(2), Key(1), SimTime(5)), "leases *on* 1 survive");
+    }
+
+    /// Pins `Lease::is_valid` and `LeaseTable::purge_expired` to the
+    /// same semantics at the boundary instant `now == granted + ttl`:
+    /// the lease must be invalid AND purged there. Off-by-one drift
+    /// between the two would let a contract be simultaneously "fresh"
+    /// (served from the table) and "purged" (dropped by upkeep).
+    #[test]
+    fn expiry_boundary_agrees_between_is_valid_and_purge() {
+        let granted = SimTime(100);
+        let ttl = 20;
+        let boundary = granted.plus(ttl);
+        let just_before = SimTime(boundary.0 - 1);
+
+        let l = Lease::granted(granted, ttl);
+        assert!(l.is_valid(just_before));
+        assert!(!l.is_valid(boundary), "invalid exactly at granted + ttl");
+
+        let mut t = LeaseTable::new();
+        t.grant(Key(1), Key(2), granted, ttl);
+        assert_eq!(t.purge_expired(just_before), 0, "valid leases are not purged");
+        assert!(t.is_fresh(Key(1), Key(2), just_before));
+        assert!(!t.is_fresh(Key(1), Key(2), boundary), "is_fresh agrees with is_valid");
+        assert_eq!(t.purge_expired(boundary), 1, "purged exactly at granted + ttl");
+        assert!(t.is_empty());
     }
 
     #[test]

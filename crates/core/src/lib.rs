@@ -17,6 +17,9 @@
 //!   pushing a mover's new address to all registered interested nodes in
 //!   O(log log N) hops ([`advertise`], [`ldt`], paper Fig. 4);
 //! * **leases** with early/late binding ([`lease`], §2.3.2);
+//! * **crash healing** — confirming a node dead prunes its traces,
+//!   re-grafts orphaned LDT subtrees, and reconciles replicated location
+//!   records ([`heal`]);
 //! * **clustered naming** — keeping stationary-to-stationary routes
 //!   inside the stationary key band, reducing route cost from O(log² N)
 //!   to O(log N) ([`naming`], §3).
@@ -47,6 +50,7 @@ pub mod advertise;
 pub mod analysis;
 pub mod config;
 pub mod error;
+pub mod heal;
 pub mod join;
 pub mod ldt;
 pub mod ldt_nonmember;
@@ -63,8 +67,9 @@ pub mod upkeep;
 pub use advertise::{plan_advertisement, AdvertiseStep, DEFAULT_UNIT_COST};
 pub use config::{BindingMode, BristleConfig, NamingPolicy};
 pub use error::{BristleError, Result};
+pub use heal::DeathReport;
 pub use join::JoinReport;
-pub use ldt::{Ldt, LdtNode};
+pub use ldt::{Ldt, LdtHeal, LdtNode};
 pub use ldt_nonmember::NonMemberTree;
 pub use lease::{Lease, LeaseTable};
 pub use location::LocationRecord;

@@ -127,6 +127,13 @@ impl BristleSystem {
             }
         }
 
+        // A record served by anyone but the route terminus means the
+        // primary lost its copy (death, or a just-joined owner): the
+        // replica chain absorbed the failure.
+        if record.is_some() && reply_from != route.terminus() {
+            self.meter.bump(MessageKind::ReplicaFailover, 1);
+        }
+
         // Reply hop back to the asker.
         let cost = self.distances().distance(self.router_of(reply_from)?, from_router);
         self.meter.record(MessageKind::DiscoveryHop, cost);

@@ -17,7 +17,7 @@
 //! location management here, Figure-2 routing and `_discovery` in
 //! [`crate::mobile`], and the join/leave protocol in [`crate::join`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bristle_netsim::attach::{AttachmentMap, HostId};
@@ -90,6 +90,9 @@ pub struct BristleSystem {
     pub registry: Registry,
     /// Lease contracts on cached addresses (§2.3.2).
     pub leases: LeaseTable,
+    /// Nodes confirmed crashed by the failure detector (see
+    /// [`crate::heal`]); kept so repeated suspicion reports are no-ops.
+    pub(crate) dead: HashSet<Key>,
 }
 
 /// Builder for [`BristleSystem`].
@@ -186,6 +189,7 @@ impl BristleBuilder {
             mobile_keys: Vec::new(),
             registry: Registry::new(),
             leases: LeaseTable::new(),
+            dead: HashSet::new(),
         };
 
         for _ in 0..self.n_stationary {

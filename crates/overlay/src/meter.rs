@@ -32,9 +32,20 @@ pub enum MessageKind {
     /// A protocol timer expiring without the awaited acknowledgement
     /// (counts timeouts, not messages; cost is always zero).
     Timeout,
+    /// A failure-detector heartbeat probe (including retransmissions).
+    HeartbeatSent,
+    /// A monitored peer transitioned into suspicion after missing
+    /// heartbeats (counts transitions, not messages; cost is zero).
+    SuspectRaised,
+    /// A location dissemination tree re-grafted after a member was
+    /// confirmed dead (counts repairs, not messages; cost is zero).
+    LdtRepair,
+    /// A `_discovery` answered by a surviving replica instead of the
+    /// record's primary owner (counts failovers, not messages).
+    ReplicaFailover,
 }
 
-const KIND_COUNT: usize = 11;
+const KIND_COUNT: usize = 15;
 
 fn kind_index(k: MessageKind) -> usize {
     match k {
@@ -49,6 +60,10 @@ fn kind_index(k: MessageKind) -> usize {
         MessageKind::Replicate => 8,
         MessageKind::DiscoveryRetry => 9,
         MessageKind::Timeout => 10,
+        MessageKind::HeartbeatSent => 11,
+        MessageKind::SuspectRaised => 12,
+        MessageKind::LdtRepair => 13,
+        MessageKind::ReplicaFailover => 14,
     }
 }
 
@@ -65,6 +80,10 @@ pub const ALL_KINDS: [MessageKind; KIND_COUNT] = [
     MessageKind::Replicate,
     MessageKind::DiscoveryRetry,
     MessageKind::Timeout,
+    MessageKind::HeartbeatSent,
+    MessageKind::SuspectRaised,
+    MessageKind::LdtRepair,
+    MessageKind::ReplicaFailover,
 ];
 
 /// Tallies message counts and physical path cost by message kind.

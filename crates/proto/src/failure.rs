@@ -1,0 +1,348 @@
+//! Lease-based crash-failure detection.
+//!
+//! A [`FailureDetector`] tracks the liveness of a set of monitored peers
+//! through heartbeat probes. Like everything in this crate it is
+//! sans-I/O: the detector only hands out probe sequence numbers and
+//! digests acks and timeouts; [`crate::machine::ProtoMachine`] turns its
+//! decisions into [`crate::wire::WireMessage::Heartbeat`] traffic and
+//! the driver supplies time.
+//!
+//! The suspicion state machine follows the classic lease shape: a peer
+//! is [`Liveness::Fresh`] while its heartbeats come back, becomes
+//! [`Liveness::Suspect`] after `suspect_after` consecutive missed
+//! probe rounds, and [`Liveness::Dead`] after `dead_after`. A round is
+//! only *missed* once `probe_attempts` retransmissions of the same
+//! probe all went unanswered, which keeps false confirmations
+//! vanishingly rare on a lossy-but-alive link (at 10% independent loss
+//! per direction, one round misses with probability `0.19^3 ≈ 0.7%`,
+//! and a false *confirmation* needs `dead_after` such rounds in a row).
+//! Any ack restores a suspect to fresh; death is final.
+
+use std::collections::HashMap;
+
+use bristle_overlay::key::Key;
+
+/// Heartbeat probing and suspicion thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailurePolicy {
+    /// Ticks to wait for a HeartbeatAck before retransmitting.
+    pub ack_wait: u64,
+    /// Sends of one probe (first try included) before the round counts
+    /// as missed.
+    pub probe_attempts: u32,
+    /// Consecutive missed rounds before a peer becomes suspect.
+    pub suspect_after: u32,
+    /// Consecutive missed rounds before a peer is confirmed dead.
+    pub dead_after: u32,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        // ack_wait matches RetryPolicy::ack_timeout so heartbeat probes
+        // tolerate the same link latencies as data traffic.
+        FailurePolicy { ack_wait: 20_000, probe_attempts: 3, suspect_after: 2, dead_after: 3 }
+    }
+}
+
+/// What the detector currently believes about a monitored peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Answering heartbeats.
+    Fresh,
+    /// Missed enough rounds to be suspected, not yet condemned.
+    Suspect,
+    /// Confirmed crashed. Final: acks from a dead peer are ignored.
+    Dead,
+}
+
+/// A liveness state change caused by a missed probe round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LivenessTransition {
+    /// Fresh → Suspect.
+    Suspected,
+    /// Suspect (or Fresh, with `dead_after <= suspect_after`) → Dead.
+    ConfirmedDead,
+}
+
+/// What to do when a probe's ack window expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutVerdict {
+    /// Stale timer (probe already acked, peer unmonitored or dead).
+    Ignore,
+    /// Retransmit the same probe; this is send number `attempt + 1`.
+    Resend {
+        /// Zero-based retransmission counter.
+        attempt: u32,
+    },
+    /// The round is missed; `transition` is the resulting state change,
+    /// if any.
+    Missed {
+        /// State change triggered by the miss.
+        transition: Option<LivenessTransition>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerHealth {
+    liveness: Liveness,
+    /// Consecutive missed rounds.
+    missed: u32,
+    /// Next probe sequence number to hand out.
+    next_seq: u64,
+    /// The probe in flight: (sequence, zero-based attempt).
+    awaiting: Option<(u64, u32)>,
+}
+
+impl PeerHealth {
+    fn fresh() -> Self {
+        PeerHealth { liveness: Liveness::Fresh, missed: 0, next_seq: 0, awaiting: None }
+    }
+}
+
+/// Per-node suspicion state over a set of monitored peers.
+#[derive(Debug)]
+pub struct FailureDetector {
+    policy: FailurePolicy,
+    peers: HashMap<Key, PeerHealth>,
+}
+
+impl FailureDetector {
+    /// A detector with the given thresholds, monitoring nobody.
+    pub fn new(policy: FailurePolicy) -> Self {
+        FailureDetector { policy, peers: HashMap::new() }
+    }
+
+    /// The configured thresholds.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Starts monitoring `peer` (no-op if already monitored; existing
+    /// suspicion state is kept).
+    pub fn monitor(&mut self, peer: Key) {
+        self.peers.entry(peer).or_insert_with(PeerHealth::fresh);
+    }
+
+    /// Stops monitoring `peer`. Returns whether it was monitored.
+    pub fn unmonitor(&mut self, peer: Key) -> bool {
+        self.peers.remove(&peer).is_some()
+    }
+
+    /// Drops every monitored peer for which `keep` returns false.
+    pub fn retain_monitored(&mut self, mut keep: impl FnMut(Key) -> bool) {
+        self.peers.retain(|&k, _| keep(k));
+    }
+
+    /// All monitored peers, sorted (deterministic iteration order).
+    pub fn monitored(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self.peers.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Current belief about `peer`, or `None` if unmonitored.
+    pub fn liveness(&self, peer: Key) -> Option<Liveness> {
+        self.peers.get(&peer).map(|p| p.liveness)
+    }
+
+    /// Whether `peer` is monitored and confirmed dead.
+    pub fn is_dead(&self, peer: Key) -> bool {
+        self.liveness(peer) == Some(Liveness::Dead)
+    }
+
+    /// Opens a probe round for `peer`: returns the sequence number to
+    /// send, or `None` when no probe should go out (unmonitored, dead,
+    /// or a probe is already in flight).
+    pub fn begin_probe(&mut self, peer: Key) -> Option<u64> {
+        let p = self.peers.get_mut(&peer)?;
+        if p.liveness == Liveness::Dead || p.awaiting.is_some() {
+            return None;
+        }
+        let seq = p.next_seq;
+        p.next_seq += 1;
+        p.awaiting = Some((seq, 0));
+        Some(seq)
+    }
+
+    /// Digests a HeartbeatAck. Returns whether it closed the in-flight
+    /// probe (acks for stale sequences or dead peers change nothing).
+    pub fn ack(&mut self, peer: Key, seq: u64) -> bool {
+        let Some(p) = self.peers.get_mut(&peer) else { return false };
+        if p.liveness == Liveness::Dead {
+            return false;
+        }
+        match p.awaiting {
+            Some((s, _)) if s == seq => {
+                p.awaiting = None;
+                p.missed = 0;
+                p.liveness = Liveness::Fresh;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Digests the expiry of the ack window for probe `seq` to `peer`.
+    pub fn on_timeout(&mut self, peer: Key, seq: u64) -> TimeoutVerdict {
+        let Some(p) = self.peers.get_mut(&peer) else { return TimeoutVerdict::Ignore };
+        if p.liveness == Liveness::Dead {
+            return TimeoutVerdict::Ignore;
+        }
+        match p.awaiting {
+            Some((s, attempt)) if s == seq => {
+                if attempt + 1 < self.policy.probe_attempts {
+                    p.awaiting = Some((seq, attempt + 1));
+                    return TimeoutVerdict::Resend { attempt: attempt + 1 };
+                }
+                p.awaiting = None;
+                p.missed += 1;
+                let transition = if p.missed >= self.policy.dead_after {
+                    p.liveness = Liveness::Dead;
+                    Some(LivenessTransition::ConfirmedDead)
+                } else if p.missed >= self.policy.suspect_after && p.liveness == Liveness::Fresh {
+                    p.liveness = Liveness::Suspect;
+                    Some(LivenessTransition::Suspected)
+                } else {
+                    None
+                };
+                TimeoutVerdict::Missed { transition }
+            }
+            _ => TimeoutVerdict::Ignore,
+        }
+    }
+
+    /// Marks `peer` dead outright (e.g. on a third-party SuspectNotify),
+    /// monitoring it first if necessary. Returns whether this is news.
+    pub fn mark_dead(&mut self, peer: Key) -> bool {
+        let p = self.peers.entry(peer).or_insert_with(PeerHealth::fresh);
+        if p.liveness == Liveness::Dead {
+            return false;
+        }
+        p.liveness = Liveness::Dead;
+        p.awaiting = None;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: Key = Key(5);
+
+    fn det() -> FailureDetector {
+        FailureDetector::new(FailurePolicy {
+            ack_wait: 100,
+            probe_attempts: 2,
+            suspect_after: 2,
+            dead_after: 3,
+        })
+    }
+
+    /// Runs one fully-missed round: every retransmission times out.
+    fn miss_round(d: &mut FailureDetector) -> Option<LivenessTransition> {
+        let seq = d.begin_probe(P).expect("probe opens");
+        loop {
+            match d.on_timeout(P, seq) {
+                TimeoutVerdict::Resend { .. } => continue,
+                TimeoutVerdict::Missed { transition } => return transition,
+                TimeoutVerdict::Ignore => panic!("round still open"),
+            }
+        }
+    }
+
+    #[test]
+    fn acked_probe_stays_fresh() {
+        let mut d = det();
+        d.monitor(P);
+        let seq = d.begin_probe(P).unwrap();
+        assert!(d.ack(P, seq));
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+        assert_eq!(d.on_timeout(P, seq), TimeoutVerdict::Ignore, "stale timer");
+    }
+
+    #[test]
+    fn retransmits_before_counting_a_miss() {
+        let mut d = det();
+        d.monitor(P);
+        let seq = d.begin_probe(P).unwrap();
+        assert_eq!(d.on_timeout(P, seq), TimeoutVerdict::Resend { attempt: 1 });
+        // A late ack of the retransmitted probe still counts.
+        assert!(d.ack(P, seq));
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+    }
+
+    #[test]
+    fn consecutive_misses_suspect_then_condemn() {
+        let mut d = det();
+        d.monitor(P);
+        assert_eq!(miss_round(&mut d), None, "one miss is tolerated");
+        assert_eq!(miss_round(&mut d), Some(LivenessTransition::Suspected));
+        assert_eq!(d.liveness(P), Some(Liveness::Suspect));
+        assert_eq!(miss_round(&mut d), Some(LivenessTransition::ConfirmedDead));
+        assert_eq!(d.liveness(P), Some(Liveness::Dead));
+        assert_eq!(d.begin_probe(P), None, "dead peers are not probed");
+        assert!(!d.ack(P, 99), "death is final");
+        assert_eq!(d.liveness(P), Some(Liveness::Dead));
+    }
+
+    #[test]
+    fn ack_recovers_a_suspect() {
+        let mut d = det();
+        d.monitor(P);
+        miss_round(&mut d);
+        miss_round(&mut d);
+        assert_eq!(d.liveness(P), Some(Liveness::Suspect));
+        let seq = d.begin_probe(P).unwrap();
+        assert!(d.ack(P, seq));
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+        // The miss counter reset too: condemnation needs 3 fresh misses.
+        assert_eq!(miss_round(&mut d), None);
+        assert_eq!(miss_round(&mut d), Some(LivenessTransition::Suspected));
+    }
+
+    #[test]
+    fn stale_sequence_ack_is_ignored() {
+        let mut d = det();
+        d.monitor(P);
+        let s0 = d.begin_probe(P).unwrap();
+        // Round misses; a later round opens with a fresh sequence.
+        while !matches!(d.on_timeout(P, s0), TimeoutVerdict::Missed { .. }) {}
+        let s1 = d.begin_probe(P).unwrap();
+        assert_ne!(s0, s1);
+        assert!(!d.ack(P, s0), "old sequence does not close the new probe");
+        assert!(d.ack(P, s1));
+    }
+
+    #[test]
+    fn mark_dead_is_news_once_and_implies_monitoring() {
+        let mut d = det();
+        assert!(d.mark_dead(P), "first report is news");
+        assert!(!d.mark_dead(P), "repeat is not");
+        assert!(d.is_dead(P));
+        assert_eq!(d.monitored(), vec![P]);
+    }
+
+    #[test]
+    fn only_one_probe_in_flight_per_peer() {
+        let mut d = det();
+        d.monitor(P);
+        let seq = d.begin_probe(P).unwrap();
+        assert_eq!(d.begin_probe(P), None, "round already open");
+        assert!(d.ack(P, seq));
+        assert!(d.begin_probe(P).is_some(), "next round opens after the ack");
+    }
+
+    #[test]
+    fn monitored_is_sorted_and_unmonitor_forgets() {
+        let mut d = det();
+        d.monitor(Key(9));
+        d.monitor(Key(1));
+        d.monitor(Key(4));
+        assert_eq!(d.monitored(), vec![Key(1), Key(4), Key(9)]);
+        assert!(d.unmonitor(Key(4)));
+        assert!(!d.unmonitor(Key(4)));
+        d.retain_monitored(|k| k != Key(9));
+        assert_eq!(d.monitored(), vec![Key(1)]);
+    }
+}

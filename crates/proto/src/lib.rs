@@ -5,14 +5,17 @@
 //! ([`wire`]), per-node protocol state machines driven by
 //! `poll(now, event)` ([`machine`]), and a transport abstraction with a
 //! deterministic, fault-injecting in-memory implementation
-//! ([`transport`]). Nothing in this crate performs I/O or reads a clock;
+//! ([`transport`]), and a lease-based crash-failure detector
+//! ([`failure`]). Nothing in this crate performs I/O or reads a clock;
 //! all effects are returned as values so the same state machines can be
 //! driven by a simulator today and real sockets later.
 
+pub mod failure;
 pub mod machine;
 pub mod transport;
 pub mod wire;
 
+pub use failure::{FailureDetector, FailurePolicy, Liveness, LivenessTransition, TimeoutVerdict};
 pub use machine::{
     Completion, Event, NodeEnv, Outgoing, Output, ProtoMachine, RetryPolicy, Timer, TimerKind,
 };

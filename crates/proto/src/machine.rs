@@ -24,6 +24,9 @@ use bristle_netsim::graph::RouterId;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
 
+use crate::failure::{
+    FailureDetector, FailurePolicy, Liveness, LivenessTransition, TimeoutVerdict,
+};
 use crate::wire::{Envelope, WireAddr, WireMessage};
 
 /// How a node retries unacknowledged sends.
@@ -73,6 +76,13 @@ pub enum TimerKind {
     RegisterRetry {
         /// `msg_id` of the awaited RegisterAck.
         msg_id: u64,
+    },
+    /// A heartbeat probe's ack window elapsed.
+    HeartbeatTimeout {
+        /// The monitored peer being probed.
+        peer: Key,
+        /// The probe sequence number awaited.
+        seq: u64,
     },
 }
 
@@ -153,6 +163,17 @@ pub enum Completion {
     RegisterFailed {
         /// The unreachable target.
         target: Key,
+    },
+    /// A monitored peer missed enough heartbeat rounds to be suspected.
+    PeerSuspected {
+        /// The suspect.
+        peer: Key,
+    },
+    /// A monitored peer was confirmed crashed, either by this node's
+    /// own detector or via a third-party SuspectNotify.
+    PeerDead {
+        /// The confirmed-dead peer.
+        peer: Key,
     },
 }
 
@@ -272,6 +293,7 @@ pub struct ProtoMachine {
     discs: HashMap<u64, DiscSession>,
     updates: HashMap<u64, AckSession>,
     registers: HashMap<u64, AckSession>,
+    detector: FailureDetector,
 }
 
 impl ProtoMachine {
@@ -287,12 +309,49 @@ impl ProtoMachine {
             discs: HashMap::new(),
             updates: HashMap::new(),
             registers: HashMap::new(),
+            detector: FailureDetector::new(FailurePolicy::default()),
         }
     }
 
     /// The node this machine speaks for.
     pub fn key(&self) -> Key {
         self.key
+    }
+
+    /// Replaces the failure-detection thresholds (existing suspicion
+    /// state is kept).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        let monitored = self.detector.monitored();
+        let mut fresh = FailureDetector::new(policy);
+        for peer in monitored {
+            fresh.monitor(peer);
+            if self.detector.is_dead(peer) {
+                fresh.mark_dead(peer);
+            }
+        }
+        self.detector = fresh;
+    }
+
+    /// Starts monitoring `peer`'s liveness via heartbeats.
+    pub fn monitor(&mut self, peer: Key) {
+        if peer != self.key {
+            self.detector.monitor(peer);
+        }
+    }
+
+    /// Stops monitoring every peer for which `keep` returns false.
+    pub fn retain_monitored(&mut self, keep: impl FnMut(Key) -> bool) {
+        self.detector.retain_monitored(keep);
+    }
+
+    /// This node's current belief about `peer` (`None` = unmonitored).
+    pub fn liveness(&self, peer: Key) -> Option<Liveness> {
+        self.detector.liveness(peer)
+    }
+
+    /// Peers this node monitors, sorted.
+    pub fn monitored(&self) -> Vec<Key> {
+        self.detector.monitored()
     }
 
     /// Number of in-flight sessions awaiting acks or replies.
@@ -413,6 +472,52 @@ impl ProtoMachine {
         env.meter(kind, cost);
         out.outgoing
             .push(Outgoing { to_addr, env: Envelope { src: self.key, dst: to, msg_id, msg } });
+        out
+    }
+
+    /// Opens one heartbeat round: probes every monitored, not-yet-dead
+    /// peer (one probe each, metered as HeartbeatSent) and arms the ack
+    /// windows. Rounds are driver-paced — a round's probes never re-arm
+    /// themselves, so an idle machine stays idle.
+    pub fn start_heartbeats(&mut self, now: SimTime, env: &mut dyn NodeEnv) -> Output {
+        let mut out = Output::none();
+        for peer in self.detector.monitored() {
+            let Some(seq) = self.detector.begin_probe(peer) else { continue };
+            self.push_heartbeat(env, peer, seq, &mut out);
+            out.timers.push(Timer {
+                at: now.plus(self.detector.policy().ack_wait),
+                kind: TimerKind::HeartbeatTimeout { peer, seq },
+            });
+        }
+        out
+    }
+
+    fn push_heartbeat(&mut self, env: &mut dyn NodeEnv, peer: Key, seq: u64, out: &mut Output) {
+        let to_addr = env.current_addr(peer);
+        let cost = env.distance(self.my_router(env), to_addr.router_id());
+        env.meter(MessageKind::HeartbeatSent, cost);
+        let msg_id = self.fresh_msg_id();
+        out.outgoing.push(Outgoing {
+            to_addr,
+            env: Envelope { src: self.key, dst: peer, msg_id, msg: WireMessage::Heartbeat { seq } },
+        });
+    }
+
+    /// Tells `to` that `suspect` has been confirmed dead (unmetered
+    /// control traffic, like acks: it spreads a verdict, not state).
+    pub fn notify_suspect(&mut self, env: &mut dyn NodeEnv, to: Key, suspect: Key) -> Output {
+        let mut out = Output::none();
+        let to_addr = env.current_addr(to);
+        let msg_id = self.fresh_msg_id();
+        out.outgoing.push(Outgoing {
+            to_addr,
+            env: Envelope {
+                src: self.key,
+                dst: to,
+                msg_id,
+                msg: WireMessage::SuspectNotify { suspect },
+            },
+        });
         out
     }
 
@@ -643,6 +748,9 @@ impl ProtoMachine {
             }
             Some(terminus) => {
                 if let Some(addr) = env.location_record(self.key, subject) {
+                    // Serving from a probed replica rather than the route
+                    // terminus: the chain absorbed the primary's miss.
+                    env.bump(MessageKind::ReplicaFailover);
                     self.send_reply(env, subject, sid, asker, Some(addr), out);
                     return;
                 }
@@ -846,6 +954,29 @@ impl ProtoMachine {
                 // protocol reaction yet.
                 self.seen.insert((src, msg_id));
             }
+            WireMessage::Heartbeat { seq } => {
+                // Always answer, even duplicates: the previous ack may
+                // have been lost. Acks are unmetered control traffic.
+                let ack_to = env.current_addr(src);
+                let ack_id = self.fresh_msg_id();
+                out.outgoing.push(Outgoing {
+                    to_addr: ack_to,
+                    env: Envelope {
+                        src: self.key,
+                        dst: src,
+                        msg_id: ack_id,
+                        msg: WireMessage::HeartbeatAck { seq },
+                    },
+                });
+            }
+            WireMessage::HeartbeatAck { seq } => {
+                self.detector.ack(src, seq);
+            }
+            WireMessage::SuspectNotify { suspect } => {
+                if self.seen.insert((src, msg_id)) && self.detector.mark_dead(suspect) {
+                    out.completions.push(Completion::PeerDead { peer: suspect });
+                }
+            }
         }
         out
     }
@@ -887,8 +1018,46 @@ impl ProtoMachine {
                     |peer| Completion::RegisterFailed { target: peer },
                 );
             }
+            TimerKind::HeartbeatTimeout { peer, seq } => {
+                self.heartbeat_timeout(now, env, peer, seq, &mut out)
+            }
         }
         out
+    }
+
+    fn heartbeat_timeout(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        peer: Key,
+        seq: u64,
+        out: &mut Output,
+    ) {
+        match self.detector.on_timeout(peer, seq) {
+            TimeoutVerdict::Ignore => {}
+            TimeoutVerdict::Resend { attempt } => {
+                env.bump(MessageKind::Timeout);
+                self.push_heartbeat(env, peer, seq, out);
+                let backoff = self.detector.policy().ack_wait << attempt;
+                out.timers.push(Timer {
+                    at: now.plus(backoff),
+                    kind: TimerKind::HeartbeatTimeout { peer, seq },
+                });
+            }
+            TimeoutVerdict::Missed { transition } => {
+                env.bump(MessageKind::Timeout);
+                match transition {
+                    Some(LivenessTransition::Suspected) => {
+                        env.bump(MessageKind::SuspectRaised);
+                        out.completions.push(Completion::PeerSuspected { peer });
+                    }
+                    Some(LivenessTransition::ConfirmedDead) => {
+                        out.completions.push(Completion::PeerDead { peer });
+                    }
+                    None => {}
+                }
+            }
+        }
     }
 
     fn hop_retry(&mut self, now: SimTime, env: &mut dyn NodeEnv, msg_id: u64, out: &mut Output) {
@@ -1467,5 +1636,86 @@ mod tests {
         };
         let out = m.poll(t(10), Event::Deliver(reply), &mut env);
         assert_eq!(out.outgoing.len(), 2, "both parked forwards resume");
+    }
+
+    #[test]
+    fn heartbeat_round_trip_keeps_peer_fresh() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let mut prober = ProtoMachine::new(A, policy());
+        let mut target = ProtoMachine::new(B, policy());
+        prober.monitor(B);
+        let out = prober.start_heartbeats(t(0), &mut env);
+        assert_eq!(out.outgoing.len(), 1);
+        assert_eq!(env.meter.count(MessageKind::HeartbeatSent), 1);
+        assert_eq!(env.meter.cost(MessageKind::HeartbeatSent), 4, "|1 - 5|");
+        let hb = out.outgoing[0].env.clone();
+        let timer = out.timers[0].kind;
+
+        // The target acks (unmetered), including on a duplicate.
+        let r1 = target.poll(t(1), Event::Deliver(hb.clone()), &mut env);
+        assert!(matches!(r1.outgoing[0].env.msg, WireMessage::HeartbeatAck { seq: 0 }));
+        let r2 = target.poll(t(2), Event::Deliver(hb), &mut env);
+        assert_eq!(r2.outgoing.len(), 1, "duplicate heartbeat re-acked");
+        assert_eq!(env.meter.total_messages(), 1, "only the probe itself is metered");
+
+        let out = prober.poll(t(3), Event::Deliver(r1.outgoing[0].env.clone()), &mut env);
+        assert!(out.completions.is_empty());
+        assert_eq!(prober.liveness(B), Some(Liveness::Fresh));
+        // The stale ack window fires harmlessly.
+        let out = prober.poll(t(100), Event::Timer(timer), &mut env);
+        assert!(out.outgoing.is_empty() && out.completions.is_empty());
+        assert_eq!(env.meter.count(MessageKind::Timeout), 0);
+    }
+
+    #[test]
+    fn silent_peer_is_suspected_then_condemned() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let mut prober = ProtoMachine::new(A, policy());
+        prober.set_failure_policy(FailurePolicy {
+            ack_wait: 100,
+            probe_attempts: 2,
+            suspect_after: 1,
+            dead_after: 2,
+        });
+        prober.monitor(B);
+
+        // Round 1: probe, retransmit, miss -> suspect.
+        let out = prober.start_heartbeats(t(0), &mut env);
+        let timer = out.timers[0].kind;
+        let o1 = prober.poll(t(100), Event::Timer(timer), &mut env);
+        assert_eq!(o1.outgoing.len(), 1, "retransmission");
+        assert_eq!(env.meter.count(MessageKind::HeartbeatSent), 2);
+        let o2 = prober.poll(t(300), Event::Timer(o1.timers[0].kind), &mut env);
+        assert_eq!(o2.completions, vec![Completion::PeerSuspected { peer: B }]);
+        assert_eq!(env.meter.count(MessageKind::SuspectRaised), 1);
+        assert_eq!(prober.liveness(B), Some(Liveness::Suspect));
+
+        // Round 2: another full miss -> dead.
+        let out = prober.start_heartbeats(t(1000), &mut env);
+        let timer = out.timers[0].kind;
+        let o1 = prober.poll(t(1100), Event::Timer(timer), &mut env);
+        let o2 = prober.poll(t(1300), Event::Timer(o1.timers[0].kind), &mut env);
+        assert_eq!(o2.completions, vec![Completion::PeerDead { peer: B }]);
+        assert_eq!(prober.liveness(B), Some(Liveness::Dead));
+
+        // Dead peers are no longer probed.
+        let out = prober.start_heartbeats(t(2000), &mut env);
+        assert!(out.outgoing.is_empty());
+    }
+
+    #[test]
+    fn suspect_notify_marks_dead_once() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let mut origin = ProtoMachine::new(A, policy());
+        let mut receiver = ProtoMachine::new(B, policy());
+        receiver.monitor(M);
+        let out = origin.notify_suspect(&mut env, B, M);
+        assert_eq!(env.meter.total_messages(), 0, "verdict spreading is unmetered");
+        let notice = out.outgoing[0].env.clone();
+        let r1 = receiver.poll(t(0), Event::Deliver(notice.clone()), &mut env);
+        assert_eq!(r1.completions, vec![Completion::PeerDead { peer: M }]);
+        assert_eq!(receiver.liveness(M), Some(Liveness::Dead));
+        let r2 = receiver.poll(t(1), Event::Deliver(notice), &mut env);
+        assert!(r2.completions.is_empty(), "duplicate notice is news only once");
     }
 }

@@ -151,6 +151,23 @@ pub enum WireMessage {
         /// The refreshing node.
         key: Key,
     },
+    /// Failure-detector liveness probe; the receiver must answer with a
+    /// [`WireMessage::HeartbeatAck`] echoing the sequence number.
+    Heartbeat {
+        /// Prober-scoped probe sequence number.
+        seq: u64,
+    },
+    /// Answers a [`WireMessage::Heartbeat`].
+    HeartbeatAck {
+        /// The probe sequence number being answered.
+        seq: u64,
+    },
+    /// Third-party notice that `suspect` has been confirmed crashed, so
+    /// the receiver can stop probing it and treat it as dead.
+    SuspectNotify {
+        /// The node confirmed dead.
+        suspect: Key,
+    },
 }
 
 impl WireMessage {
@@ -170,6 +187,9 @@ impl WireMessage {
             WireMessage::JoinProbe { .. } => 10,
             WireMessage::Leave { .. } => 11,
             WireMessage::Refresh { .. } => 12,
+            WireMessage::Heartbeat { .. } => 13,
+            WireMessage::HeartbeatAck { .. } => 14,
+            WireMessage::SuspectNotify { .. } => 15,
         }
     }
 }
@@ -349,6 +369,8 @@ impl Envelope {
             WireMessage::JoinProbe { key }
             | WireMessage::Leave { key }
             | WireMessage::Refresh { key } => w.key(*key),
+            WireMessage::Heartbeat { seq } | WireMessage::HeartbeatAck { seq } => w.u64(*seq),
+            WireMessage::SuspectNotify { suspect } => w.key(*suspect),
         }
         w.0
     }
@@ -383,6 +405,9 @@ impl Envelope {
             10 => WireMessage::JoinProbe { key: r.key()? },
             11 => WireMessage::Leave { key: r.key()? },
             12 => WireMessage::Refresh { key: r.key()? },
+            13 => WireMessage::Heartbeat { seq: r.u64()? },
+            14 => WireMessage::HeartbeatAck { seq: r.u64()? },
+            15 => WireMessage::SuspectNotify { suspect: r.key()? },
             t => return Err(WireError::BadTag(t)),
         };
         if r.pos != bytes.len() {
@@ -422,6 +447,9 @@ mod tests {
             WireMessage::JoinProbe { key: Key(19) },
             WireMessage::Leave { key: Key(20) },
             WireMessage::Refresh { key: Key(21) },
+            WireMessage::Heartbeat { seq: 22 },
+            WireMessage::HeartbeatAck { seq: 23 },
+            WireMessage::SuspectNotify { suspect: Key(24) },
         ]
     }
 
@@ -441,7 +469,7 @@ mod tests {
         for msg in every_message() {
             seen.insert(msg.tag());
         }
-        assert_eq!(seen.len(), 13);
+        assert_eq!(seen.len(), 16);
     }
 
     #[test]

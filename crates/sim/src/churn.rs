@@ -43,16 +43,32 @@ impl ChurnModel {
         ChurnModel { mean_interval: u64::MAX, join_weight: 0, leave_weight: 0, fail_weight: 0 }
     }
 
+    /// Sum of the action weights, wide enough that no weight choice
+    /// (each up to `u32::MAX`) can overflow.
+    fn total_weight(&self) -> u64 {
+        self.join_weight as u64 + self.leave_weight as u64 + self.fail_weight as u64
+    }
+
     /// Whether this model ever produces events.
     pub fn is_active(&self) -> bool {
-        self.join_weight + self.leave_weight + self.fail_weight > 0
-            && self.mean_interval != u64::MAX
+        self.total_weight() > 0 && self.mean_interval != u64::MAX
     }
 
     /// Draws the delay until the next churn event (exponential, ≥ 1).
+    /// An inactive interval (`u64::MAX`) means "never": the draw is
+    /// skipped entirely, since `u64::MAX as f64` would otherwise drag
+    /// the exponential through infinity.
     pub fn next_delay(&self, rng: &mut Pcg64) -> u64 {
+        if self.mean_interval == u64::MAX {
+            return u64::MAX;
+        }
         let u = rng.f64().max(1e-12);
-        ((-u.ln()) * self.mean_interval as f64).round().max(1.0) as u64
+        let d = ((-u.ln()) * self.mean_interval as f64).round().max(1.0);
+        if d.is_finite() && d < u64::MAX as f64 {
+            d as u64
+        } else {
+            u64::MAX
+        }
     }
 
     /// Draws which action the next event performs.
@@ -60,12 +76,12 @@ impl ChurnModel {
     /// # Panics
     /// Panics when all weights are zero.
     pub fn next_action(&self, rng: &mut Pcg64) -> ChurnAction {
-        let total = (self.join_weight + self.leave_weight + self.fail_weight) as u64;
+        let total = self.total_weight();
         assert!(total > 0, "churn model has no actions");
-        let pick = rng.below(total) as u32;
-        if pick < self.join_weight {
+        let pick = rng.below(total);
+        if pick < self.join_weight as u64 {
             ChurnAction::Join
-        } else if pick < self.join_weight + self.leave_weight {
+        } else if pick < self.join_weight as u64 + self.leave_weight as u64 {
             ChurnAction::Leave
         } else {
             ChurnAction::Fail
@@ -118,6 +134,39 @@ mod tests {
     #[should_panic(expected = "no actions")]
     fn none_cannot_draw_actions() {
         ChurnModel::none().next_action(&mut Pcg64::seed_from_u64(3));
+    }
+
+    /// Regression: the weight sum used to be taken in `u32`, so models
+    /// with large weights overflowed (panicking in debug builds) before
+    /// `rng.below` ever saw the total. All arithmetic is now `u64`.
+    #[test]
+    fn extreme_weights_do_not_overflow() {
+        let m = ChurnModel {
+            mean_interval: 10,
+            join_weight: u32::MAX,
+            leave_weight: u32::MAX,
+            fail_weight: u32::MAX,
+        };
+        assert!(m.is_active());
+        let mut rng = Pcg64::seed_from_u64(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..9000 {
+            seen.insert(m.next_action(&mut rng));
+        }
+        assert_eq!(seen.len(), 3, "every action class must still be drawable");
+    }
+
+    /// Regression: `next_delay` multiplied `mean_interval as f64` even
+    /// for the inactive sentinel `u64::MAX`, producing an infinite (and
+    /// then saturating) delay from a meaningless draw. The sentinel now
+    /// short-circuits to "never" without consuming randomness.
+    #[test]
+    fn inactive_interval_means_never() {
+        let m = ChurnModel::none();
+        let mut rng = Pcg64::seed_from_u64(10);
+        assert_eq!(m.next_delay(&mut rng), u64::MAX);
+        let mut rng2 = Pcg64::seed_from_u64(10);
+        assert_eq!(rng.below(1000), rng2.below(1000), "no randomness consumed");
     }
 
     #[test]

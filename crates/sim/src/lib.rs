@@ -28,6 +28,7 @@ pub mod messaging;
 pub mod metrics;
 pub mod mobility;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod workload;
 
@@ -40,5 +41,6 @@ pub use messaging::{MessagingBristleSystem, MessagingError, MessagingRouteReport
 pub use metrics::{Histogram, Samples};
 pub use mobility::MobilityModel;
 pub use report::Table;
+pub use resilience::{run_churn_messaging, ResilienceConfig, ResilienceOutcome};
 pub use scenario::{ScenarioConfig, ScenarioOutcome};
 pub use workload::{measure_routes, sample_any_pairs, sample_stationary_pairs, RouteAggregate};

@@ -17,8 +17,9 @@
 //! one clock instant; the driver's own [`EventQueue`] runs a fine-grained
 //! micro-clock for link latencies and retry timers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
+use bristle_core::heal::DeathReport;
 use bristle_core::location::LocationRecord;
 use bristle_core::naming::Mobility;
 use bristle_core::registry::Registrant;
@@ -27,6 +28,7 @@ use bristle_core::time::SimTime;
 use bristle_netsim::graph::RouterId;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
+use bristle_proto::failure::FailurePolicy;
 use bristle_proto::machine::{
     Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind,
 };
@@ -57,6 +59,11 @@ enum MsgEvent {
         key: Key,
         /// Destination router (random when `None`).
         to: Option<RouterId>,
+    },
+    /// A scheduled mid-operation disruption: a node crashes silently.
+    Fail {
+        /// The node that dies.
+        key: Key,
     },
 }
 
@@ -116,6 +123,31 @@ pub struct MessagingRouteReport {
 /// writes, which is what makes the meter tallies comparable.
 struct SystemEnv<'a> {
     sys: &'a mut BristleSystem,
+    /// Last known wire addresses of nodes that crashed or left: senders
+    /// may still address them (that is the point of crash *detection*),
+    /// and the transport needs a router to deliver the doomed bytes to.
+    tombstones: &'a HashMap<Key, WireAddr>,
+}
+
+/// Where mail for a node nobody ever knew goes: a syntactically valid
+/// address whose epoch can never match a live attachment. Router 0 always
+/// exists in a generated topology.
+const DEAD_LETTER_ADDR: WireAddr = WireAddr { host: u32::MAX, router: 0, epoch: u64::MAX };
+
+/// Fetches (or creates, under the session's policies) the machine for
+/// `node`. A free function so call sites can keep borrowing the driver's
+/// other fields disjointly.
+fn machine_entry(
+    machines: &mut HashMap<Key, ProtoMachine>,
+    node: Key,
+    policy: RetryPolicy,
+    fpolicy: FailurePolicy,
+) -> &mut ProtoMachine {
+    machines.entry(node).or_insert_with(|| {
+        let mut m = ProtoMachine::new(node, policy);
+        m.set_failure_policy(fpolicy);
+        m
+    })
 }
 
 impl NodeEnv for SystemEnv<'_> {
@@ -143,8 +175,13 @@ impl NodeEnv for SystemEnv<'_> {
     }
 
     fn current_addr(&self, key: Key) -> WireAddr {
-        let host = self.sys.node_info(key).expect("known node").host;
-        WireAddr::from_net(bristle_overlay::addr::NetAddr::current(host, &self.sys.attachments))
+        match self.sys.node_info(key) {
+            Ok(info) => WireAddr::from_net(bristle_overlay::addr::NetAddr::current(
+                info.host,
+                &self.sys.attachments,
+            )),
+            Err(_) => self.tombstones.get(&key).copied().unwrap_or(DEAD_LETTER_ADDR),
+        }
     }
 
     fn addr_current(&self, addr: WireAddr) -> bool {
@@ -235,7 +272,14 @@ pub struct MessagingBristleSystem {
     machines: HashMap<Key, ProtoMachine>,
     queue: EventQueue<MsgEvent>,
     policy: RetryPolicy,
+    failure_policy: FailurePolicy,
     completions: Vec<Completion>,
+    /// Nodes that crashed silently: their machines are gone and mail to
+    /// them black-holes, but the *system* bookkeeping still believes in
+    /// them until a confirmation heals it.
+    failed: HashSet<Key>,
+    /// Last known addresses of failed/departed nodes (see [`SystemEnv`]).
+    tombstones: HashMap<Key, WireAddr>,
 }
 
 impl MessagingBristleSystem {
@@ -261,7 +305,19 @@ impl MessagingBristleSystem {
             machines: HashMap::new(),
             queue: EventQueue::new(),
             policy,
+            failure_policy: FailurePolicy::default(),
             completions: Vec::new(),
+            failed: HashSet::new(),
+            tombstones: HashMap::new(),
+        }
+    }
+
+    /// Overrides the failure-detection policy used by every machine
+    /// (existing machines are rebuilt around it, monitored sets intact).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.failure_policy = policy;
+        for machine in self.machines.values_mut() {
+            machine.set_failure_policy(policy);
         }
     }
 
@@ -281,19 +337,203 @@ impl MessagingBristleSystem {
         self.queue.schedule_at(at, MsgEvent::Move { key, to });
     }
 
+    /// Schedules a silent crash at micro-time `at` (see
+    /// [`Self::fail_silently`]), to be executed while a later operation's
+    /// event loop runs past that time.
+    pub fn schedule_fail(&mut self, at: SimTime, key: Key) {
+        self.queue.schedule_at(at, MsgEvent::Fail { key });
+    }
+
+    /// Crashes `key` without notice: its machine vanishes and mail to it
+    /// black-holes, but every piece of *system* bookkeeping — ring
+    /// membership, registrations, published records, leases — still
+    /// believes in it. Only failure detection plus
+    /// [`Self::confirm_and_heal`] repairs the damage.
+    pub fn fail_silently(&mut self, key: Key) {
+        self.fail_now(key);
+    }
+
+    /// Whether `key` has crashed silently (and not yet been confirmed).
+    pub fn is_failed(&self, key: Key) -> bool {
+        self.failed.contains(&key)
+    }
+
+    /// Graceful departure through the driver: the machine is retired and
+    /// the system-level leave protocol runs.
+    pub fn leave(&mut self, key: Key) -> Result<(), MessagingError> {
+        self.remember_addr(key);
+        self.machines.remove(&key);
+        self.sys.leave_node(key).map_err(|_| MessagingError::UnknownNode(key))
+    }
+
+    fn fail_now(&mut self, key: Key) {
+        if self.sys.node_info(key).is_err() {
+            return;
+        }
+        self.remember_addr(key);
+        self.failed.insert(key);
+        self.machines.remove(&key);
+    }
+
+    /// Snapshots `key`'s current wire address into the tombstone book so
+    /// later sends (from nodes that still believe in it) stay routable.
+    fn remember_addr(&mut self, key: Key) {
+        if let Ok(info) = self.sys.node_info(key) {
+            let addr = WireAddr::from_net(bristle_overlay::addr::NetAddr::current(
+                info.host,
+                &self.sys.attachments,
+            ));
+            self.tombstones.insert(key, addr);
+        }
+    }
+
+    /// Rebuilds every live node's monitored-peer set from the current
+    /// registration state, so heartbeat coverage tracks membership:
+    ///
+    /// * LDT edges watch both ways — a mobile target monitors its
+    ///   registrants and each registrant monitors the target (those are
+    ///   exactly the nodes whose silence breaks dissemination);
+    /// * each stationary node monitors its ring successor (the peer that
+    ///   would inherit its records);
+    /// * every node is monitored by its mobile-ring predecessor, so no
+    ///   crash can go unobserved.
+    ///
+    /// Silently-failed nodes stay *watched* but never watch.
+    pub fn seed_monitors(&mut self) {
+        let mut wanted: BTreeMap<Key, BTreeSet<Key>> = BTreeMap::new();
+        {
+            let sys = &self.sys;
+            let failed = &self.failed;
+            let live = |k: Key| sys.node_info(k).is_ok() && !failed.contains(&k);
+            let mut add = |watcher: Key, peer: Key| {
+                if watcher != peer && live(watcher) && sys.node_info(peer).is_ok() {
+                    wanted.entry(watcher).or_default().insert(peer);
+                }
+            };
+            let mut targets: Vec<Key> = sys.registry.iter().map(|(t, _)| t).collect();
+            targets.sort_unstable();
+            for t in targets {
+                for r in sys.registry.registrants_of(t) {
+                    add(r.key, t);
+                    add(t, r.key);
+                }
+            }
+            for &s in sys.stationary_keys() {
+                if let Ok(set) = sys.stationary.replica_set(s, 2) {
+                    if let Some(&succ) = set.get(1) {
+                        add(s, succ);
+                    }
+                }
+            }
+            let mut all: Vec<Key> = sys.mobile.keys().collect();
+            all.sort_unstable();
+            let n = all.len();
+            for (i, &node) in all.iter().enumerate() {
+                add(all[(i + n - 1) % n], node);
+            }
+        }
+        for (watcher, peers) in wanted {
+            let machine =
+                machine_entry(&mut self.machines, watcher, self.policy, self.failure_policy);
+            machine.retain_monitored(|k| peers.contains(&k));
+            for &p in &peers {
+                machine.monitor(p);
+            }
+        }
+    }
+
+    /// Runs one system-wide heartbeat round: re-seeds the monitor sets,
+    /// lets every live machine probe its monitored peers, and drains the
+    /// resulting acks, retransmissions and timeouts. Returns the peers
+    /// newly *confirmed dead* this round (sorted, deduplicated, minus
+    /// anything already confirmed) — candidates for
+    /// [`Self::confirm_and_heal`]. Suspicion alone is not reported; it
+    /// either heals on the next ack or hardens into confirmation.
+    pub fn heartbeat_round(&mut self) -> Vec<Key> {
+        self.seed_monitors();
+        let mut watchers: Vec<Key> = self.machines.keys().copied().collect();
+        watchers.sort_unstable();
+        for w in watchers {
+            let now = self.queue.now();
+            let out = {
+                let Some(machine) = self.machines.get_mut(&w) else { continue };
+                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                machine.start_heartbeats(now, &mut env)
+            };
+            self.dispatch(w, out);
+        }
+        let mut budget = MAX_EVENTS_PER_OP;
+        while budget > 0 && self.step() {
+            budget -= 1;
+        }
+        let mut dead = Vec::new();
+        self.completions.retain(|c| match *c {
+            Completion::PeerDead { peer } => {
+                dead.push(peer);
+                false
+            }
+            Completion::PeerSuspected { .. } => false,
+            _ => true,
+        });
+        dead.sort_unstable();
+        dead.dedup();
+        dead.retain(|&k| !self.sys.is_confirmed_dead(k));
+        dead
+    }
+
+    /// Acts on a confirmed death: spreads the verdict to watchers that
+    /// have not yet condemned `key` themselves (`SuspectNotify`), retires
+    /// the corpse at the driver level, and runs the system-wide funeral
+    /// ([`BristleSystem::confirm_dead`]) — LDT re-grafting, registration
+    /// and lease pruning, record withdrawal.
+    pub fn confirm_and_heal(&mut self, key: Key) -> Result<DeathReport, MessagingError> {
+        if self.sys.node_info(key).is_err() && !self.sys.is_confirmed_dead(key) {
+            return Err(MessagingError::UnknownNode(key));
+        }
+        self.fail_now(key);
+        let mut believers = Vec::new();
+        let mut unconvinced = Vec::new();
+        for (&w, m) in &self.machines {
+            match m.liveness(key) {
+                Some(bristle_proto::failure::Liveness::Dead) => believers.push(w),
+                Some(_) => unconvinced.push(w),
+                None => {}
+            }
+        }
+        believers.sort_unstable();
+        unconvinced.sort_unstable();
+        if let Some(&herald) = believers.first() {
+            for &peer in &unconvinced {
+                let out = {
+                    let Some(machine) = self.machines.get_mut(&herald) else { break };
+                    let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                    machine.notify_suspect(&mut env, peer, key)
+                };
+                self.dispatch(herald, out);
+            }
+            let mut budget = MAX_EVENTS_PER_OP;
+            while budget > 0 && self.step() {
+                budget -= 1;
+            }
+        }
+        // The notifications above re-announce the same death; those
+        // echoes are not news.
+        self.completions.retain(|c| !matches!(c, Completion::PeerDead { peer } if *peer == key));
+        self.sys.confirm_dead(key).map_err(|_| MessagingError::UnknownNode(key))
+    }
+
     /// Routes a message from `src` toward `target` entirely by message
     /// passing, driving the event loop until the route completes or
     /// fails. Lost hops time out and retransmit; hops to a moved mobile
     /// peer fall back to a `_discovery` through the stationary layer.
     pub fn route(&mut self, src: Key, target: Key) -> Result<MessagingRouteReport, MessagingError> {
-        if self.sys.node_info(src).is_err() {
+        if self.sys.node_info(src).is_err() || self.failed.contains(&src) {
             return Err(MessagingError::UnknownNode(src));
         }
         let now = self.queue.now();
         let (route_id, out) = {
-            let machine =
-                self.machines.entry(src).or_insert_with(|| ProtoMachine::new(src, self.policy));
-            let mut env = SystemEnv { sys: &mut self.sys };
+            let machine = machine_entry(&mut self.machines, src, self.policy, self.failure_policy);
+            let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
             machine.start_route(now, &mut env, target)
         };
         self.dispatch(src, out);
@@ -332,14 +572,17 @@ impl MessagingBristleSystem {
         }
         let mut expected = 0usize;
         for (parent, children) in by_parent {
+            // A parent that crashed (or vanished) mid-tree cannot relay:
+            // its edges are skipped now and repaired by confirmation.
+            if self.failed.contains(&parent) || self.sys.node_info(parent).is_err() {
+                continue;
+            }
             expected += children.len();
             let now = self.queue.now();
             let out = {
-                let machine = self
-                    .machines
-                    .entry(parent)
-                    .or_insert_with(|| ProtoMachine::new(parent, self.policy));
-                let mut env = SystemEnv { sys: &mut self.sys };
+                let machine =
+                    machine_entry(&mut self.machines, parent, self.policy, self.failure_policy);
+                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
                 machine.start_update(now, &mut env, key, addr, info.seq, &children)
             };
             self.dispatch(parent, out);
@@ -367,7 +610,11 @@ impl MessagingBristleSystem {
                 return Err(MessagingError::Runaway);
             }
             if !self.step() {
-                return Err(MessagingError::Stalled);
+                // The queue drained with edges unsettled: a parent died
+                // *during* the round, so its pending acks can never
+                // arrive. Report how far the dissemination got — the
+                // shortfall is exactly what failure detection must catch.
+                break;
             }
             events += 1;
         }
@@ -378,14 +625,16 @@ impl MessagingBristleSystem {
     /// the loop until the registration is acked (lease granted) or fails.
     pub fn register(&mut self, who: Key, target: Key) -> Result<(), MessagingError> {
         let info = *self.sys.node_info(who).map_err(|_| MessagingError::UnknownNode(who))?;
+        if self.failed.contains(&who) {
+            return Err(MessagingError::UnknownNode(who));
+        }
         if self.sys.node_info(target).map(|i| i.mobility) != Ok(Mobility::Mobile) {
             return Err(MessagingError::UnknownNode(target));
         }
         let now = self.queue.now();
         let out = {
-            let machine =
-                self.machines.entry(who).or_insert_with(|| ProtoMachine::new(who, self.policy));
-            let mut env = SystemEnv { sys: &mut self.sys };
+            let machine = machine_entry(&mut self.machines, who, self.policy, self.failure_policy);
+            let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
             machine.start_register(now, &mut env, target, info.capacity)
         };
         self.dispatch(who, out);
@@ -434,16 +683,23 @@ impl MessagingBristleSystem {
         match event {
             MsgEvent::Deliver(d) => {
                 // The sender addressed a router; if the destination host
-                // has moved away since, the bytes black-hole there.
+                // has moved away since — or crashed — the bytes
+                // black-hole there.
                 let dst = d.env.dst;
+                if self.failed.contains(&dst) {
+                    return true;
+                }
                 match self.sys.router_of(dst) {
                     Ok(r) if r == d.to_router => {
                         let out = {
-                            let machine = self
-                                .machines
-                                .entry(dst)
-                                .or_insert_with(|| ProtoMachine::new(dst, self.policy));
-                            let mut env = SystemEnv { sys: &mut self.sys };
+                            let machine = machine_entry(
+                                &mut self.machines,
+                                dst,
+                                self.policy,
+                                self.failure_policy,
+                            );
+                            let mut env =
+                                SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
                             machine.poll(now, Event::Deliver(d.env), &mut env)
                         };
                         self.dispatch(dst, out);
@@ -454,7 +710,8 @@ impl MessagingBristleSystem {
             MsgEvent::Timer { node, kind } => {
                 if let Some(machine) = self.machines.get_mut(&node) {
                     let out = {
-                        let mut env = SystemEnv { sys: &mut self.sys };
+                        let mut env =
+                            SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
                         machine.poll(now, Event::Timer(kind), &mut env)
                     };
                     self.dispatch(node, out);
@@ -463,6 +720,7 @@ impl MessagingBristleSystem {
             MsgEvent::Move { key, to } => {
                 let _ = self.sys.move_node(key, to);
             }
+            MsgEvent::Fail { key } => self.fail_now(key),
         }
         true
     }

@@ -1,0 +1,434 @@
+//! Churn-resilience scenario: a message-driven Bristle system under
+//! joins, graceful leaves, and silent crashes on a lossy transport.
+//!
+//! Each scenario event draws one [`ChurnAction`], then runs the full
+//! detect-and-heal loop: heartbeat rounds over the message-passing driver
+//! until every silent crash is confirmed, [`confirm_and_heal`] for each
+//! confirmation (LDT re-grafting, registration and lease pruning, record
+//! withdrawal), followed by a measurement batch of `_discovery`
+//! operations and mobile-layer routes. Occasionally a mobile node moves
+//! *silently* (its attachment changes without a republish), planting the
+//! stale records the discovery batch then surfaces and repairs.
+//!
+//! Everything is seeded: two runs with the same [`ResilienceConfig`]
+//! produce identical [`ResilienceOutcome`]s, meter tallies included.
+//!
+//! [`ChurnAction`]: crate::churn::ChurnAction
+//! [`confirm_and_heal`]: MessagingBristleSystem::confirm_and_heal
+
+use std::collections::BTreeSet;
+
+use bristle_core::config::BristleConfig;
+use bristle_core::naming::Mobility;
+use bristle_core::system::{BristleBuilder, BristleSystem};
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::TransitStubConfig;
+use bristle_overlay::addr::NetAddr;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::{MessageKind, ALL_KINDS};
+use bristle_proto::transport::FaultConfig;
+
+use crate::churn::{ChurnAction, ChurnModel};
+use crate::messaging::MessagingBristleSystem;
+
+/// Parameters of one churn-resilience run.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Seed for the system build, the transport, and the scenario draws.
+    pub seed: u64,
+    /// Stationary population at build time.
+    pub stationary: usize,
+    /// Mobile population at build time.
+    pub mobile: usize,
+    /// Churn mix (only the weights matter; events are drawn per step).
+    pub churn: ChurnModel,
+    /// Transport drop probability.
+    pub loss: f64,
+    /// Scenario events (one churn draw + measurement batch each).
+    pub events: usize,
+    /// Message-passing routes measured per event.
+    pub routes_per_event: usize,
+    /// `_discovery` operations measured per event.
+    pub discoveries_per_event: usize,
+    /// Leave/Fail events never shrink the stationary layer below this.
+    pub min_stationary: usize,
+    /// Leave/Fail events never shrink the mobile population below this.
+    pub min_mobile: usize,
+    /// Adversarial fault placement: halfway through the run, crash the
+    /// stationary node that is record-primary for the most mobile
+    /// subjects. Random churn almost never hits the primary (clustered
+    /// naming concentrates ownership on the band boundary), yet the
+    /// failover path is exactly what a resilience run must exercise.
+    pub assassinate_primary: bool,
+}
+
+impl ResilienceConfig {
+    /// The standard acceptance-scale run: a small-but-structured system,
+    /// balanced churn, 10% message loss.
+    pub fn standard(seed: u64) -> Self {
+        ResilienceConfig {
+            seed,
+            stationary: 36,
+            mobile: 14,
+            churn: ChurnModel::balanced(50),
+            loss: 0.10,
+            events: 18,
+            routes_per_event: 4,
+            discoveries_per_event: 2,
+            min_stationary: 8,
+            min_mobile: 4,
+            assassinate_primary: true,
+        }
+    }
+}
+
+/// What one churn-resilience run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceOutcome {
+    /// Nodes that joined during the run.
+    pub joins: usize,
+    /// Nodes that left gracefully.
+    pub leaves: usize,
+    /// Nodes that crashed silently.
+    pub fails: usize,
+    /// Crashes confirmed dead by the heartbeat machinery.
+    pub deaths_confirmed: usize,
+    /// Heartbeat rounds run while at least one crash awaited confirmation
+    /// (`/ deaths_confirmed` ≈ detection latency in rounds).
+    pub detection_rounds: usize,
+    /// LDT memberships held by confirmed-dead nodes at confirmation time
+    /// (the repairs the healing pass *must* perform).
+    pub repairs_expected: usize,
+    /// LDT re-grafts actually reported by the healing pass.
+    pub ldts_repaired: usize,
+    /// Whether every repaired tree passed the root-reachability invariant.
+    pub invariant_ok: bool,
+    /// Message-passing routes attempted between live endpoints.
+    pub routes_attempted: usize,
+    /// Routes that reached their target's owner.
+    pub routes_delivered: usize,
+    /// `_discovery` operations measured.
+    pub discoveries: usize,
+    /// Discoveries answered with an address that was no longer current.
+    pub stale_answers: usize,
+    /// Stale answers repaired by a full `update` operation.
+    pub stale_repairs: usize,
+    /// Post-mortem discoveries for subjects whose record primary died.
+    pub dead_primary_lookups: usize,
+    /// Those discoveries that still resolved (via a surviving replica).
+    pub dead_primary_hits: usize,
+    /// Replica-chain probes served past the route terminus (meter delta).
+    pub replica_failovers: u64,
+    /// Record copies re-installed by anti-entropy reconciliation.
+    pub anti_entropy_fixes: usize,
+    /// Per-kind meter `(kind, count, cost)` at the end of the run.
+    pub tallies: Vec<(MessageKind, u64, u64)>,
+}
+
+impl ResilienceOutcome {
+    /// Fraction of attempted routes that were delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.routes_attempted == 0 {
+            1.0
+        } else {
+            self.routes_delivered as f64 / self.routes_attempted as f64
+        }
+    }
+}
+
+/// Keys of `keys` that have not silently crashed, sorted.
+fn live_sorted(msys: &MessagingBristleSystem, keys: &[Key]) -> Vec<Key> {
+    let mut v: Vec<Key> = keys.iter().copied().filter(|&k| !msys.is_failed(k)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// How many live targets count `dead` among their registrants — the LDTs
+/// the healing pass must re-graft (the same rule
+/// [`BristleSystem::confirm_dead`](bristle_core::heal) applies).
+fn ldt_memberships(sys: &BristleSystem, dead: Key) -> usize {
+    sys.registry
+        .iter()
+        .filter(|&(t, regs)| {
+            t != dead && sys.node_info(t).is_ok() && regs.iter().any(|r| r.key == dead)
+        })
+        .count()
+}
+
+/// The live stationary node that is record-primary for the most live
+/// mobile subjects (ties broken toward the smaller key), if any node
+/// currently owns a subject at all.
+fn busiest_primary(msys: &MessagingBristleSystem) -> Option<Key> {
+    let sys = &msys.sys;
+    let mut counts: std::collections::BTreeMap<Key, usize> = std::collections::BTreeMap::new();
+    for &m in sys.mobile_keys() {
+        if let Ok(owner) = sys.stationary.owner(m) {
+            if !msys.is_failed(owner) {
+                *counts.entry(owner).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.into_iter().max_by_key(|&(k, c)| (c, std::cmp::Reverse(k))).map(|(k, _)| k)
+}
+
+/// Mobile subjects whose location-record primary is `owner` right now.
+fn subjects_owned_by(sys: &BristleSystem, owner: Key) -> Vec<Key> {
+    let mut v: Vec<Key> = sys
+        .mobile_keys()
+        .iter()
+        .copied()
+        .filter(|&m| sys.stationary.owner(m) == Ok(owner))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Runs heartbeat rounds until every key in `pending` is confirmed (or
+/// `max_rounds` pass), healing each confirmation and folding the death
+/// reports into `out`. Stationary deaths additionally trigger post-mortem
+/// discoveries for every subject the corpse was record-primary of.
+fn detect_and_heal(
+    msys: &mut MessagingBristleSystem,
+    pending: &mut BTreeSet<Key>,
+    max_rounds: usize,
+    out: &mut ResilienceOutcome,
+) {
+    for _ in 0..max_rounds {
+        if !pending.is_empty() {
+            out.detection_rounds += 1;
+        }
+        let newly = msys.heartbeat_round();
+        for k in newly {
+            let expected = ldt_memberships(&msys.sys, k);
+            let orphaned_subjects = subjects_owned_by(&msys.sys, k);
+            let report = msys.confirm_and_heal(k).expect("confirmed peer is known");
+            out.deaths_confirmed += 1;
+            out.repairs_expected += expected;
+            out.ldts_repaired += report.ldts_repaired.len();
+            out.invariant_ok &= report.invariant_ok;
+            pending.remove(&k);
+
+            // The acceptance question: do records whose primary just died
+            // still resolve (through a surviving replica)?
+            let askers = live_sorted(msys, msys.sys.stationary_keys());
+            for m in orphaned_subjects {
+                if msys.is_failed(m) || msys.sys.node_info(m).is_err() {
+                    continue;
+                }
+                let Some(&from) = askers.iter().find(|&&s| s != m) else { continue };
+                out.dead_primary_lookups += 1;
+                if let Ok(r) = msys.sys.discover(from, m) {
+                    if r.resolved.is_some() {
+                        out.dead_primary_hits += 1;
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+    }
+}
+
+/// Runs one churn-resilience scenario: build, churn, detect, heal,
+/// measure. Deterministic in `cfg` (same config ⇒ identical outcome).
+pub fn run_churn_messaging(cfg: &ResilienceConfig) -> ResilienceOutcome {
+    let sys = BristleBuilder::new(cfg.seed)
+        .stationary_nodes(cfg.stationary)
+        .mobile_nodes(cfg.mobile)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig::recommended())
+        .build()
+        .expect("system builds");
+    let mut msys = MessagingBristleSystem::new(sys, FaultConfig::lossy(cfg.loss), cfg.seed ^ 0x51);
+    let mut rng = Pcg64::new(cfg.seed, 0xC1A0);
+
+    let mut out = ResilienceOutcome {
+        joins: 0,
+        leaves: 0,
+        fails: 0,
+        deaths_confirmed: 0,
+        detection_rounds: 0,
+        repairs_expected: 0,
+        ldts_repaired: 0,
+        invariant_ok: true,
+        routes_attempted: 0,
+        routes_delivered: 0,
+        discoveries: 0,
+        stale_answers: 0,
+        stale_repairs: 0,
+        dead_primary_lookups: 0,
+        dead_primary_hits: 0,
+        replica_failovers: 0,
+        anti_entropy_fixes: 0,
+        tallies: Vec::new(),
+    };
+    let failovers_before = msys.sys.meter.count(MessageKind::ReplicaFailover);
+    // Crashes injected but not yet confirmed dead.
+    let mut pending: BTreeSet<Key> = BTreeSet::new();
+
+    for e in 0..cfg.events {
+        // Adversarial fault placement (see [`ResilienceConfig`]): kill
+        // the busiest record primary at the run's midpoint.
+        if cfg.assassinate_primary && e == cfg.events / 2 {
+            let live_st = live_sorted(&msys, msys.sys.stationary_keys());
+            if live_st.len() > cfg.min_stationary {
+                if let Some(primary) = busiest_primary(&msys) {
+                    msys.fail_silently(primary);
+                    pending.insert(primary);
+                    out.fails += 1;
+                }
+            }
+        }
+
+        // One churn draw per event (the model's weights pick the action;
+        // its interval is a real-time notion the event loop abstracts).
+        if cfg.churn.is_active() {
+            match cfg.churn.next_action(&mut rng) {
+                ChurnAction::Join => {
+                    let mobility =
+                        if rng.chance(0.35) { Mobility::Mobile } else { Mobility::Stationary };
+                    msys.sys.join_node(mobility).expect("join succeeds");
+                    out.joins += 1;
+                }
+                action @ (ChurnAction::Leave | ChurnAction::Fail) => {
+                    let live_st = live_sorted(&msys, msys.sys.stationary_keys());
+                    let live_mob = live_sorted(&msys, msys.sys.mobile_keys());
+                    let mut cands: Vec<Key> = Vec::new();
+                    if live_st.len() > cfg.min_stationary {
+                        cands.extend(&live_st);
+                    }
+                    if live_mob.len() > cfg.min_mobile {
+                        cands.extend(&live_mob);
+                    }
+                    if !cands.is_empty() {
+                        let k = cands[rng.index(cands.len())];
+                        if action == ChurnAction::Leave {
+                            msys.leave(k).expect("leaver is known");
+                            out.leaves += 1;
+                        } else {
+                            msys.fail_silently(k);
+                            pending.insert(k);
+                            out.fails += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Detection: one routine round when all is quiet, a sustained
+        // barrage while a silent crash is waiting to be noticed.
+        let rounds = if pending.is_empty() { 1 } else { 5 };
+        detect_and_heal(&mut msys, &mut pending, rounds, &mut out);
+
+        // Every third event a mobile node moves *silently* — attachment
+        // changed, nothing republished — planting a stale record.
+        if e % 3 == 1 {
+            let movers = live_sorted(&msys, msys.sys.mobile_keys());
+            let anchors = live_sorted(&msys, msys.sys.stationary_keys());
+            if let (Some(&m), false) = (movers.first(), anchors.is_empty()) {
+                let host = msys.sys.node_info(m).expect("live mover").host;
+                let anchor = anchors[rng.index(anchors.len())];
+                let router = msys.sys.router_of(anchor).expect("live anchor");
+                msys.sys.attachments.move_host(host, router);
+            }
+        }
+
+        // Measurement: discoveries first (they surface staleness), then
+        // message-passing routes between live endpoints.
+        let subjects = live_sorted(&msys, msys.sys.mobile_keys());
+        let askers = live_sorted(&msys, msys.sys.stationary_keys());
+        for _ in 0..cfg.discoveries_per_event {
+            if subjects.is_empty() || askers.is_empty() {
+                break;
+            }
+            let subject = subjects[rng.index(subjects.len())];
+            let from = askers[rng.index(askers.len())];
+            if from == subject {
+                continue;
+            }
+            let Ok(report) = msys.sys.discover(from, subject) else { continue };
+            out.discoveries += 1;
+            if let Some(addr) = report.resolved {
+                let host = msys.sys.node_info(subject).expect("live subject").host;
+                if addr != NetAddr::current(host, &msys.sys.attachments) {
+                    out.stale_answers += 1;
+                    // The mover's next update operation repairs the lie.
+                    msys.sys.move_node(subject, None).expect("subject is mobile");
+                    out.stale_repairs += 1;
+                }
+            }
+        }
+        let mut endpoints: Vec<Key> = msys.sys.mobile.keys().collect();
+        endpoints.sort_unstable();
+        endpoints.retain(|&k| !msys.is_failed(k));
+        for _ in 0..cfg.routes_per_event {
+            if endpoints.len() < 2 {
+                break;
+            }
+            let src = endpoints[rng.index(endpoints.len())];
+            let target = endpoints[rng.index(endpoints.len())];
+            if src == target {
+                continue;
+            }
+            out.routes_attempted += 1;
+            if msys.route(src, target).is_ok() {
+                out.routes_delivered += 1;
+            }
+        }
+
+        msys.sys.tick(5);
+        if e % 4 == 3 {
+            out.anti_entropy_fixes +=
+                msys.sys.anti_entropy_locations().expect("reconciliation succeeds");
+        }
+    }
+
+    // Flush: confirm any crash still pending, then reconcile replicas.
+    detect_and_heal(&mut msys, &mut pending, 5, &mut out);
+    out.anti_entropy_fixes += msys.sys.anti_entropy_locations().expect("reconciliation succeeds");
+
+    out.replica_failovers = msys.sys.meter.count(MessageKind::ReplicaFailover) - failovers_before;
+    out.tallies =
+        ALL_KINDS.iter().map(|&k| (k, msys.sys.meter.count(k), msys.sys.meter.cost(k))).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_run_has_no_deaths_and_full_delivery() {
+        let mut cfg = ResilienceConfig::standard(5);
+        cfg.churn = ChurnModel::none();
+        cfg.loss = 0.0;
+        cfg.events = 4;
+        cfg.assassinate_primary = false;
+        let out = run_churn_messaging(&cfg);
+        assert_eq!(out.fails, 0);
+        assert_eq!(out.deaths_confirmed, 0);
+        assert!(out.invariant_ok);
+        assert!(out.routes_attempted > 0);
+        assert_eq!(out.routes_delivered, out.routes_attempted);
+        // Silent movers still plant stale records; discovery surfaces them.
+        assert!(out.discoveries > 0);
+    }
+
+    #[test]
+    fn same_seed_twice_is_identical() {
+        let cfg = ResilienceConfig::standard(11);
+        let a = run_churn_messaging(&cfg);
+        let b = run_churn_messaging(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_confirms_exactly_the_injected_crashes() {
+        let cfg = ResilienceConfig::standard(3);
+        let out = run_churn_messaging(&cfg);
+        assert_eq!(out.deaths_confirmed, out.fails, "every crash must be confirmed: {out:?}");
+        assert_eq!(out.ldts_repaired, out.repairs_expected);
+        assert!(out.invariant_ok);
+    }
+}
