@@ -99,8 +99,13 @@ impl BristleSystem {
             trees.push((target, self.build_ldt(target)?));
         }
 
-        // (2) Remove the corpse and its bookkeeping.
+        // (2) Remove the corpse and its bookkeeping. Its `NodeInfo` is
+        // kept in the graveyard: if the verdict turns out to be wrong
+        // (partition, not crash), [`crate::rejoin`] reverses the funeral
+        // from that corpse state instead of re-admitting a stranger.
         if report.was_present {
+            let corpse = *self.node_info(key)?;
+            self.remember_corpse(key, corpse);
             self.fail_node(key)?;
         }
         report.registrations_pruned =
@@ -150,10 +155,12 @@ impl BristleSystem {
 
     /// Anti-entropy pass over the location store: for every live mobile
     /// node, reconciles its record across the current replica set — the
-    /// newest copy (by sequence, then publication time) wins and is
-    /// pushed to replicas that miss it or hold an older one. Restores
-    /// full replication after stationary-node deaths and repairs
-    /// divergence after a primary rejoins. Returns copies installed.
+    /// newest copy (by incarnation, then sequence, then publication
+    /// time) wins and is pushed to replicas that miss it or hold an
+    /// older one. Restores full replication after stationary-node
+    /// deaths, and resolves split-brain divergence after a partition
+    /// heals: both sides apply the same total order, so they converge on
+    /// the same record. Returns copies installed.
     pub fn anti_entropy_locations(&mut self) -> Result<usize> {
         let replicas = self.config().location_replicas;
         let subjects = self.mobile_keys().to_vec();
@@ -341,6 +348,36 @@ mod tests {
         for &r in &set {
             let rec = sys.stationary.node(r).unwrap().store.get(&subject).unwrap();
             assert_eq!(rec.seq, fresh.seq, "newest copy wins at replica {r}");
+        }
+    }
+
+    #[test]
+    fn anti_entropy_ranks_incarnation_above_seq() {
+        let mut sys = system(40, 10, 8);
+        let replicas = sys.config().location_replicas;
+        let subject = sys.mobile_keys()[0];
+        sys.move_node(subject, None).unwrap();
+        let set = sys.stationary.replica_set(subject, replicas).unwrap();
+        // Split-brain shape: one replica holds a far-side record from the
+        // subject's previous life with an inflated seq; the rest hold the
+        // post-rejoin record at a fresher incarnation.
+        let current = *sys.stationary.node(set[0]).unwrap().store.get(&subject).unwrap();
+        let mut far_side = current;
+        far_side.seq = current.seq + 50;
+        sys.stationary.node_mut(set[0]).unwrap().store.insert(subject, far_side);
+        let mut rejoined = current;
+        rejoined.incarnation = current.incarnation + 1;
+        for &r in &set[1..] {
+            sys.stationary.node_mut(r).unwrap().store.insert(subject, rejoined);
+        }
+        sys.anti_entropy_locations().unwrap();
+        for &r in &set {
+            let rec = sys.stationary.node(r).unwrap().store.get(&subject).unwrap();
+            assert_eq!(
+                (rec.incarnation, rec.seq),
+                (rejoined.incarnation, rejoined.seq),
+                "fresher incarnation beats inflated far-side seq at replica {r}"
+            );
         }
     }
 

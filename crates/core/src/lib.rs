@@ -20,6 +20,10 @@
 //! * **crash healing** — confirming a node dead prunes its traces,
 //!   re-grafts orphaned LDT subtrees, and reconciles replicated location
 //!   records ([`heal`]);
+//! * **partition tolerance** — wrongful death verdicts are refuted with
+//!   SWIM-style incarnation numbers and reversed by a rejoin that
+//!   restores registrations, LDT membership and withdrawn location
+//!   records ([`rejoin`]);
 //! * **clustered naming** — keeping stationary-to-stationary routes
 //!   inside the stationary key band, reducing route cost from O(log² N)
 //!   to O(log N) ([`naming`], §3).
@@ -59,6 +63,7 @@ pub mod location;
 pub mod mobile;
 pub mod naming;
 pub mod registry;
+pub mod rejoin;
 pub mod stats;
 pub mod system;
 pub mod time;
@@ -76,6 +81,7 @@ pub use location::LocationRecord;
 pub use mobile::{DiscoveryReport, MobileRouteReport};
 pub use naming::{Mobility, NamingScheme};
 pub use registry::{Registrant, Registry};
+pub use rejoin::RejoinReport;
 pub use stats::SystemStats;
 pub use system::{BristleBuilder, BristleSystem, MoveReport, NodeInfo};
 pub use time::{Clock, SimTime};

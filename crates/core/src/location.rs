@@ -18,6 +18,12 @@ pub struct LocationRecord {
     pub subject: Key,
     /// The network address the subject last published.
     pub addr: NetAddr,
+    /// The subject's incarnation when the record was published. Ranked
+    /// before `seq` on conflicts: a record published after a wrongful
+    /// death (incarnation bumped) beats any record from the previous
+    /// life, however many sequence numbers that life had racked up on
+    /// the other side of a partition.
+    pub incarnation: u64,
     /// Publication sequence number; higher wins on conflicts.
     pub seq: u64,
     /// When the record was published.
@@ -32,6 +38,7 @@ impl LocationRecord {
         subject: Key,
         host: bristle_netsim::attach::HostId,
         attachments: &AttachmentMap,
+        incarnation: u64,
         seq: u64,
         now: SimTime,
         ttl: u64,
@@ -39,6 +46,7 @@ impl LocationRecord {
         LocationRecord {
             subject,
             addr: NetAddr::current(host, attachments),
+            incarnation,
             seq,
             published_at: now,
             ttl,
@@ -55,10 +63,14 @@ impl LocationRecord {
         now.since(self.published_at) >= self.ttl
     }
 
-    /// Resolves conflicts: keeps the record with the higher sequence
-    /// number (ties broken by later publication time).
+    /// Resolves conflicts deterministically: keeps the record from the
+    /// higher incarnation, then the higher sequence number, then the
+    /// later publication time. Both sides of a healed partition applying
+    /// this rule converge on the same record.
     pub fn newer_of(self, other: LocationRecord) -> LocationRecord {
-        if (other.seq, other.published_at) > (self.seq, self.published_at) {
+        if (other.incarnation, other.seq, other.published_at)
+            > (self.incarnation, self.seq, self.published_at)
+        {
             other
         } else {
             self
@@ -80,7 +92,7 @@ mod tests {
     #[test]
     fn freshness_tracks_movement() {
         let (mut m, h) = setup();
-        let rec = LocationRecord::fresh(Key(5), h, &m, 1, SimTime(0), 30);
+        let rec = LocationRecord::fresh(Key(5), h, &m, 0, 1, SimTime(0), 30);
         assert!(rec.is_current(&m));
         m.move_host(h, RouterId(2));
         assert!(!rec.is_current(&m));
@@ -89,7 +101,7 @@ mod tests {
     #[test]
     fn ttl_expiry() {
         let (m, h) = setup();
-        let rec = LocationRecord::fresh(Key(5), h, &m, 1, SimTime(10), 30);
+        let rec = LocationRecord::fresh(Key(5), h, &m, 0, 1, SimTime(10), 30);
         assert!(!rec.is_expired(SimTime(39)));
         assert!(rec.is_expired(SimTime(40)));
     }
@@ -97,12 +109,24 @@ mod tests {
     #[test]
     fn newer_of_prefers_higher_seq() {
         let (m, h) = setup();
-        let a = LocationRecord::fresh(Key(5), h, &m, 1, SimTime(0), 30);
-        let b = LocationRecord::fresh(Key(5), h, &m, 2, SimTime(0), 30);
+        let a = LocationRecord::fresh(Key(5), h, &m, 0, 1, SimTime(0), 30);
+        let b = LocationRecord::fresh(Key(5), h, &m, 0, 2, SimTime(0), 30);
         assert_eq!(a.newer_of(b).seq, 2);
         assert_eq!(b.newer_of(a).seq, 2);
         // Equal seq: later publication wins.
-        let c = LocationRecord::fresh(Key(5), h, &m, 2, SimTime(9), 30);
+        let c = LocationRecord::fresh(Key(5), h, &m, 0, 2, SimTime(9), 30);
         assert_eq!(b.newer_of(c).published_at, SimTime(9));
+    }
+
+    #[test]
+    fn newer_of_ranks_incarnation_above_seq() {
+        let (m, h) = setup();
+        // The pre-partition life racked up a high seq on the far side;
+        // the post-rejoin life publishes at a fresher incarnation with a
+        // reset-looking seq. The new life must win deterministically.
+        let old_life = LocationRecord::fresh(Key(5), h, &m, 0, 40, SimTime(100), 30);
+        let new_life = LocationRecord::fresh(Key(5), h, &m, 1, 2, SimTime(50), 30);
+        assert_eq!(old_life.newer_of(new_life).incarnation, 1);
+        assert_eq!(new_life.newer_of(old_life).incarnation, 1);
     }
 }

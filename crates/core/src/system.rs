@@ -47,6 +47,10 @@ pub struct NodeInfo {
     pub mobility: Mobility,
     /// Advertised capacity.
     pub capacity: u32,
+    /// SWIM-style incarnation number. Only the node itself bumps it, and
+    /// only on learning it was wrongfully suspected or declared dead; it
+    /// dominates `seq` when location records conflict after a partition.
+    pub incarnation: u64,
     /// Location-publication sequence number (mobile nodes).
     pub seq: u64,
 }
@@ -93,6 +97,9 @@ pub struct BristleSystem {
     /// Nodes confirmed crashed by the failure detector (see
     /// [`crate::heal`]); kept so repeated suspicion reports are no-ops.
     pub(crate) dead: HashSet<Key>,
+    /// Corpse state for nodes in `dead`, kept so a wrongful funeral can
+    /// be reversed by [`crate::rejoin`] without re-admitting from scratch.
+    pub(crate) graveyard: HashMap<Key, NodeInfo>,
 }
 
 /// Builder for [`BristleSystem`].
@@ -190,6 +197,7 @@ impl BristleBuilder {
             registry: Registry::new(),
             leases: LeaseTable::new(),
             dead: HashSet::new(),
+            graveyard: HashMap::new(),
         };
 
         for _ in 0..self.n_stationary {
@@ -229,7 +237,7 @@ impl BristleSystem {
         let host = self.attachments.attach_new(router);
         let (lo, hi) = self.cfg.capacity_range;
         let capacity = self.rng.range_inclusive(lo as u64, hi as u64) as u32;
-        self.info.insert(key, NodeInfo { host, mobility, capacity, seq: 0 });
+        self.info.insert(key, NodeInfo { host, mobility, capacity, incarnation: 0, seq: 0 });
         self.mobile.insert(key, host, capacity)?;
         match mobility {
             Mobility::Stationary => {
@@ -239,6 +247,34 @@ impl BristleSystem {
             Mobility::Mobile => self.mobile_keys.push(key),
         }
         Ok(key)
+    }
+
+    /// Records corpse state so a wrongful funeral can later be reversed
+    /// by [`crate::rejoin`].
+    pub(crate) fn remember_corpse(&mut self, key: Key, info: NodeInfo) {
+        self.graveyard.insert(key, info);
+    }
+
+    /// Takes corpse state back out of the graveyard (rejoin path).
+    pub(crate) fn take_corpse(&mut self, key: Key) -> Option<NodeInfo> {
+        self.graveyard.remove(&key)
+    }
+
+    /// Re-inserts a previously buried node from its corpse state — the
+    /// structural reverse of [`BristleSystem::fail_node`]. The host is
+    /// still attached (abrupt failure never detaches it), so only the
+    /// membership structures are restored; the caller rebuilds wiring.
+    pub(crate) fn readmit(&mut self, key: Key, info: NodeInfo) -> Result<()> {
+        self.info.insert(key, info);
+        self.mobile.insert(key, info.host, info.capacity)?;
+        match info.mobility {
+            Mobility::Stationary => {
+                self.stationary.insert(key, info.host, info.capacity)?;
+                self.stationary_keys.push(key);
+            }
+            Mobility::Mobile => self.mobile_keys.push(key),
+        }
+        Ok(())
     }
 
     /// Rebuilds every routing table in both layers (steady-state wiring).
@@ -395,6 +431,7 @@ impl BristleSystem {
             key,
             info.host,
             &self.attachments,
+            info.incarnation,
             info.seq,
             self.clock.now(),
             self.cfg.location_ttl,

@@ -43,9 +43,18 @@ pub enum MessageKind {
     /// A `_discovery` answered by a surviving replica instead of the
     /// record's primary owner (counts failovers, not messages).
     ReplicaFailover,
+    /// An `Alive` refutation broadcast by (or on behalf of) a node that
+    /// learned it was wrongfully declared dead.
+    Refutation,
+    /// Rejoin-protocol traffic: a resurrected node asking a live sponsor
+    /// to reverse its funeral.
+    Rejoin,
+    /// A death verdict reversed by a fresher incarnation (counts
+    /// wrongful deaths, not messages; cost is always zero).
+    WrongfulDeath,
 }
 
-const KIND_COUNT: usize = 15;
+const KIND_COUNT: usize = 18;
 
 fn kind_index(k: MessageKind) -> usize {
     match k {
@@ -64,6 +73,9 @@ fn kind_index(k: MessageKind) -> usize {
         MessageKind::SuspectRaised => 12,
         MessageKind::LdtRepair => 13,
         MessageKind::ReplicaFailover => 14,
+        MessageKind::Refutation => 15,
+        MessageKind::Rejoin => 16,
+        MessageKind::WrongfulDeath => 17,
     }
 }
 
@@ -84,6 +96,9 @@ pub const ALL_KINDS: [MessageKind; KIND_COUNT] = [
     MessageKind::SuspectRaised,
     MessageKind::LdtRepair,
     MessageKind::ReplicaFailover,
+    MessageKind::Refutation,
+    MessageKind::Rejoin,
+    MessageKind::WrongfulDeath,
 ];
 
 /// Tallies message counts and physical path cost by message kind.

@@ -16,7 +16,16 @@
 //! vanishingly rare on a lossy-but-alive link (at 10% independent loss
 //! per direction, one round misses with probability `0.19^3 ≈ 0.7%`,
 //! and a false *confirmation* needs `dead_after` such rounds in a row).
-//! Any ack restores a suspect to fresh; death is final.
+//! Any ack restores a suspect to fresh.
+//!
+//! Suspicion and death are charged against a SWIM-style **incarnation
+//! number** per peer. Within one incarnation death is final — but a
+//! network partition makes live nodes indistinguishable from dead ones,
+//! so verdicts must be revocable by stronger evidence: observing a peer
+//! alive at a *fresher* incarnation ([`FailureDetector::observe_alive`])
+//! drops any standing suspicion or death verdict, because only the peer
+//! itself can bump its incarnation (it does so exactly when it learns it
+//! was declared dead, then broadcasts an `Alive` refutation).
 
 use std::collections::HashMap;
 
@@ -51,7 +60,8 @@ pub enum Liveness {
     Fresh,
     /// Missed enough rounds to be suspected, not yet condemned.
     Suspect,
-    /// Confirmed crashed. Final: acks from a dead peer are ignored.
+    /// Confirmed crashed at its current incarnation. Acks from a dead
+    /// peer are ignored unless they carry a fresher incarnation.
     Dead,
 }
 
@@ -91,11 +101,20 @@ struct PeerHealth {
     next_seq: u64,
     /// The probe in flight: (sequence, zero-based attempt).
     awaiting: Option<(u64, u32)>,
+    /// Highest incarnation the peer has been observed at; suspicion and
+    /// death are charged against this number.
+    incarnation: u64,
 }
 
 impl PeerHealth {
     fn fresh() -> Self {
-        PeerHealth { liveness: Liveness::Fresh, missed: 0, next_seq: 0, awaiting: None }
+        PeerHealth {
+            liveness: Liveness::Fresh,
+            missed: 0,
+            next_seq: 0,
+            awaiting: None,
+            incarnation: 0,
+        }
     }
 }
 
@@ -150,6 +169,34 @@ impl FailureDetector {
         self.liveness(peer) == Some(Liveness::Dead)
     }
 
+    /// Highest incarnation `peer` has been observed at, or `None` if
+    /// unmonitored.
+    pub fn incarnation_of(&self, peer: Key) -> Option<u64> {
+        self.peers.get(&peer).map(|p| p.incarnation)
+    }
+
+    /// Digests evidence that `peer` is alive at `incarnation` (from a
+    /// heartbeat, an ack, or an `Alive` refutation). A strictly fresher
+    /// incarnation overrides any standing suspicion or death verdict and
+    /// resets the peer to [`Liveness::Fresh`]; stale or equal
+    /// incarnations change nothing. Returns the liveness the refutation
+    /// overturned (`Suspect` or `Dead`), or `None` if nothing changed.
+    pub fn observe_alive(&mut self, peer: Key, incarnation: u64) -> Option<Liveness> {
+        let p = self.peers.get_mut(&peer)?;
+        if incarnation <= p.incarnation {
+            return None;
+        }
+        p.incarnation = incarnation;
+        if p.liveness == Liveness::Fresh {
+            return None;
+        }
+        let overturned = p.liveness;
+        p.liveness = Liveness::Fresh;
+        p.missed = 0;
+        p.awaiting = None;
+        Some(overturned)
+    }
+
     /// Opens a probe round for `peer`: returns the sequence number to
     /// send, or `None` when no probe should go out (unmonitored, dead,
     /// or a probe is already in flight).
@@ -164,9 +211,13 @@ impl FailureDetector {
         Some(seq)
     }
 
-    /// Digests a HeartbeatAck. Returns whether it closed the in-flight
-    /// probe (acks for stale sequences or dead peers change nothing).
-    pub fn ack(&mut self, peer: Key, seq: u64) -> bool {
+    /// Digests a HeartbeatAck carrying the responder's `incarnation`.
+    /// Returns whether it closed the in-flight probe (acks for stale
+    /// sequences change nothing; acks from a dead peer are ignored
+    /// unless the incarnation is fresh enough to resurrect it first —
+    /// see [`FailureDetector::observe_alive`]).
+    pub fn ack(&mut self, peer: Key, seq: u64, incarnation: u64) -> bool {
+        self.observe_alive(peer, incarnation);
         let Some(p) = self.peers.get_mut(&peer) else { return false };
         if p.liveness == Liveness::Dead {
             return false;
@@ -211,10 +262,17 @@ impl FailureDetector {
         }
     }
 
-    /// Marks `peer` dead outright (e.g. on a third-party SuspectNotify),
-    /// monitoring it first if necessary. Returns whether this is news.
-    pub fn mark_dead(&mut self, peer: Key) -> bool {
+    /// Marks `peer` dead outright (e.g. on a third-party SuspectNotify
+    /// charging `incarnation`), monitoring it first if necessary. A
+    /// verdict against an incarnation older than the one already
+    /// observed is stale evidence and is ignored. Returns whether this
+    /// is news.
+    pub fn mark_dead(&mut self, peer: Key, incarnation: u64) -> bool {
         let p = self.peers.entry(peer).or_insert_with(PeerHealth::fresh);
+        if incarnation < p.incarnation {
+            return false;
+        }
+        p.incarnation = incarnation;
         if p.liveness == Liveness::Dead {
             return false;
         }
@@ -256,7 +314,7 @@ mod tests {
         let mut d = det();
         d.monitor(P);
         let seq = d.begin_probe(P).unwrap();
-        assert!(d.ack(P, seq));
+        assert!(d.ack(P, seq, 0));
         assert_eq!(d.liveness(P), Some(Liveness::Fresh));
         assert_eq!(d.on_timeout(P, seq), TimeoutVerdict::Ignore, "stale timer");
     }
@@ -268,7 +326,7 @@ mod tests {
         let seq = d.begin_probe(P).unwrap();
         assert_eq!(d.on_timeout(P, seq), TimeoutVerdict::Resend { attempt: 1 });
         // A late ack of the retransmitted probe still counts.
-        assert!(d.ack(P, seq));
+        assert!(d.ack(P, seq, 0));
         assert_eq!(d.liveness(P), Some(Liveness::Fresh));
     }
 
@@ -282,7 +340,7 @@ mod tests {
         assert_eq!(miss_round(&mut d), Some(LivenessTransition::ConfirmedDead));
         assert_eq!(d.liveness(P), Some(Liveness::Dead));
         assert_eq!(d.begin_probe(P), None, "dead peers are not probed");
-        assert!(!d.ack(P, 99), "death is final");
+        assert!(!d.ack(P, 99, 0), "death is final within an incarnation");
         assert_eq!(d.liveness(P), Some(Liveness::Dead));
     }
 
@@ -294,7 +352,7 @@ mod tests {
         miss_round(&mut d);
         assert_eq!(d.liveness(P), Some(Liveness::Suspect));
         let seq = d.begin_probe(P).unwrap();
-        assert!(d.ack(P, seq));
+        assert!(d.ack(P, seq, 0));
         assert_eq!(d.liveness(P), Some(Liveness::Fresh));
         // The miss counter reset too: condemnation needs 3 fresh misses.
         assert_eq!(miss_round(&mut d), None);
@@ -310,15 +368,15 @@ mod tests {
         while !matches!(d.on_timeout(P, s0), TimeoutVerdict::Missed { .. }) {}
         let s1 = d.begin_probe(P).unwrap();
         assert_ne!(s0, s1);
-        assert!(!d.ack(P, s0), "old sequence does not close the new probe");
-        assert!(d.ack(P, s1));
+        assert!(!d.ack(P, s0, 0), "old sequence does not close the new probe");
+        assert!(d.ack(P, s1, 0));
     }
 
     #[test]
     fn mark_dead_is_news_once_and_implies_monitoring() {
         let mut d = det();
-        assert!(d.mark_dead(P), "first report is news");
-        assert!(!d.mark_dead(P), "repeat is not");
+        assert!(d.mark_dead(P, 0), "first report is news");
+        assert!(!d.mark_dead(P, 0), "repeat is not");
         assert!(d.is_dead(P));
         assert_eq!(d.monitored(), vec![P]);
     }
@@ -329,8 +387,67 @@ mod tests {
         d.monitor(P);
         let seq = d.begin_probe(P).unwrap();
         assert_eq!(d.begin_probe(P), None, "round already open");
-        assert!(d.ack(P, seq));
+        assert!(d.ack(P, seq, 0));
         assert!(d.begin_probe(P).is_some(), "next round opens after the ack");
+    }
+
+    #[test]
+    fn fresher_incarnation_refutes_death() {
+        let mut d = det();
+        d.monitor(P);
+        miss_round(&mut d);
+        miss_round(&mut d);
+        miss_round(&mut d);
+        assert!(d.is_dead(P));
+        // Evidence at the condemned incarnation changes nothing...
+        assert_eq!(d.observe_alive(P, 0), None);
+        assert!(d.is_dead(P));
+        // ...but a fresher incarnation overturns the verdict.
+        assert_eq!(d.observe_alive(P, 1), Some(Liveness::Dead));
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+        assert_eq!(d.incarnation_of(P), Some(1));
+        assert!(d.begin_probe(P).is_some(), "resurrected peers are probed again");
+    }
+
+    #[test]
+    fn fresher_incarnation_drops_suspicion() {
+        let mut d = det();
+        d.monitor(P);
+        miss_round(&mut d);
+        miss_round(&mut d);
+        assert_eq!(d.liveness(P), Some(Liveness::Suspect));
+        assert_eq!(d.observe_alive(P, 1), Some(Liveness::Suspect));
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+        // The miss counter reset: condemnation needs 3 fresh misses.
+        assert_eq!(miss_round(&mut d), None);
+    }
+
+    #[test]
+    fn ack_with_fresh_incarnation_resurrects() {
+        let mut d = det();
+        d.monitor(P);
+        miss_round(&mut d);
+        miss_round(&mut d);
+        miss_round(&mut d);
+        assert!(d.is_dead(P));
+        let seq = d.begin_probe(P);
+        assert_eq!(seq, None, "dead peers are not probed");
+        // A zombie's ack at incarnation 1 resurrects it, though no probe
+        // is in flight to close.
+        assert!(!d.ack(P, 99, 1));
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+    }
+
+    #[test]
+    fn stale_death_verdict_is_ignored() {
+        let mut d = det();
+        d.monitor(P);
+        assert_eq!(d.observe_alive(P, 2), None, "fresh peer stays fresh");
+        assert_eq!(d.incarnation_of(P), Some(2));
+        assert!(!d.mark_dead(P, 1), "verdict against an older incarnation is stale");
+        assert_eq!(d.liveness(P), Some(Liveness::Fresh));
+        assert!(d.mark_dead(P, 2), "verdict at the current incarnation sticks");
+        assert!(d.is_dead(P));
     }
 
     #[test]

@@ -175,6 +175,38 @@ pub enum Completion {
         /// The confirmed-dead peer.
         peer: Key,
     },
+    /// A standing suspicion or death verdict against `peer` was
+    /// overturned by evidence of a fresher incarnation.
+    PeerRefuted {
+        /// The peer whose verdict was overturned.
+        peer: Key,
+        /// The fresher incarnation that overturned it.
+        incarnation: u64,
+        /// Whether the overturned verdict was a death (a wrongful death)
+        /// rather than mere suspicion.
+        was_dead: bool,
+    },
+    /// This node learned it was suspected or declared dead, bumped its
+    /// own incarnation past the verdict, and answered with an `Alive`
+    /// refutation.
+    SelfRefuted {
+        /// The node that delivered the accusation.
+        accuser: Key,
+        /// This node's incarnation after the bump.
+        incarnation: u64,
+    },
+    /// A wrongfully-buried peer asked this node to reverse its funeral.
+    RejoinRequested {
+        /// The peer asking to rejoin.
+        peer: Key,
+        /// The incarnation it rejoins at.
+        incarnation: u64,
+    },
+    /// A sponsor acknowledged this node's rejoin request.
+    RejoinCompleted {
+        /// The sponsor that honored the rejoin.
+        sponsor: Key,
+    },
 }
 
 /// Everything a `poll` call asked the outside world to do.
@@ -294,6 +326,9 @@ pub struct ProtoMachine {
     updates: HashMap<u64, AckSession>,
     registers: HashMap<u64, AckSession>,
     detector: FailureDetector,
+    /// This node's own SWIM-style incarnation number; bumped exactly
+    /// when the node learns it was suspected or declared dead.
+    incarnation: u64,
 }
 
 impl ProtoMachine {
@@ -310,6 +345,7 @@ impl ProtoMachine {
             updates: HashMap::new(),
             registers: HashMap::new(),
             detector: FailureDetector::new(FailurePolicy::default()),
+            incarnation: 0,
         }
     }
 
@@ -318,15 +354,28 @@ impl ProtoMachine {
         self.key
     }
 
+    /// This node's own incarnation number.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The highest incarnation this node has observed `peer` at
+    /// (`None` = unmonitored).
+    pub fn peer_incarnation(&self, peer: Key) -> Option<u64> {
+        self.detector.incarnation_of(peer)
+    }
+
     /// Replaces the failure-detection thresholds (existing suspicion
-    /// state is kept).
+    /// state, incarnations included, is kept).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
         let monitored = self.detector.monitored();
         let mut fresh = FailureDetector::new(policy);
         for peer in monitored {
             fresh.monitor(peer);
+            let incarnation = self.detector.incarnation_of(peer).unwrap_or(0);
+            fresh.observe_alive(peer, incarnation);
             if self.detector.is_dead(peer) {
-                fresh.mark_dead(peer);
+                fresh.mark_dead(peer, incarnation);
             }
         }
         self.detector = fresh;
@@ -499,26 +548,70 @@ impl ProtoMachine {
         let msg_id = self.fresh_msg_id();
         out.outgoing.push(Outgoing {
             to_addr,
-            env: Envelope { src: self.key, dst: peer, msg_id, msg: WireMessage::Heartbeat { seq } },
+            env: Envelope {
+                src: self.key,
+                dst: peer,
+                msg_id,
+                msg: WireMessage::Heartbeat { seq, incarnation: self.incarnation },
+            },
         });
     }
 
-    /// Tells `to` that `suspect` has been confirmed dead (unmetered
-    /// control traffic, like acks: it spreads a verdict, not state).
+    /// Tells `to` that `suspect` has been confirmed dead at the highest
+    /// incarnation this node observed it at (unmetered control traffic,
+    /// like acks: it spreads a verdict, not state). Also the obituary a
+    /// wrongfully-buried node itself must eventually receive — learning
+    /// of its own funeral is what triggers the incarnation bump and the
+    /// `Alive` refutation.
     pub fn notify_suspect(&mut self, env: &mut dyn NodeEnv, to: Key, suspect: Key) -> Output {
         let mut out = Output::none();
         let to_addr = env.current_addr(to);
         let msg_id = self.fresh_msg_id();
+        let incarnation = self.detector.incarnation_of(suspect).unwrap_or(0);
         out.outgoing.push(Outgoing {
             to_addr,
             env: Envelope {
                 src: self.key,
                 dst: to,
                 msg_id,
-                msg: WireMessage::SuspectNotify { suspect },
+                msg: WireMessage::SuspectNotify { suspect, incarnation },
             },
         });
         out
+    }
+
+    /// Asserts this node's own liveness at its current incarnation to
+    /// `to` (metered as [`MessageKind::Refutation`]).
+    pub fn send_alive(&mut self, env: &mut dyn NodeEnv, to: Key) -> Output {
+        let msg = WireMessage::Alive { node: self.key, incarnation: self.incarnation };
+        self.send_oneshot(env, to, msg, MessageKind::Refutation)
+    }
+
+    /// Asks `sponsor` to reverse this node's funeral — re-admit it to
+    /// the overlay at its current incarnation (metered as
+    /// [`MessageKind::Rejoin`]).
+    pub fn start_rejoin(&mut self, env: &mut dyn NodeEnv, sponsor: Key) -> Output {
+        let msg = WireMessage::Rejoin { incarnation: self.incarnation };
+        self.send_oneshot(env, sponsor, msg, MessageKind::Rejoin)
+    }
+
+    /// Digests third-party or first-hand evidence that `peer` is alive
+    /// at `incarnation`, emitting a [`Completion::PeerRefuted`] when it
+    /// overturns a standing verdict.
+    fn digest_alive(
+        &mut self,
+        env: &mut dyn NodeEnv,
+        peer: Key,
+        incarnation: u64,
+        out: &mut Output,
+    ) {
+        if let Some(overturned) = self.detector.observe_alive(peer, incarnation) {
+            let was_dead = overturned == Liveness::Dead;
+            if was_dead {
+                env.bump(MessageKind::WrongfulDeath);
+            }
+            out.completions.push(Completion::PeerRefuted { peer, incarnation, was_dead });
+        }
     }
 
     /// Feeds one event (delivery or timer) through the machine.
@@ -954,9 +1047,85 @@ impl ProtoMachine {
                 // protocol reaction yet.
                 self.seen.insert((src, msg_id));
             }
-            WireMessage::Heartbeat { seq } => {
-                // Always answer, even duplicates: the previous ack may
-                // have been lost. Acks are unmetered control traffic.
+            WireMessage::Heartbeat { seq, incarnation } => {
+                // The probe itself is evidence of life at `incarnation`.
+                self.digest_alive(env, src, incarnation, &mut out);
+                let ack_to = env.current_addr(src);
+                let ack_id = self.fresh_msg_id();
+                let reply = if self.detector.is_dead(src) {
+                    // A peer we hold dead is probing us: a zombie on the
+                    // far side of a healed partition. Instead of acking,
+                    // tell it about its own funeral so it can bump its
+                    // incarnation and refute.
+                    WireMessage::SuspectNotify {
+                        suspect: src,
+                        incarnation: self.detector.incarnation_of(src).unwrap_or(0),
+                    }
+                } else {
+                    // Always answer, even duplicates: the previous ack
+                    // may have been lost. Acks are unmetered control
+                    // traffic.
+                    WireMessage::HeartbeatAck { seq, incarnation: self.incarnation }
+                };
+                out.outgoing.push(Outgoing {
+                    to_addr: ack_to,
+                    env: Envelope { src: self.key, dst: src, msg_id: ack_id, msg: reply },
+                });
+            }
+            WireMessage::HeartbeatAck { seq, incarnation } => {
+                self.digest_alive(env, src, incarnation, &mut out);
+                self.detector.ack(src, seq, incarnation);
+            }
+            WireMessage::SuspectNotify { suspect, incarnation } => {
+                if suspect == self.key {
+                    // Our own obituary. Bump past the verdict's
+                    // incarnation and refute — every time, because the
+                    // previous refutation may have been lost.
+                    if incarnation >= self.incarnation {
+                        self.incarnation = incarnation + 1;
+                    }
+                    let cost = env.distance(self.my_router(env), env.current_addr(src).router_id());
+                    env.meter(MessageKind::Refutation, cost);
+                    let reply_id = self.fresh_msg_id();
+                    out.outgoing.push(Outgoing {
+                        to_addr: env.current_addr(src),
+                        env: Envelope {
+                            src: self.key,
+                            dst: src,
+                            msg_id: reply_id,
+                            msg: WireMessage::Alive {
+                                node: self.key,
+                                incarnation: self.incarnation,
+                            },
+                        },
+                    });
+                    out.completions.push(Completion::SelfRefuted {
+                        accuser: src,
+                        incarnation: self.incarnation,
+                    });
+                } else if self.seen.insert((src, msg_id))
+                    && self.detector.mark_dead(suspect, incarnation)
+                {
+                    out.completions.push(Completion::PeerDead { peer: suspect });
+                }
+            }
+            WireMessage::Alive { node, incarnation } => {
+                if node == self.key {
+                    // A relayed assertion about ourselves: never regress.
+                    self.incarnation = self.incarnation.max(incarnation);
+                } else {
+                    self.digest_alive(env, node, incarnation, &mut out);
+                }
+            }
+            WireMessage::Rejoin { incarnation } => {
+                // The rejoiner is alive by definition of having sent this.
+                self.digest_alive(env, src, incarnation, &mut out);
+                if self.seen.insert((src, msg_id)) {
+                    out.completions.push(Completion::RejoinRequested { peer: src, incarnation });
+                }
+                // Always ack, even duplicates: the previous ack may have
+                // been lost and the rejoiner keeps asking until it hears
+                // one. Acks are unmetered control traffic.
                 let ack_to = env.current_addr(src);
                 let ack_id = self.fresh_msg_id();
                 out.outgoing.push(Outgoing {
@@ -965,16 +1134,13 @@ impl ProtoMachine {
                         src: self.key,
                         dst: src,
                         msg_id: ack_id,
-                        msg: WireMessage::HeartbeatAck { seq },
+                        msg: WireMessage::RejoinAck { incarnation },
                     },
                 });
             }
-            WireMessage::HeartbeatAck { seq } => {
-                self.detector.ack(src, seq);
-            }
-            WireMessage::SuspectNotify { suspect } => {
-                if self.seen.insert((src, msg_id)) && self.detector.mark_dead(suspect) {
-                    out.completions.push(Completion::PeerDead { peer: suspect });
+            WireMessage::RejoinAck { incarnation } => {
+                if incarnation == self.incarnation {
+                    out.completions.push(Completion::RejoinCompleted { sponsor: src });
                 }
             }
         }
@@ -1653,7 +1819,7 @@ mod tests {
 
         // The target acks (unmetered), including on a duplicate.
         let r1 = target.poll(t(1), Event::Deliver(hb.clone()), &mut env);
-        assert!(matches!(r1.outgoing[0].env.msg, WireMessage::HeartbeatAck { seq: 0 }));
+        assert!(matches!(r1.outgoing[0].env.msg, WireMessage::HeartbeatAck { seq: 0, .. }));
         let r2 = target.poll(t(2), Event::Deliver(hb), &mut env);
         assert_eq!(r2.outgoing.len(), 1, "duplicate heartbeat re-acked");
         assert_eq!(env.meter.total_messages(), 1, "only the probe itself is metered");
@@ -1717,5 +1883,108 @@ mod tests {
         assert_eq!(receiver.liveness(M), Some(Liveness::Dead));
         let r2 = receiver.poll(t(1), Event::Deliver(notice), &mut env);
         assert!(r2.completions.is_empty(), "duplicate notice is news only once");
+    }
+
+    /// The full wrongful-death recovery handshake at machine level: a
+    /// third-party verdict condemns a live peer; after the partition
+    /// heals, the zombie's probe is answered with its own obituary, it
+    /// bumps its incarnation and refutes, and the refutation overturns
+    /// the verdict at the accuser.
+    #[test]
+    fn healed_zombie_refutes_and_is_resurrected() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9);
+        let mut a = ProtoMachine::new(A, policy());
+        let mut b = ProtoMachine::new(B, policy());
+        let mut herald = ProtoMachine::new(M, policy());
+        a.monitor(B);
+        b.monitor(A);
+
+        // A third party convinces A that B is dead (wrongfully: B is
+        // merely beyond a partition).
+        let notice = herald.notify_suspect(&mut env, A, B).outgoing[0].env.clone();
+        a.poll(t(0), Event::Deliver(notice), &mut env);
+        assert_eq!(a.liveness(B), Some(Liveness::Dead));
+
+        // The cut heals; B's next probe reaches A, which answers with
+        // B's obituary instead of an ack.
+        let probe = b.start_heartbeats(t(10), &mut env).outgoing[0].env.clone();
+        let out = a.poll(t(11), Event::Deliver(probe), &mut env);
+        let obituary = out.outgoing[0].env.clone();
+        assert!(
+            matches!(obituary.msg, WireMessage::SuspectNotify { suspect, .. } if suspect == B),
+            "a dead peer's probe is answered with its obituary: {obituary:?}"
+        );
+
+        // B learns of its own funeral: bumps its incarnation, refutes.
+        let out = b.poll(t(12), Event::Deliver(obituary), &mut env);
+        assert_eq!(b.incarnation(), 1);
+        assert_eq!(out.completions, vec![Completion::SelfRefuted { accuser: A, incarnation: 1 }]);
+        let refutation = out.outgoing[0].env.clone();
+        assert!(matches!(refutation.msg, WireMessage::Alive { node, incarnation: 1 } if node == B));
+        assert_eq!(env.meter.count(MessageKind::Refutation), 1);
+
+        // The refutation resurrects B at A.
+        let out = a.poll(t(13), Event::Deliver(refutation), &mut env);
+        assert_eq!(
+            out.completions,
+            vec![Completion::PeerRefuted { peer: B, incarnation: 1, was_dead: true }]
+        );
+        assert_eq!(a.liveness(B), Some(Liveness::Fresh));
+        assert_eq!(env.meter.count(MessageKind::WrongfulDeath), 1);
+        assert_eq!(a.start_heartbeats(t(20), &mut env).outgoing.len(), 1, "B is probed again");
+    }
+
+    #[test]
+    fn rejoin_round_trip_completes() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let mut rejoiner = ProtoMachine::new(A, policy());
+        let mut sponsor = ProtoMachine::new(B, policy());
+        // A's funeral was charged to incarnation 0; learning of it bumps.
+        let notice = sponsor.notify_suspect(&mut env, A, A).outgoing[0].env.clone();
+        rejoiner.poll(t(0), Event::Deliver(notice), &mut env);
+        assert_eq!(rejoiner.incarnation(), 1);
+
+        let ask = rejoiner.start_rejoin(&mut env, B).outgoing[0].env.clone();
+        assert_eq!(env.meter.count(MessageKind::Rejoin), 1);
+        let out = sponsor.poll(t(1), Event::Deliver(ask.clone()), &mut env);
+        assert_eq!(out.completions, vec![Completion::RejoinRequested { peer: A, incarnation: 1 }]);
+        let ack = out.outgoing[0].env.clone();
+        // A duplicated ask re-acks without re-announcing the request.
+        let dup = sponsor.poll(t(2), Event::Deliver(ask), &mut env);
+        assert!(dup.completions.is_empty());
+        assert_eq!(dup.outgoing.len(), 1, "duplicate rejoin is re-acked");
+
+        let out = rejoiner.poll(t(3), Event::Deliver(ack), &mut env);
+        assert_eq!(out.completions, vec![Completion::RejoinCompleted { sponsor: B }]);
+    }
+
+    #[test]
+    fn stale_incarnation_does_not_resurrect() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let mut a = ProtoMachine::new(A, policy());
+        let mut herald = ProtoMachine::new(B, policy());
+        a.monitor(M);
+        // M observed alive at incarnation 2, then condemned at 2.
+        let alive = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 50,
+            msg: WireMessage::Alive { node: M, incarnation: 2 },
+        };
+        a.poll(t(0), Event::Deliver(alive), &mut env);
+        let notice = herald.notify_suspect(&mut env, A, M).outgoing[0].env.clone();
+        // The herald never saw M, so its verdict is charged to
+        // incarnation 0 — stale against A's knowledge.
+        a.poll(t(1), Event::Deliver(notice), &mut env);
+        assert_eq!(a.liveness(M), Some(Liveness::Fresh), "stale verdict is ignored");
+        // An Alive at the already-known incarnation changes nothing.
+        let stale_alive = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 51,
+            msg: WireMessage::Alive { node: M, incarnation: 2 },
+        };
+        let out = a.poll(t(2), Event::Deliver(stale_alive), &mut env);
+        assert!(out.completions.is_empty());
     }
 }

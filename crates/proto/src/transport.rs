@@ -9,6 +9,7 @@
 //! outages) from a seeded [`Pcg64`], so every run with the same seed and
 //! fault schedule produces a byte-identical delivery trace.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use bristle_core::time::SimTime;
@@ -65,25 +66,108 @@ impl FaultConfig {
 
     /// A lossy network dropping the given fraction of sends.
     pub fn lossy(drop_probability: f64) -> Self {
-        FaultConfig { drop_probability, ..Self::default() }
+        FaultConfig { drop_probability, ..Self::default() }.normalized()
+    }
+
+    /// The same configuration with both probabilities clamped into
+    /// `[0, 1]` (NaN counts as 0). An out-of-range probability would
+    /// otherwise silently skew the fixed per-send draw order; the
+    /// transport normalizes every configuration it is handed.
+    pub fn normalized(mut self) -> Self {
+        self.drop_probability = clamp_probability(self.drop_probability);
+        self.duplicate_probability = clamp_probability(self.duplicate_probability);
+        self
+    }
+}
+
+fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
     }
 }
 
 /// Deterministic link/partition outages consulted before every send.
+///
+/// All lookups are `O(log n)` sorted-set membership tests — `blocks`
+/// runs on the hot path of every send. Four independent rules compose:
+/// symmetric link blocks, asymmetric (one-way) blocks, fully isolated
+/// routers, and a group partition that cuts all traffic between routers
+/// assigned to different groups.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LinkFilter {
-    /// Unordered router pairs whose link is down.
-    pub blocked_links: Vec<(RouterId, RouterId)>,
+    /// Router pairs whose link is down both ways, stored normalized
+    /// (smaller id first).
+    blocked_links: BTreeSet<(RouterId, RouterId)>,
+    /// Directed `(from, to)` pairs blocked in that direction only.
+    oneway: BTreeSet<(RouterId, RouterId)>,
     /// Routers partitioned off entirely (no traffic in or out).
-    pub partitioned: Vec<RouterId>,
+    partitioned: BTreeSet<RouterId>,
+    /// Disjoint router groups; traffic between different groups is cut.
+    /// Routers in no group talk to everyone (subject to the other rules).
+    groups: Vec<BTreeSet<RouterId>>,
 }
 
 impl LinkFilter {
+    /// Blocks the `a`–`b` link in both directions.
+    pub fn block_link(mut self, a: RouterId, b: RouterId) -> Self {
+        self.blocked_links.insert(normalize_pair(a, b));
+        self
+    }
+
+    /// Blocks traffic from `from` to `to` only; the reverse direction
+    /// stays up (a unidirectional outage).
+    pub fn block_oneway(mut self, from: RouterId, to: RouterId) -> Self {
+        self.oneway.insert((from, to));
+        self
+    }
+
+    /// Cuts `router` off entirely: nothing in, nothing out.
+    pub fn isolate(mut self, router: RouterId) -> Self {
+        self.partitioned.insert(router);
+        self
+    }
+
+    /// Partitions the network into the given disjoint groups; all
+    /// traffic between routers of different groups is cut. Replaces any
+    /// previous group assignment.
+    pub fn partition_groups(mut self, groups: &[Vec<RouterId>]) -> Self {
+        self.groups = groups.iter().map(|g| g.iter().copied().collect()).collect();
+        self
+    }
+
+    /// Whether the filter blocks nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.blocked_links.is_empty()
+            && self.oneway.is_empty()
+            && self.partitioned.is_empty()
+            && self.groups.is_empty()
+    }
+
     /// Whether traffic from `a` to `b` is blocked.
     pub fn blocks(&self, a: RouterId, b: RouterId) -> bool {
         self.partitioned.contains(&a)
             || self.partitioned.contains(&b)
-            || self.blocked_links.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+            || self.blocked_links.contains(&normalize_pair(a, b))
+            || self.oneway.contains(&(a, b))
+            || self.cut_by_groups(a, b)
+    }
+
+    fn cut_by_groups(&self, a: RouterId, b: RouterId) -> bool {
+        let group_of = |r| self.groups.iter().position(|g| g.contains(&r));
+        match (group_of(a), group_of(b)) {
+            (Some(ga), Some(gb)) => ga != gb,
+            _ => false,
+        }
+    }
+}
+
+fn normalize_pair(a: RouterId, b: RouterId) -> (RouterId, RouterId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
     }
 }
 
@@ -128,8 +212,10 @@ pub struct TraceRecord {
     pub msg_id: u64,
     /// Outcome.
     pub fate: Fate,
-    /// First arrival time, when delivered.
-    pub arrival: Option<SimTime>,
+    /// Every arrival this send caused, in the order the copies were
+    /// scheduled: empty when dropped or blocked, one entry when
+    /// delivered, two (primary then duplicate) when duplicated.
+    pub arrivals: Vec<SimTime>,
 }
 
 /// The deterministic in-memory transport.
@@ -147,7 +233,7 @@ impl SimTransport {
     pub fn new(dcache: Arc<DistanceCache>, faults: FaultConfig, seed: u64) -> Self {
         SimTransport {
             dcache,
-            faults,
+            faults: faults.normalized(),
             filter: LinkFilter::default(),
             rng: Pcg64::seed_from_u64(seed),
             trace: Vec::new(),
@@ -181,7 +267,10 @@ impl SimTransport {
             out.push(r.tag);
             out.extend_from_slice(&r.msg_id.to_le_bytes());
             out.push(r.fate.code());
-            out.extend_from_slice(&r.arrival.map(|t| t.0).unwrap_or(u64::MAX).to_le_bytes());
+            out.push(r.arrivals.len() as u8);
+            for a in &r.arrivals {
+                out.extend_from_slice(&a.0.to_le_bytes());
+            }
         }
         out
     }
@@ -200,7 +289,7 @@ impl Transport for SimTransport {
             tag,
             msg_id,
             fate: Fate::Delivered,
-            arrival: None,
+            arrivals: Vec::new(),
         };
 
         if self.filter.blocks(from, to) {
@@ -233,11 +322,13 @@ impl Transport for SimTransport {
 
         let base = self.dcache.distance(from, to) + self.faults.min_latency;
         let arrival = now.plus(base + jitter);
-        record.arrival = Some(arrival);
+        record.arrivals.push(arrival);
         let mut deliveries = vec![Delivery { at: arrival, to_router: to, env: env.clone() }];
         if duplicated {
             record.fate = Fate::Duplicated;
-            deliveries.push(Delivery { at: now.plus(base + dup_jitter), to_router: to, env });
+            let dup_arrival = now.plus(base + dup_jitter);
+            record.arrivals.push(dup_arrival);
+            deliveries.push(Delivery { at: dup_arrival, to_router: to, env });
         }
         self.trace.push(record);
         deliveries
@@ -332,6 +423,47 @@ mod tests {
     }
 
     #[test]
+    fn duplicated_send_records_both_arrivals() {
+        let faults =
+            FaultConfig { duplicate_probability: 1.0, jitter: 30, ..FaultConfig::default() };
+        let mut t = SimTransport::new(line_cache(3), faults, 3);
+        for i in 0..20 {
+            let d = t.send(SimTime(i * 100), RouterId(0), RouterId(1), envelope(i));
+            let rec = &t.trace()[i as usize];
+            assert_eq!(rec.arrivals.len(), 2, "both copies' arrivals are recorded");
+            assert_eq!(rec.arrivals, vec![d[0].at, d[1].at]);
+        }
+        // The trace bytes must distinguish the two copies' timings: a
+        // run whose duplicates arrive at recorded times differs from one
+        // where the second arrival were lost to the trace.
+        assert!(t.trace().iter().any(|r| r.arrivals[0] != r.arrivals[1]));
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_clamped() {
+        let wild = FaultConfig {
+            drop_probability: 7.5,
+            duplicate_probability: -2.0,
+            ..FaultConfig::default()
+        };
+        let norm = wild.clone().normalized();
+        assert_eq!(norm.drop_probability, 1.0);
+        assert_eq!(norm.duplicate_probability, 0.0);
+        assert_eq!(FaultConfig::lossy(f64::NAN).drop_probability, 0.0);
+
+        // The transport normalizes on construction: a >1.0 drop rate
+        // behaves exactly like 1.0 (same seed, same draws, same trace).
+        let mut a = SimTransport::new(line_cache(3), wild, 9);
+        let mut b = SimTransport::new(line_cache(3), FaultConfig::lossy(1.0), 9);
+        for i in 0..50 {
+            a.send(SimTime(i), RouterId(0), RouterId(2), envelope(i));
+            b.send(SimTime(i), RouterId(0), RouterId(2), envelope(i));
+        }
+        assert_eq!(a.trace_bytes(), b.trace_bytes());
+        assert!(a.trace().iter().all(|r| r.fate == Fate::Dropped));
+    }
+
+    #[test]
     fn jitter_reorders_racing_sends() {
         let faults = FaultConfig { jitter: 50, ..FaultConfig::default() };
         let mut t = SimTransport::new(line_cache(3), faults, 11);
@@ -351,10 +483,9 @@ mod tests {
     #[test]
     fn blocked_links_and_partitions_stop_traffic() {
         let mut t = SimTransport::new(line_cache(4), FaultConfig::perfect(), 5);
-        t.set_filter(LinkFilter {
-            blocked_links: vec![(RouterId(0), RouterId(3))],
-            partitioned: vec![RouterId(2)],
-        });
+        t.set_filter(
+            LinkFilter::default().block_link(RouterId(3), RouterId(0)).isolate(RouterId(2)),
+        );
         assert!(t.send(SimTime(0), RouterId(0), RouterId(3), envelope(0)).is_empty());
         assert!(
             t.send(SimTime(0), RouterId(3), RouterId(0), envelope(1)).is_empty(),
@@ -379,9 +510,36 @@ mod tests {
     #[test]
     fn outage_lift_restores_traffic_deterministically() {
         let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 5);
-        t.set_filter(LinkFilter { partitioned: vec![RouterId(1)], ..LinkFilter::default() });
+        t.set_filter(LinkFilter::default().isolate(RouterId(1)));
         assert!(t.send(SimTime(0), RouterId(0), RouterId(1), envelope(0)).is_empty());
         t.set_filter(LinkFilter::default());
         assert_eq!(t.send(SimTime(1), RouterId(0), RouterId(1), envelope(1)).len(), 1);
+    }
+
+    #[test]
+    fn oneway_block_is_unidirectional() {
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 5);
+        t.set_filter(LinkFilter::default().block_oneway(RouterId(0), RouterId(2)));
+        assert!(t.send(SimTime(0), RouterId(0), RouterId(2), envelope(0)).is_empty());
+        assert_eq!(
+            t.send(SimTime(0), RouterId(2), RouterId(0), envelope(1)).len(),
+            1,
+            "the reverse direction stays up"
+        );
+        assert_eq!(t.trace()[0].fate, Fate::Blocked);
+        assert_eq!(t.trace()[1].fate, Fate::Delivered);
+    }
+
+    #[test]
+    fn group_partition_cuts_cross_group_traffic_only() {
+        let mut t = SimTransport::new(line_cache(4), FaultConfig::perfect(), 5);
+        let filter = LinkFilter::default()
+            .partition_groups(&[vec![RouterId(0), RouterId(1)], vec![RouterId(2), RouterId(3)]]);
+        assert!(!filter.is_empty());
+        t.set_filter(filter);
+        assert!(t.send(SimTime(0), RouterId(1), RouterId(2), envelope(0)).is_empty());
+        assert!(t.send(SimTime(0), RouterId(3), RouterId(0), envelope(1)).is_empty());
+        assert_eq!(t.send(SimTime(0), RouterId(0), RouterId(1), envelope(2)).len(), 1);
+        assert_eq!(t.send(SimTime(0), RouterId(2), RouterId(3), envelope(3)).len(), 1);
     }
 }

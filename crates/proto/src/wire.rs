@@ -156,17 +156,49 @@ pub enum WireMessage {
     Heartbeat {
         /// Prober-scoped probe sequence number.
         seq: u64,
+        /// The prober's own SWIM-style incarnation number.
+        incarnation: u64,
     },
     /// Answers a [`WireMessage::Heartbeat`].
     HeartbeatAck {
         /// The probe sequence number being answered.
         seq: u64,
+        /// The responder's own incarnation number; a fresher value than
+        /// the prober last saw refutes any standing suspicion.
+        incarnation: u64,
     },
     /// Third-party notice that `suspect` has been confirmed crashed, so
-    /// the receiver can stop probing it and treat it as dead.
+    /// the receiver can stop probing it and treat it as dead — unless a
+    /// fresher incarnation has been observed since.
     SuspectNotify {
         /// The node confirmed dead.
         suspect: Key,
+        /// The incarnation the verdict was charged against; a suspect
+        /// alive at a higher incarnation is not covered by this notice.
+        incarnation: u64,
+    },
+    /// SWIM-style refutation: `node` is alive at `incarnation`, which
+    /// overrides any suspicion or death verdict charged to an older
+    /// incarnation. Sent by the node itself after bumping its incarnation,
+    /// or relayed on its behalf.
+    Alive {
+        /// The node whose liveness is asserted.
+        node: Key,
+        /// The (freshly bumped) incarnation it is alive at.
+        incarnation: u64,
+    },
+    /// A wrongfully-buried node asking a live sponsor to reverse its
+    /// funeral: re-admit it to the overlay, restore its registrations,
+    /// LDT memberships, and withdrawn location records.
+    Rejoin {
+        /// The incarnation the node rejoins at.
+        incarnation: u64,
+    },
+    /// Acknowledges a [`WireMessage::Rejoin`] after the sponsor has
+    /// reversed the funeral.
+    RejoinAck {
+        /// The incarnation the rejoin was honored at.
+        incarnation: u64,
     },
 }
 
@@ -190,6 +222,9 @@ impl WireMessage {
             WireMessage::Heartbeat { .. } => 13,
             WireMessage::HeartbeatAck { .. } => 14,
             WireMessage::SuspectNotify { .. } => 15,
+            WireMessage::Alive { .. } => 16,
+            WireMessage::Rejoin { .. } => 17,
+            WireMessage::RejoinAck { .. } => 18,
         }
     }
 }
@@ -369,8 +404,19 @@ impl Envelope {
             WireMessage::JoinProbe { key }
             | WireMessage::Leave { key }
             | WireMessage::Refresh { key } => w.key(*key),
-            WireMessage::Heartbeat { seq } | WireMessage::HeartbeatAck { seq } => w.u64(*seq),
-            WireMessage::SuspectNotify { suspect } => w.key(*suspect),
+            WireMessage::Heartbeat { seq, incarnation }
+            | WireMessage::HeartbeatAck { seq, incarnation } => {
+                w.u64(*seq);
+                w.u64(*incarnation);
+            }
+            WireMessage::SuspectNotify { suspect, incarnation }
+            | WireMessage::Alive { node: suspect, incarnation } => {
+                w.key(*suspect);
+                w.u64(*incarnation);
+            }
+            WireMessage::Rejoin { incarnation } | WireMessage::RejoinAck { incarnation } => {
+                w.u64(*incarnation)
+            }
         }
         w.0
     }
@@ -405,9 +451,12 @@ impl Envelope {
             10 => WireMessage::JoinProbe { key: r.key()? },
             11 => WireMessage::Leave { key: r.key()? },
             12 => WireMessage::Refresh { key: r.key()? },
-            13 => WireMessage::Heartbeat { seq: r.u64()? },
-            14 => WireMessage::HeartbeatAck { seq: r.u64()? },
-            15 => WireMessage::SuspectNotify { suspect: r.key()? },
+            13 => WireMessage::Heartbeat { seq: r.u64()?, incarnation: r.u64()? },
+            14 => WireMessage::HeartbeatAck { seq: r.u64()?, incarnation: r.u64()? },
+            15 => WireMessage::SuspectNotify { suspect: r.key()?, incarnation: r.u64()? },
+            16 => WireMessage::Alive { node: r.key()?, incarnation: r.u64()? },
+            17 => WireMessage::Rejoin { incarnation: r.u64()? },
+            18 => WireMessage::RejoinAck { incarnation: r.u64()? },
             t => return Err(WireError::BadTag(t)),
         };
         if r.pos != bytes.len() {
@@ -447,10 +496,37 @@ mod tests {
             WireMessage::JoinProbe { key: Key(19) },
             WireMessage::Leave { key: Key(20) },
             WireMessage::Refresh { key: Key(21) },
-            WireMessage::Heartbeat { seq: 22 },
-            WireMessage::HeartbeatAck { seq: 23 },
-            WireMessage::SuspectNotify { suspect: Key(24) },
+            WireMessage::Heartbeat { seq: 22, incarnation: 1 },
+            WireMessage::HeartbeatAck { seq: 23, incarnation: 2 },
+            WireMessage::SuspectNotify { suspect: Key(24), incarnation: 3 },
+            WireMessage::Alive { node: Key(25), incarnation: 4 },
+            WireMessage::Rejoin { incarnation: 5 },
+            WireMessage::RejoinAck { incarnation: 6 },
         ]
+    }
+
+    /// Every tag 0..=18 must appear in `every_message`, so the exhaustive
+    /// tests below really are exhaustive.
+    #[test]
+    fn every_message_covers_every_tag() {
+        let tags: std::collections::HashSet<u8> = every_message().iter().map(|m| m.tag()).collect();
+        for t in 0..=18u8 {
+            assert!(tags.contains(&t), "tag {t} missing from every_message()");
+        }
+    }
+
+    /// The codec is a bijection on well-formed frames: for every variant,
+    /// encode → decode → re-encode reproduces the original bytes exactly.
+    /// Future wire changes cannot silently skew one direction of the codec
+    /// without failing this test.
+    #[test]
+    fn every_variant_reencodes_byte_identically() {
+        for (i, msg) in every_message().into_iter().enumerate() {
+            let env = Envelope { src: Key(300 + i as u64), dst: Key(400), msg_id: i as u64, msg };
+            let bytes = env.encode();
+            let back = Envelope::decode(&bytes).expect("decodes");
+            assert_eq!(back.encode(), bytes, "variant {i} re-encode differs");
+        }
     }
 
     #[test]
@@ -469,7 +545,7 @@ mod tests {
         for msg in every_message() {
             seen.insert(msg.tag());
         }
-        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.len(), 19);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod messaging;
 pub mod metrics;
 pub mod mobility;
+pub mod partition;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
@@ -37,9 +38,10 @@ pub use baseline_type_b::TypeBSystem;
 pub use churn::{ChurnAction, ChurnModel};
 pub use engine::EventQueue;
 pub use experiments::Scale;
-pub use messaging::{MessagingBristleSystem, MessagingError, MessagingRouteReport};
+pub use messaging::{MessagingBristleSystem, MessagingError, MessagingRouteReport, RejoinRecord};
 pub use metrics::{Histogram, Samples};
 pub use mobility::MobilityModel;
+pub use partition::{run_partition, PartitionConfig, PartitionOutcome};
 pub use report::Table;
 pub use resilience::{run_churn_messaging, ResilienceConfig, ResilienceOutcome};
 pub use scenario::{ScenarioConfig, ScenarioOutcome};

@@ -32,7 +32,7 @@ use bristle_proto::failure::FailurePolicy;
 use bristle_proto::machine::{
     Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind,
 };
-use bristle_proto::transport::{Delivery, FaultConfig, SimTransport, Transport};
+use bristle_proto::transport::{Delivery, FaultConfig, LinkFilter, SimTransport, Transport};
 use bristle_proto::wire::WireAddr;
 
 use crate::engine::EventQueue;
@@ -65,6 +65,11 @@ enum MsgEvent {
         /// The node that dies.
         key: Key,
     },
+    /// A scheduled network partition: the transport's link filter is
+    /// replaced wholesale.
+    Partition(LinkFilter),
+    /// A scheduled partition heal: every link works again.
+    Heal,
 }
 
 /// Why a messaging operation did not complete.
@@ -106,6 +111,33 @@ impl std::fmt::Display for MessagingError {
 }
 
 impl std::error::Error for MessagingError {}
+
+/// One reversed funeral: when the node was wrongfully buried and when
+/// the rejoin restored it (micro-clock times).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinRecord {
+    /// The resurrected node.
+    pub key: Key,
+    /// Micro-time of the wrongful funeral.
+    pub buried_at: SimTime,
+    /// Micro-time the funeral was reversed.
+    pub rejoined_at: SimTime,
+    /// The incarnation the node lives at after the rejoin.
+    pub incarnation: u64,
+}
+
+/// Driver bookkeeping for a funeral run on a node whose machine was
+/// still alive (unreachable, not crashed).
+struct WrongfulBurial {
+    /// The corpse's own incarnation at burial; any higher incarnation
+    /// observed later proves it refuted the verdict.
+    incarnation: u64,
+    /// Micro-time of the funeral.
+    at: SimTime,
+    /// Watchers that held the death verdict — the nodes whose obituary
+    /// the corpse must eventually receive.
+    announcers: Vec<Key>,
+}
 
 /// What a completed messaging route reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,15 +279,24 @@ impl NodeEnv for SystemEnv<'_> {
     }
 
     fn apply_publish(&mut self, holder: Key, subject: Key, addr: WireAddr, seq: u64) {
+        // The wire `Publish` carries no incarnation; the holder stamps the
+        // subject's current one — the same value the function-call path
+        // writes — so post-rejoin records dominate pre-partition ones.
+        let incarnation = self.sys.node_info(subject).map(|i| i.incarnation).unwrap_or(0);
         let record = LocationRecord {
             subject,
             addr: addr.to_net(),
+            incarnation,
             seq,
             published_at: self.sys.clock.now(),
             ttl: self.sys.config().location_ttl,
         };
         if let Ok(node) = self.sys.stationary.node_mut(holder) {
-            let keep = node.store.get(&subject).map(|r| r.seq <= seq).unwrap_or(true);
+            let keep = node
+                .store
+                .get(&subject)
+                .map(|r| (r.incarnation, r.seq) <= (incarnation, seq))
+                .unwrap_or(true);
             if keep {
                 node.store.insert(subject, record);
             }
@@ -280,6 +321,11 @@ pub struct MessagingBristleSystem {
     failed: HashSet<Key>,
     /// Last known addresses of failed/departed nodes (see [`SystemEnv`]).
     tombstones: HashMap<Key, WireAddr>,
+    /// Nodes buried while their machine was still running — wrongful
+    /// funerals awaiting an incarnation-bumped refutation and rejoin.
+    wrongly_buried: BTreeMap<Key, WrongfulBurial>,
+    /// Every funeral reversed so far, in rejoin order.
+    rejoin_log: Vec<RejoinRecord>,
 }
 
 impl MessagingBristleSystem {
@@ -309,6 +355,8 @@ impl MessagingBristleSystem {
             completions: Vec::new(),
             failed: HashSet::new(),
             tombstones: HashMap::new(),
+            wrongly_buried: BTreeMap::new(),
+            rejoin_log: Vec::new(),
         }
     }
 
@@ -342,6 +390,51 @@ impl MessagingBristleSystem {
     /// event loop runs past that time.
     pub fn schedule_fail(&mut self, at: SimTime, key: Key) {
         self.queue.schedule_at(at, MsgEvent::Fail { key });
+    }
+
+    /// Cuts the network along `filter` immediately: sends whose
+    /// endpoints the filter separates are blocked until
+    /// [`Self::heal_now`] (in-flight deliveries are unaffected).
+    pub fn partition_now(&mut self, filter: LinkFilter) {
+        self.transport.set_filter(filter);
+    }
+
+    /// Heals every cut immediately: the transport's link filter is reset.
+    pub fn heal_now(&mut self) {
+        self.transport.set_filter(LinkFilter::default());
+    }
+
+    /// Schedules a partition at micro-time `at`.
+    pub fn schedule_partition(&mut self, at: SimTime, filter: LinkFilter) {
+        self.queue.schedule_at(at, MsgEvent::Partition(filter));
+    }
+
+    /// Schedules a heal at micro-time `at`.
+    pub fn schedule_heal(&mut self, at: SimTime) {
+        self.queue.schedule_at(at, MsgEvent::Heal);
+    }
+
+    /// Schedules a router-group partition for the window `[from, to)`:
+    /// traffic between different groups is cut at `from` and restored at
+    /// `to` (while some operation's event loop runs past those times).
+    pub fn schedule_partition_window(
+        &mut self,
+        groups: &[Vec<RouterId>],
+        from: SimTime,
+        to: SimTime,
+    ) {
+        self.schedule_partition(from, LinkFilter::default().partition_groups(groups));
+        self.schedule_heal(to);
+    }
+
+    /// Nodes currently awaiting a funeral reversal (sorted).
+    pub fn wrongly_buried(&self) -> Vec<Key> {
+        self.wrongly_buried.keys().copied().collect()
+    }
+
+    /// Every funeral reversed so far, in rejoin order.
+    pub fn rejoin_log(&self) -> &[RejoinRecord] {
+        &self.rejoin_log
     }
 
     /// Crashes `key` without notice: its machine vanishes and mail to it
@@ -466,6 +559,7 @@ impl MessagingBristleSystem {
         while budget > 0 && self.step() {
             budget -= 1;
         }
+        self.rejoin_sweep();
         let mut dead = Vec::new();
         self.completions.retain(|c| match *c {
             Completion::PeerDead { peer } => {
@@ -473,12 +567,119 @@ impl MessagingBristleSystem {
                 false
             }
             Completion::PeerSuspected { .. } => false,
+            Completion::PeerRefuted { .. }
+            | Completion::SelfRefuted { .. }
+            | Completion::RejoinRequested { .. }
+            | Completion::RejoinCompleted { .. } => false,
             _ => true,
         });
         dead.sort_unstable();
         dead.dedup();
         dead.retain(|&k| !self.sys.is_confirmed_dead(k));
         dead
+    }
+
+    /// Gives every wrongly buried node a chance to learn of its own
+    /// funeral and reverse it. Each still-buried node is sent an
+    /// obituary (`SuspectNotify` naming itself) by a live watcher that
+    /// held the verdict; a node that receives one bumps its incarnation
+    /// and answers with an `Alive` refutation, after which the driver
+    /// has it ask the same watcher to sponsor a rejoin. An accepted
+    /// rejoin reverses the funeral ([`BristleSystem::rejoin_node`]).
+    /// Every message travels the faulty transport, so a node still cut
+    /// off by a partition simply misses its obituary and is retried on
+    /// the next round — rejoin happens only once connectivity is back.
+    fn rejoin_sweep(&mut self) {
+        if self.wrongly_buried.is_empty() {
+            return;
+        }
+        // (1) Obituary announcements, one per buried node, from the
+        // lowest-keyed surviving believer (deterministic).
+        let buried: Vec<Key> = self.wrongly_buried.keys().copied().collect();
+        let mut sponsors: BTreeMap<Key, Key> = BTreeMap::new();
+        for &f in &buried {
+            let Some(announcer) = self.pick_announcer(f) else { continue };
+            sponsors.insert(f, announcer);
+            let out = {
+                let Some(machine) = self.machines.get_mut(&announcer) else { continue };
+                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                machine.notify_suspect(&mut env, f, f)
+            };
+            self.dispatch(announcer, out);
+        }
+        let mut budget = MAX_EVENTS_PER_OP;
+        while budget > 0 && self.step() {
+            budget -= 1;
+        }
+        // (2) Nodes whose incarnation moved past their burial have
+        // refuted the verdict: they ask their announcer to sponsor the
+        // rejoin.
+        for &f in &buried {
+            let Some(&sponsor) = sponsors.get(&f) else { continue };
+            let refuted = match (self.machines.get(&f), self.wrongly_buried.get(&f)) {
+                (Some(m), Some(b)) => m.incarnation() > b.incarnation,
+                _ => false,
+            };
+            if !refuted {
+                continue;
+            }
+            let out = {
+                let Some(machine) = self.machines.get_mut(&f) else { continue };
+                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                machine.start_rejoin(&mut env, sponsor)
+            };
+            self.dispatch(f, out);
+        }
+        let mut budget = MAX_EVENTS_PER_OP;
+        while budget > 0 && self.step() {
+            budget -= 1;
+        }
+        // (3) Reverse the funeral of every accepted rejoin.
+        let mut requests: Vec<(Key, u64)> = Vec::new();
+        self.completions.retain(|c| match *c {
+            Completion::RejoinRequested { peer, incarnation } => {
+                requests.push((peer, incarnation));
+                false
+            }
+            _ => true,
+        });
+        requests.sort_unstable();
+        requests.dedup();
+        for (peer, incarnation) in requests {
+            let Some(burial) = self.wrongly_buried.remove(&peer) else { continue };
+            let Ok(report) = self.sys.rejoin_node(peer, incarnation) else { continue };
+            if !report.reversed {
+                continue;
+            }
+            self.sys.meter.bump(MessageKind::WrongfulDeath, 1);
+            self.rejoin_log.push(RejoinRecord {
+                key: peer,
+                buried_at: burial.at,
+                rejoined_at: self.queue.now(),
+                incarnation: report.incarnation,
+            });
+        }
+    }
+
+    /// The lowest-keyed live watcher that held `buried`'s death verdict,
+    /// falling back to the lowest-keyed live machine when none of the
+    /// original believers survive.
+    fn pick_announcer(&self, buried: Key) -> Option<Key> {
+        let live = |k: &Key| {
+            *k != buried
+                && self.sys.node_info(*k).is_ok()
+                && !self.failed.contains(k)
+                && !self.wrongly_buried.contains_key(k)
+                && self.machines.contains_key(k)
+        };
+        if let Some(b) = self.wrongly_buried.get(&buried) {
+            if let Some(&a) = b.announcers.iter().find(|k| live(k)) {
+                return Some(a);
+            }
+        }
+        let mut keys: Vec<Key> = self.machines.keys().copied().filter(|k| live(k)).collect();
+        keys.sort_unstable();
+        keys.first().copied()
     }
 
     /// Acts on a confirmed death: spreads the verdict to watchers that
@@ -490,7 +691,19 @@ impl MessagingBristleSystem {
         if self.sys.node_info(key).is_err() && !self.sys.is_confirmed_dead(key) {
             return Err(MessagingError::UnknownNode(key));
         }
-        self.fail_now(key);
+        // A funeral for a node whose machine is still running is
+        // *wrongful* — the node is unreachable (partitioned), not
+        // crashed. Its machine stays alive so it can eventually receive
+        // its obituary and refute the verdict; the driver remembers the
+        // burial so [`Self::rejoin_sweep`] can reverse it.
+        let wrongful = !self.failed.contains(&key)
+            && self.sys.node_info(key).is_ok()
+            && self.machines.contains_key(&key);
+        if wrongful {
+            self.remember_addr(key);
+        } else {
+            self.fail_now(key);
+        }
         let mut believers = Vec::new();
         let mut unconvinced = Vec::new();
         for (&w, m) in &self.machines {
@@ -519,6 +732,13 @@ impl MessagingBristleSystem {
         // The notifications above re-announce the same death; those
         // echoes are not news.
         self.completions.retain(|c| !matches!(c, Completion::PeerDead { peer } if *peer == key));
+        if wrongful {
+            let incarnation = self.machines.get(&key).map(|m| m.incarnation()).unwrap_or(0);
+            self.wrongly_buried.insert(
+                key,
+                WrongfulBurial { incarnation, at: self.queue.now(), announcers: believers },
+            );
+        }
         self.sys.confirm_dead(key).map_err(|_| MessagingError::UnknownNode(key))
     }
 
@@ -684,27 +904,36 @@ impl MessagingBristleSystem {
             MsgEvent::Deliver(d) => {
                 // The sender addressed a router; if the destination host
                 // has moved away since — or crashed — the bytes
-                // black-hole there.
+                // black-hole there. A wrongly buried node is gone from
+                // the system's books but still listening at its
+                // tombstoned attachment: its obituary must reach it.
                 let dst = d.env.dst;
                 if self.failed.contains(&dst) {
                     return true;
                 }
-                match self.sys.router_of(dst) {
-                    Ok(r) if r == d.to_router => {
-                        let out = {
-                            let machine = machine_entry(
-                                &mut self.machines,
-                                dst,
-                                self.policy,
-                                self.failure_policy,
-                            );
-                            let mut env =
-                                SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
-                            machine.poll(now, Event::Deliver(d.env), &mut env)
-                        };
-                        self.dispatch(dst, out);
+                let reachable = match self.sys.router_of(dst) {
+                    Ok(r) => r == d.to_router,
+                    Err(_) => {
+                        self.wrongly_buried.contains_key(&dst)
+                            && self
+                                .tombstones
+                                .get(&dst)
+                                .is_some_and(|a| a.router_id() == d.to_router)
                     }
-                    _ => {}
+                };
+                if reachable {
+                    let out = {
+                        let machine = machine_entry(
+                            &mut self.machines,
+                            dst,
+                            self.policy,
+                            self.failure_policy,
+                        );
+                        let mut env =
+                            SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                        machine.poll(now, Event::Deliver(d.env), &mut env)
+                    };
+                    self.dispatch(dst, out);
                 }
             }
             MsgEvent::Timer { node, kind } => {
@@ -721,6 +950,8 @@ impl MessagingBristleSystem {
                 let _ = self.sys.move_node(key, to);
             }
             MsgEvent::Fail { key } => self.fail_now(key),
+            MsgEvent::Partition(filter) => self.transport.set_filter(filter),
+            MsgEvent::Heal => self.transport.set_filter(LinkFilter::default()),
         }
         true
     }
@@ -731,6 +962,12 @@ impl MessagingBristleSystem {
         let now = self.queue.now();
         let from_router = match self.sys.router_of(from) {
             Ok(r) => r,
+            // A wrongly buried node transmits from its tombstoned
+            // attachment (refutations and rejoin requests).
+            Err(_) if self.wrongly_buried.contains_key(&from) => match self.tombstones.get(&from) {
+                Some(a) => a.router_id(),
+                None => return,
+            },
             Err(_) => return,
         };
         for o in out.outgoing {

@@ -1,0 +1,355 @@
+//! Partition-tolerance scenario: a message-driven Bristle system split
+//! in two, wrongful funerals on the far side, refutation and rejoin
+//! after the heal, and split-brain record reconciliation.
+//!
+//! The run cuts the router population into two groups on the transport's
+//! [`LinkFilter`]. Near-side watchers stop hearing far-side heartbeats,
+//! suspicion hardens into death verdicts, and the scenario confirms each
+//! one — a *wrongful* funeral, since the condemned machines are still
+//! running behind the cut. After the heal, the driver's rejoin sweep
+//! (see [`MessagingBristleSystem::heartbeat_round`]) delivers each
+//! obituary, the buried node refutes it with a bumped incarnation, and a
+//! sponsored rejoin reverses the funeral. The scenario then plants
+//! far-side-life records (stale incarnation, inflated sequence number)
+//! on replica subsets and checks that anti-entropy reconciles every
+//! replica to the `(incarnation, seq, published_at)` maximum — the
+//! post-rejoin record. Delivery is measured over the same endpoint pairs
+//! before the cut and after recovery.
+//!
+//! Everything is seeded: two runs with the same [`PartitionConfig`]
+//! produce identical [`PartitionOutcome`]s, meter tallies included.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bristle_core::config::BristleConfig;
+use bristle_core::system::BristleBuilder;
+use bristle_netsim::graph::RouterId;
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::TransitStubConfig;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::{MessageKind, ALL_KINDS};
+use bristle_proto::transport::{FaultConfig, LinkFilter};
+
+use crate::messaging::MessagingBristleSystem;
+
+/// Parameters of one partition-tolerance run.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Seed for the system build, the transport, and the scenario draws.
+    pub seed: u64,
+    /// Stationary population at build time.
+    pub stationary: usize,
+    /// Mobile population at build time.
+    pub mobile: usize,
+    /// Transport drop probability (applies on both sides of the cut).
+    pub loss: f64,
+    /// Heartbeat rounds run while the network is cut (the partition
+    /// duration; death verdicts need several rounds to harden).
+    pub partition_rounds: usize,
+    /// Maximum heartbeat rounds allowed after the heal for every
+    /// wrongful funeral to be reversed.
+    pub recovery_rounds: usize,
+    /// Endpoint pairs measured before the cut and again after recovery.
+    pub route_pairs: usize,
+}
+
+impl PartitionConfig {
+    /// The standard acceptance-scale run: a small-but-structured system,
+    /// 5% loss, a four-round cut.
+    pub fn standard(seed: u64) -> Self {
+        PartitionConfig {
+            seed,
+            stationary: 36,
+            mobile: 14,
+            loss: 0.05,
+            partition_rounds: 4,
+            recovery_rounds: 6,
+            route_pairs: 24,
+        }
+    }
+}
+
+/// What one partition-tolerance run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// Nodes attached behind the cut (candidates for wrongful death).
+    pub far_side: usize,
+    /// Funerals run on nodes that were actually alive (the cut's wrongful
+    /// deaths).
+    pub wrongful_deaths: usize,
+    /// Funerals reversed by refutation + rejoin after the heal.
+    pub rejoined: usize,
+    /// Heartbeat rounds needed after the heal until every funeral was
+    /// reversed (`recovery_rounds` when some never were).
+    pub recovery_rounds_used: usize,
+    /// Largest burial-to-rejoin span on the micro-clock.
+    pub max_rejoin_latency: u64,
+    /// `Alive` refutation broadcasts (meter count).
+    pub refutations: u64,
+    /// Rejoin-protocol messages (meter count).
+    pub rejoin_messages: u64,
+    /// Routes delivered / attempted before the cut.
+    pub pre_delivered: usize,
+    /// Routes attempted before the cut.
+    pub pre_attempted: usize,
+    /// Routes delivered over the same pairs after recovery.
+    pub post_delivered: usize,
+    /// Routes attempted after recovery.
+    pub post_attempted: usize,
+    /// Far-side-life record copies planted to create split-brain state.
+    pub divergent_planted: usize,
+    /// Whether anti-entropy reconciled every replica of every rejoined
+    /// subject to the `(incarnation, seq, published_at)` maximum.
+    pub reconciled: bool,
+    /// Record copies installed by the reconciliation pass.
+    pub anti_entropy_fixes: usize,
+    /// Per-kind meter `(kind, count, cost)` at the end of the run.
+    pub tallies: Vec<(MessageKind, u64, u64)>,
+}
+
+impl PartitionOutcome {
+    /// Fraction of pre-cut routes delivered.
+    pub fn pre_rate(&self) -> f64 {
+        if self.pre_attempted == 0 {
+            1.0
+        } else {
+            self.pre_delivered as f64 / self.pre_attempted as f64
+        }
+    }
+
+    /// Fraction of post-recovery routes delivered.
+    pub fn post_rate(&self) -> f64 {
+        if self.post_attempted == 0 {
+            1.0
+        } else {
+            self.post_delivered as f64 / self.post_attempted as f64
+        }
+    }
+
+    /// Whether post-recovery delivery is within `slack` of the pre-cut
+    /// level (the acceptance criterion uses `slack = 0.01`).
+    pub fn delivery_recovered(&self, slack: f64) -> bool {
+        self.post_rate() + slack >= self.pre_rate()
+    }
+}
+
+/// Splits the occupied stub routers into two balanced groups
+/// (deterministic greedy bin-packing by attached-node count, sorted
+/// router order). Returns `(groups, far_keys)` where the far side is the
+/// second group.
+fn split_routers(msys: &MessagingBristleSystem) -> (Vec<Vec<RouterId>>, BTreeSet<Key>) {
+    let sys = &msys.sys;
+    let mut per_router: BTreeMap<RouterId, Vec<Key>> = BTreeMap::new();
+    let mut all: Vec<Key> = sys.mobile.keys().collect();
+    all.sort_unstable();
+    for k in all {
+        if let Ok(r) = sys.router_of(k) {
+            per_router.entry(r).or_default().push(k);
+        }
+    }
+    let mut near: (Vec<RouterId>, usize) = (Vec::new(), 0);
+    let mut far: (Vec<RouterId>, usize) = (Vec::new(), 0);
+    let mut by_load: Vec<(&RouterId, &Vec<Key>)> = per_router.iter().collect();
+    by_load.sort_by_key(|(r, ks)| (std::cmp::Reverse(ks.len()), **r));
+    for (&r, keys) in by_load {
+        let side = if near.1 <= far.1 { &mut near } else { &mut far };
+        side.0.push(r);
+        side.1 += keys.len();
+    }
+    let far_keys: BTreeSet<Key> =
+        far.0.iter().flat_map(|r| per_router[r].iter().copied()).collect();
+    (vec![near.0, far.0], far_keys)
+}
+
+/// Measures message-passing delivery over `pairs`, skipping pairs with a
+/// missing endpoint. Returns `(delivered, attempted)`.
+fn measure_pairs(msys: &mut MessagingBristleSystem, pairs: &[(Key, Key)]) -> (usize, usize) {
+    let mut delivered = 0usize;
+    let mut attempted = 0usize;
+    for &(src, target) in pairs {
+        if msys.is_failed(src)
+            || msys.is_failed(target)
+            || msys.sys.node_info(src).is_err()
+            || msys.sys.node_info(target).is_err()
+        {
+            continue;
+        }
+        attempted += 1;
+        if msys.route(src, target).is_ok() {
+            delivered += 1;
+        }
+    }
+    (delivered, attempted)
+}
+
+/// Runs one partition-tolerance scenario: build, measure, cut, bury,
+/// heal, rejoin, reconcile, re-measure. Deterministic in `cfg`.
+pub fn run_partition(cfg: &PartitionConfig) -> PartitionOutcome {
+    let sys = BristleBuilder::new(cfg.seed)
+        .stationary_nodes(cfg.stationary)
+        .mobile_nodes(cfg.mobile)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig::recommended())
+        .build()
+        .expect("system builds");
+    let mut msys = MessagingBristleSystem::new(sys, FaultConfig::lossy(cfg.loss), cfg.seed ^ 0xA7);
+    let mut rng = Pcg64::new(cfg.seed, 0xCA7);
+
+    let mut out = PartitionOutcome {
+        far_side: 0,
+        wrongful_deaths: 0,
+        rejoined: 0,
+        recovery_rounds_used: 0,
+        max_rejoin_latency: 0,
+        refutations: 0,
+        rejoin_messages: 0,
+        pre_delivered: 0,
+        pre_attempted: 0,
+        post_delivered: 0,
+        post_attempted: 0,
+        divergent_planted: 0,
+        reconciled: true,
+        anti_entropy_fixes: 0,
+        tallies: Vec::new(),
+    };
+
+    // Fixed endpoint pairs, measured identically before and after.
+    let mut endpoints: Vec<Key> = msys.sys.mobile.keys().collect();
+    endpoints.sort_unstable();
+    let mut pairs: Vec<(Key, Key)> = Vec::with_capacity(cfg.route_pairs);
+    while pairs.len() < cfg.route_pairs && endpoints.len() >= 2 {
+        let src = endpoints[rng.index(endpoints.len())];
+        let target = endpoints[rng.index(endpoints.len())];
+        if src != target {
+            pairs.push((src, target));
+        }
+    }
+    (out.pre_delivered, out.pre_attempted) = measure_pairs(&mut msys, &pairs);
+
+    // Cut the network and let near-side suspicion harden into verdicts.
+    // Only far-side deaths are confirmed: the near side is the majority
+    // running the funerals; its own nodes are never buried.
+    let (groups, far_keys) = split_routers(&msys);
+    out.far_side = far_keys.len();
+    msys.partition_now(LinkFilter::default().partition_groups(&groups));
+    for _ in 0..cfg.partition_rounds {
+        let newly = msys.heartbeat_round();
+        for k in newly {
+            if far_keys.contains(&k) && msys.confirm_and_heal(k).is_ok() {
+                out.wrongful_deaths += 1;
+            }
+        }
+        msys.sys.tick(5);
+    }
+
+    // Heal; the heartbeat machinery's rejoin sweep now delivers every
+    // obituary, collects the refutations, and reverses the funerals.
+    msys.heal_now();
+    for r in 0..cfg.recovery_rounds {
+        msys.heartbeat_round();
+        out.recovery_rounds_used = r + 1;
+        if msys.wrongly_buried().is_empty() {
+            break;
+        }
+    }
+    out.rejoined = msys.rejoin_log().len();
+    out.max_rejoin_latency =
+        msys.rejoin_log().iter().map(|r| r.rejoined_at.since(r.buried_at)).max().unwrap_or(0);
+
+    // Split-brain reconciliation: for every rejoined mobile subject,
+    // plant its far-side life — stale incarnation, inflated sequence
+    // number, later publication time — on every replica but the first,
+    // then let anti-entropy pick the winner. Only the incarnation rank
+    // makes the post-rejoin record win.
+    let replicas = msys.sys.config().location_replicas;
+    let rejoined_mobiles: Vec<Key> =
+        msys.rejoin_log().iter().map(|r| r.key).filter(|&k| msys.sys.is_mobile(k)).collect();
+    for &subject in &rejoined_mobiles {
+        let Ok(set) = msys.sys.stationary.replica_set(subject, replicas) else { continue };
+        let Some(current) = set
+            .first()
+            .and_then(|&r| msys.sys.stationary.node(r).ok())
+            .and_then(|n| n.store.get(&subject).copied())
+        else {
+            continue;
+        };
+        let mut far_life = current;
+        far_life.incarnation = current.incarnation.saturating_sub(1);
+        far_life.seq = current.seq + 25;
+        far_life.published_at = bristle_core::time::SimTime(current.published_at.0 + 40);
+        for &r in &set[1..] {
+            if let Ok(node) = msys.sys.stationary.node_mut(r) {
+                node.store.insert(subject, far_life);
+                out.divergent_planted += 1;
+            }
+        }
+    }
+    out.anti_entropy_fixes = msys.sys.anti_entropy_locations().expect("reconciliation succeeds");
+    for &subject in &rejoined_mobiles {
+        let Ok(set) = msys.sys.stationary.replica_set(subject, replicas) else { continue };
+        let mut best = None;
+        let mut copies = Vec::new();
+        for &r in &set {
+            if let Ok(node) = msys.sys.stationary.node(r) {
+                if let Some(rec) = node.store.get(&subject).copied() {
+                    best = Some(match best {
+                        None => rec,
+                        Some(b) => rec.newer_of(b),
+                    });
+                    copies.push(rec);
+                }
+            }
+        }
+        let Some(best) = best else {
+            out.reconciled = false;
+            continue;
+        };
+        out.reconciled &= copies.len() == set.len()
+            && copies.iter().all(|c| {
+                (c.incarnation, c.seq, c.published_at)
+                    == (best.incarnation, best.seq, best.published_at)
+            });
+    }
+
+    (out.post_delivered, out.post_attempted) = measure_pairs(&mut msys, &pairs);
+
+    out.refutations = msys.sys.meter.count(MessageKind::Refutation);
+    out.rejoin_messages = msys.sys.meter.count(MessageKind::Rejoin);
+    out.tallies =
+        ALL_KINDS.iter().map(|&k| (k, msys.sys.meter.count(k), msys.sys.meter.cost(k))).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_buries_far_side_and_heal_resurrects_everyone() {
+        let out = run_partition(&PartitionConfig::standard(5));
+        assert!(out.far_side > 0, "the cut must isolate someone: {out:?}");
+        assert!(out.wrongful_deaths > 0, "far-side nodes must be wrongfully buried: {out:?}");
+        assert_eq!(out.rejoined, out.wrongful_deaths, "every funeral reversed: {out:?}");
+        assert!(out.refutations > 0, "refutations must be broadcast");
+        assert!(out.rejoin_messages > 0, "rejoins travel as messages");
+        assert!(out.reconciled, "split-brain records reconcile to the incarnation maximum");
+        assert!(out.delivery_recovered(0.01), "post-heal delivery within 1%: {out:?}");
+    }
+
+    #[test]
+    fn same_seed_twice_is_identical() {
+        let cfg = PartitionConfig::standard(9);
+        assert_eq!(run_partition(&cfg), run_partition(&cfg));
+    }
+
+    #[test]
+    fn no_partition_means_no_wrongful_deaths() {
+        let mut cfg = PartitionConfig::standard(7);
+        cfg.partition_rounds = 0;
+        let out = run_partition(&cfg);
+        assert_eq!(out.wrongful_deaths, 0);
+        assert_eq!(out.rejoined, 0);
+        assert_eq!(out.refutations, 0);
+        assert_eq!(out.rejoin_messages, 0);
+    }
+}
