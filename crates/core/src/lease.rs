@@ -15,6 +15,12 @@ use bristle_overlay::key::Key;
 use crate::time::SimTime;
 
 /// One lease contract: valid until `expires` (exclusive).
+///
+/// TTL boundary convention (shared with
+/// [`crate::location::LocationRecord::is_expired`]): a contract granted
+/// at `t` for `ttl` ticks is valid on the half-open window
+/// `[t, t + ttl)` — still valid at `t + ttl - 1`, invalid exactly at
+/// `t + ttl`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lease {
     /// First instant at which the lease is no longer valid.
@@ -184,6 +190,20 @@ mod tests {
         assert!(!t.is_fresh(Key(1), Key(2), boundary), "is_fresh agrees with is_valid");
         assert_eq!(t.purge_expired(boundary), 1, "purged exactly at granted + ttl");
         assert!(t.is_empty());
+    }
+
+    /// Pins the half-open `[granted, granted + ttl)` validity window at
+    /// ttl-1 / ttl / ttl+1 — the same convention
+    /// `LocationRecord::is_expired` is pinned to in `location.rs`.
+    #[test]
+    fn ttl_boundary_three_points() {
+        let granted = SimTime(100);
+        let ttl = 20;
+        let l = Lease::granted(granted, ttl);
+        assert!(l.is_valid(granted), "valid at grant");
+        assert!(l.is_valid(granted.plus(ttl - 1)), "valid at ttl-1");
+        assert!(!l.is_valid(granted.plus(ttl)), "invalid exactly at ttl");
+        assert!(!l.is_valid(granted.plus(ttl + 1)), "stays invalid at ttl+1");
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl LocationRecord {
     }
 
     /// Whether the record's own lease has expired at `now`.
+    ///
+    /// TTL boundary convention (shared with [`crate::lease::Lease`]): a
+    /// record published at `t` with lifetime `ttl` is valid on the
+    /// half-open window `[t, t + ttl)` — still valid at `t + ttl - 1`,
+    /// expired exactly at `t + ttl`. Boundary tests here and in
+    /// `lease.rs` pin both sites to this one convention.
     pub fn is_expired(&self, now: SimTime) -> bool {
         now.since(self.published_at) >= self.ttl
     }
@@ -104,6 +110,21 @@ mod tests {
         let rec = LocationRecord::fresh(Key(5), h, &m, 0, 1, SimTime(10), 30);
         assert!(!rec.is_expired(SimTime(39)));
         assert!(rec.is_expired(SimTime(40)));
+    }
+
+    /// Pins the half-open `[published_at, published_at + ttl)` validity
+    /// window at ttl-1 / ttl / ttl+1 — the same convention
+    /// `Lease::is_valid` is pinned to in `lease.rs`.
+    #[test]
+    fn ttl_boundary_three_points() {
+        let (m, h) = setup();
+        let published = SimTime(100);
+        let ttl = 20;
+        let rec = LocationRecord::fresh(Key(5), h, &m, 0, 1, published, ttl);
+        assert!(!rec.is_expired(published), "fresh at publication");
+        assert!(!rec.is_expired(published.plus(ttl - 1)), "valid at ttl-1");
+        assert!(rec.is_expired(published.plus(ttl)), "expired exactly at ttl");
+        assert!(rec.is_expired(published.plus(ttl + 1)), "stays expired at ttl+1");
     }
 
     #[test]

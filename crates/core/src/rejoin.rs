@@ -242,6 +242,34 @@ mod tests {
     }
 
     #[test]
+    fn rejoin_republication_stamps_are_never_in_the_future() {
+        // Regression for the SimTime::since invariant: a record stamped
+        // ahead of the clock would read as age 0 forever and never
+        // expire. The rejoin path republishes the victim's location, so
+        // pin that every restored record carries published_at <= now and
+        // ages normally from there (computing the age at all would trip
+        // the debug_assert in `since` if the stamp were in the future).
+        let mut sys = system(40, 12, 16);
+        let victim = sys.mobile_keys()[0];
+        sys.clock.advance(100);
+        sys.confirm_dead(victim).unwrap();
+        sys.clock.advance(50);
+        let report = sys.rejoin_node(victim, 1).unwrap();
+        assert!(report.reversed);
+        let now = sys.clock.now();
+        let owner = sys.stationary.owner(victim).unwrap();
+        let rec = *sys.stationary.node(owner).unwrap().store.get(&victim).unwrap();
+        assert!(
+            rec.published_at <= now,
+            "republished at {} but clock is {}",
+            rec.published_at,
+            now
+        );
+        assert!(!rec.is_expired(now), "fresh at republication");
+        assert!(rec.is_expired(rec.published_at.plus(rec.ttl)), "expires after its ttl");
+    }
+
+    #[test]
     fn rejoin_is_deterministic() {
         let run = |seed: u64| {
             let mut sys = system(30, 10, seed);

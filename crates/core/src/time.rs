@@ -18,9 +18,22 @@ impl SimTime {
         SimTime(self.0.saturating_add(ticks))
     }
 
-    /// Ticks elapsed since `earlier` (saturating at zero).
+    /// Ticks elapsed since `earlier`.
+    ///
+    /// Requires `earlier <= self`: elapsed time against a *future*
+    /// timestamp is a caller bug (a record stamped in the future would
+    /// read as age 0 forever and never expire). Debug builds panic on a
+    /// violation; release builds keep the historical saturate-to-zero
+    /// behavior so a latent inversion degrades to "not yet expired"
+    /// instead of a wrap-around to u64::MAX ticks.
     #[inline]
     pub fn since(self, earlier: SimTime) -> u64 {
+        debug_assert!(
+            earlier.0 <= self.0,
+            "SimTime::since called with future timestamp: {} is after {}",
+            earlier,
+            self
+        );
         self.0.saturating_sub(earlier.0)
     }
 }
@@ -71,7 +84,20 @@ mod tests {
         let t = SimTime(10);
         assert_eq!(t.plus(5), SimTime(15));
         assert_eq!(t.since(SimTime(4)), 6);
-        assert_eq!(SimTime(4).since(t), 0, "saturates");
+        assert_eq!(t.since(t), 0, "zero at the boundary");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "future timestamp")]
+    fn since_rejects_future_timestamps_in_debug() {
+        let _ = SimTime(4).since(SimTime(10));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn since_saturates_in_release() {
+        assert_eq!(SimTime(4).since(SimTime(10)), 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`replication`] — k-replica publication and fault-tolerant lookup.
 //! * [`maintenance`] — refresh cycles, failures, graceful leave, health.
 //! * [`meter`] — message/cost accounting shared by the whole stack.
+//! * [`obs`] — latency histograms, structured events and a flight
+//!   recorder for virtual-time observability.
 
 #![warn(missing_docs)]
 
@@ -29,6 +31,7 @@ pub mod key;
 pub mod maintenance;
 pub mod meter;
 pub mod node;
+pub mod obs;
 pub mod prefix;
 pub mod repair;
 pub mod replication;
@@ -42,6 +45,9 @@ pub use key::Key;
 pub use maintenance::HealthReport;
 pub use meter::{MessageKind, Meter};
 pub use node::NodeState;
+pub use obs::{
+    EventSink, FlightRecorder, Histogram as LatencyHistogram, ObsEvent, ObsEventKind, Snapshot,
+};
 pub use prefix::PrefixDht;
 pub use repair::{RedundantRoute, RepairReport};
 pub use replication::LookupOutcome;

@@ -5,9 +5,38 @@
 //! (registrations issued, update messages, discovery traffic, ...) without
 //! the protocols knowing which experiment is running.
 
-/// Category of a protocol message, following the paper's vocabulary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MessageKind {
+/// Declares [`MessageKind`] together with everything derived from the
+/// variant list ([`KIND_COUNT`], [`ALL_KINDS`], [`MessageKind::name`]), so
+/// the variant list is the single source of truth: adding a kind here is
+/// the whole change, and a forgotten spot is a compile error rather than a
+/// silent miscount.
+macro_rules! message_kinds {
+    ($( $(#[$doc:meta])* $name:ident, )+) => {
+        /// Category of a protocol message, following the paper's vocabulary.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum MessageKind {
+            $( $(#[$doc])* $name, )+
+        }
+
+        /// Number of [`MessageKind`] variants (derived from the list).
+        pub const KIND_COUNT: usize = ALL_KINDS.len();
+
+        /// All message kinds in declaration order, for iteration in reports.
+        pub const ALL_KINDS: [MessageKind; [$(MessageKind::$name),+].len()] =
+            [$(MessageKind::$name),+];
+
+        impl MessageKind {
+            /// The variant's name, for machine-readable reports.
+            pub const fn name(self) -> &'static str {
+                match self {
+                    $( MessageKind::$name => stringify!($name), )+
+                }
+            }
+        }
+    };
+}
+
+message_kinds! {
     /// One application-level forwarding hop of a route.
     RouteHop,
     /// A `_discovery` query hop in the stationary layer (address resolution).
@@ -54,52 +83,23 @@ pub enum MessageKind {
     WrongfulDeath,
 }
 
-const KIND_COUNT: usize = 18;
-
+/// The meter index of a kind is its discriminant; `ALL_KINDS` is in
+/// declaration order, so this holds by construction and the compile-time
+/// check below pins it.
+#[inline]
 fn kind_index(k: MessageKind) -> usize {
-    match k {
-        MessageKind::RouteHop => 0,
-        MessageKind::DiscoveryHop => 1,
-        MessageKind::Register => 2,
-        MessageKind::Update => 3,
-        MessageKind::Publish => 4,
-        MessageKind::Join => 5,
-        MessageKind::Leave => 6,
-        MessageKind::Refresh => 7,
-        MessageKind::Replicate => 8,
-        MessageKind::DiscoveryRetry => 9,
-        MessageKind::Timeout => 10,
-        MessageKind::HeartbeatSent => 11,
-        MessageKind::SuspectRaised => 12,
-        MessageKind::LdtRepair => 13,
-        MessageKind::ReplicaFailover => 14,
-        MessageKind::Refutation => 15,
-        MessageKind::Rejoin => 16,
-        MessageKind::WrongfulDeath => 17,
-    }
+    k as usize
 }
 
-/// All message kinds, for iteration in reports.
-pub const ALL_KINDS: [MessageKind; KIND_COUNT] = [
-    MessageKind::RouteHop,
-    MessageKind::DiscoveryHop,
-    MessageKind::Register,
-    MessageKind::Update,
-    MessageKind::Publish,
-    MessageKind::Join,
-    MessageKind::Leave,
-    MessageKind::Refresh,
-    MessageKind::Replicate,
-    MessageKind::DiscoveryRetry,
-    MessageKind::Timeout,
-    MessageKind::HeartbeatSent,
-    MessageKind::SuspectRaised,
-    MessageKind::LdtRepair,
-    MessageKind::ReplicaFailover,
-    MessageKind::Refutation,
-    MessageKind::Rejoin,
-    MessageKind::WrongfulDeath,
-];
+// Compile-time exhaustiveness check: every kind's index is its position in
+// ALL_KINDS, i.e. the discriminant-based index covers [0, KIND_COUNT).
+const _: () = {
+    let mut i = 0;
+    while i < KIND_COUNT {
+        assert!(ALL_KINDS[i] as usize == i);
+        i += 1;
+    }
+};
 
 /// Tallies message counts and physical path cost by message kind.
 #[derive(Debug, Clone, Default)]
@@ -215,6 +215,16 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for k in ALL_KINDS {
             assert!(seen.insert(kind_index(k)));
+        }
+        assert_eq!(seen.len(), KIND_COUNT);
+    }
+
+    #[test]
+    fn names_match_variants_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ALL_KINDS {
+            assert_eq!(k.name(), format!("{k:?}"));
+            assert!(seen.insert(k.name()));
         }
         assert_eq!(seen.len(), KIND_COUNT);
     }

@@ -1,0 +1,441 @@
+//! Observability primitives: latency histograms, structured protocol
+//! events, and a bounded flight recorder.
+//!
+//! Everything here measures *virtual* time — the `u64` tick counts the
+//! simulation clocks hand out — so identical seeds produce identical
+//! histograms and identical event sequences on any machine. The pieces:
+//!
+//! * [`Histogram`] — fixed-size log₂-bucketed latency histogram with
+//!   [`Snapshot`] (count / p50 / p99 / max) summaries.
+//! * [`ObsEvent`] / [`ObsEventKind`] — structured protocol events (send,
+//!   ack, timeout, suspect, refute, route and discovery milestones), each
+//!   stamped with a causal `trace` id so one logical operation and all the
+//!   traffic it triggers correlate.
+//! * [`EventSink`] — how protocol code hands events to whoever is
+//!   listening, without knowing who that is.
+//! * [`FlightRecorder`] — a bounded ring buffer of the most recent events,
+//!   for post-mortem inspection of failed operations.
+
+use crate::key::Key;
+
+/// Number of histogram buckets: one for value 0, one per power of two up
+/// to and including the bucket that holds `u64::MAX`.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram over virtual-time tick values.
+///
+/// Bucket 0 holds exactly the value 0; bucket *i* ≥ 1 holds the values in
+/// `[2^(i−1), 2^i)`, so every `u64` lands in one of 65 buckets. Quantiles
+/// are answered as the *upper bound* of the bucket where the cumulative
+/// count crosses the requested rank (the exact maximum is tracked
+/// separately and returned whenever the rank falls in the top non-empty
+/// bucket), which bounds the relative error by 2× — plenty for the
+/// order-of-magnitude latency claims the experiments make.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], count: 0, max: 0 }
+    }
+}
+
+/// Index of the bucket holding `value` (0 → 0, else 64 − leading zeros).
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i − 1`, saturating at the top).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value` ticks.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at the `num/den` quantile (e.g. 1/2 for p50, 99/100 for
+    /// p99): the upper bound of the bucket where the cumulative count
+    /// reaches the rank, or the exact maximum if that is the last
+    /// non-empty bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the requested quantile, 1-based, rounded up.
+        let rank = (self.count * num).div_ceil(den);
+        let rank = rank.max(1);
+        let top = (0..BUCKETS).rfind(|&i| self.buckets[i] > 0).unwrap_or(0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == top { self.max } else { bucket_upper(i) };
+            }
+        }
+        self.max
+    }
+
+    /// Summarizes the histogram as count / p50 / p99 / max.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            count: self.count,
+            p50: self.quantile(1, 2),
+            p99: self.quantile(99, 100),
+            max: self.max,
+        }
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`]: count / p50 / p99 / max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Median latency (bucket upper bound, exact max in the top bucket).
+    pub p50: u64,
+    /// 99th-percentile latency (same bucket semantics).
+    pub p99: u64,
+    /// Exact maximum observed latency.
+    pub max: u64,
+}
+
+/// A structured protocol event, stamped with virtual time and a causal
+/// trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Virtual time (ticks) when the event happened.
+    pub at: u64,
+    /// Causal trace id linking this event to the operation that caused it
+    /// (0 = background traffic with no originating operation).
+    pub trace: u64,
+    /// The node the event happened on.
+    pub node: Key,
+    /// What happened.
+    pub kind: ObsEventKind,
+}
+
+/// The kinds of structured events protocol machines emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// A wire frame was handed to the transport.
+    Send {
+        /// Destination key.
+        to: Key,
+        /// Wire-message tag name (static, from the codec).
+        tag: &'static str,
+        /// The frame's message id.
+        msg_id: u64,
+    },
+    /// An expected acknowledgement arrived.
+    Ack {
+        /// The acknowledging peer.
+        from: Key,
+        /// The message id being acknowledged.
+        msg_id: u64,
+    },
+    /// A retry/acknowledgement timer expired without the awaited reply.
+    Timeout {
+        /// What timed out (static timer kind name).
+        what: &'static str,
+        /// Retry attempt number that just failed (1-based).
+        attempt: u32,
+    },
+    /// The local failure detector moved a peer into suspicion.
+    Suspect {
+        /// The suspected peer.
+        peer: Key,
+        /// The incarnation the suspicion is against.
+        incarnation: u64,
+    },
+    /// A node refuted its own rumored death with a fresher incarnation.
+    Refute {
+        /// The refuting (fresher) incarnation.
+        incarnation: u64,
+    },
+    /// A route reached its target.
+    RouteDelivered {
+        /// The route id (origin's message id for the route).
+        route_id: u64,
+    },
+    /// A route was abandoned after exhausting retries.
+    RouteFailed {
+        /// The route id.
+        route_id: u64,
+    },
+    /// An address-resolution (`_discovery`) session started.
+    DiscoveryStart {
+        /// The subject whose address is being resolved.
+        subject: Key,
+    },
+    /// A `_discovery` session resolved the subject's address.
+    DiscoveryResolved {
+        /// The resolved subject.
+        subject: Key,
+        /// Virtual-time ticks from session start to resolution.
+        elapsed: u64,
+    },
+    /// A `_discovery` session gave up without an address.
+    DiscoveryFailed {
+        /// The unresolved subject.
+        subject: Key,
+        /// Virtual-time ticks from session start to abandonment.
+        elapsed: u64,
+    },
+}
+
+impl ObsEventKind {
+    /// Short static name of the event kind, for traces and reports.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            ObsEventKind::Send { .. } => "send",
+            ObsEventKind::Ack { .. } => "ack",
+            ObsEventKind::Timeout { .. } => "timeout",
+            ObsEventKind::Suspect { .. } => "suspect",
+            ObsEventKind::Refute { .. } => "refute",
+            ObsEventKind::RouteDelivered { .. } => "route_delivered",
+            ObsEventKind::RouteFailed { .. } => "route_failed",
+            ObsEventKind::DiscoveryStart { .. } => "discovery_start",
+            ObsEventKind::DiscoveryResolved { .. } => "discovery_resolved",
+            ObsEventKind::DiscoveryFailed { .. } => "discovery_failed",
+        }
+    }
+}
+
+/// Anything that accepts structured protocol events.
+///
+/// Protocol code emits through this trait so it never knows (or cares)
+/// whether events land in a flight recorder, a test assertion, or nowhere.
+pub trait EventSink {
+    /// Accepts one event.
+    fn record(&mut self, event: ObsEvent);
+}
+
+/// A bounded ring buffer of the most recent [`ObsEvent`]s.
+///
+/// When full, the oldest event is overwritten and `dropped` counts how
+/// many were lost — post-mortems see the *end* of the story, which is the
+/// part that explains a failure.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    buf: Vec<ObsEvent>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (capacity ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs capacity >= 1");
+        FlightRecorder {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<ObsEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// The retained events that carry the given trace id, oldest first.
+    pub fn trace(&self, trace: u64) -> Vec<ObsEvent> {
+        self.events().into_iter().filter(|e| e.trace == trace).collect()
+    }
+}
+
+impl EventSink for FlightRecorder {
+    fn record(&mut self, event: ObsEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        // 0 is its own bucket; 1 starts bucket 1; each power of two opens
+        // a new bucket; u64::MAX lands in the last one.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        for i in 1..64 {
+            let p = 1u64 << i;
+            assert_eq!(bucket_of(p - 1), i, "below 2^{i}");
+            assert_eq!(bucket_of(p), i + 1, "at 2^{i}");
+        }
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot(), Snapshot { count: 0, p50: 0, p99: 0, max: 0 });
+    }
+
+    #[test]
+    fn single_value_snapshot_is_exact() {
+        let mut h = Histogram::new();
+        h.record(37);
+        let s = h.snapshot();
+        // 37 is alone in the top non-empty bucket, so quantiles are exact.
+        assert_eq!(s, Snapshot { count: 1, p50: 37, p99: 37, max: 37 });
+    }
+
+    #[test]
+    fn extreme_values_round_trip() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, u64::MAX);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_use_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [3, 3, 3, 3, 3, 3, 3, 3, 3, 200] {
+            h.record(v);
+        }
+        // p50 rank 5 falls in bucket [2,4) → upper bound 3 (exact here).
+        assert_eq!(h.quantile(1, 2), 3);
+        // p99 rank 10 falls in the top bucket → exact max.
+        assert_eq!(h.quantile(99, 100), 200);
+        assert_eq!(h.max(), 200);
+    }
+
+    #[test]
+    fn powers_of_two_separate() {
+        let mut h = Histogram::new();
+        h.record(4); // bucket [4,8)
+        h.record(7); // same bucket
+        h.record(8); // next bucket
+        assert_eq!(h.count(), 3);
+        // Median (rank 2) in bucket [4,8) → upper bound 7.
+        assert_eq!(h.quantile(1, 2), 7);
+        assert_eq!(h.max(), 8);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_latest_and_counts_dropped() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(ObsEvent {
+                at: i,
+                trace: 7,
+                node: Key(1),
+                kind: ObsEventKind::RouteDelivered { route_id: i },
+            });
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let at: Vec<u64> = fr.events().iter().map(|e| e.at).collect();
+        assert_eq!(at, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn trace_filter_selects_by_id() {
+        let mut fr = FlightRecorder::new(8);
+        for (i, tr) in [(0u64, 1u64), (1, 2), (2, 1)] {
+            fr.record(ObsEvent {
+                at: i,
+                trace: tr,
+                node: Key(9),
+                kind: ObsEventKind::DiscoveryStart { subject: Key(4) },
+            });
+        }
+        let t1 = fr.trace(1);
+        assert_eq!(t1.len(), 2);
+        assert!(t1.iter().all(|e| e.trace == 1));
+    }
+}

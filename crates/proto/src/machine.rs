@@ -23,6 +23,7 @@ use bristle_core::time::SimTime;
 use bristle_netsim::graph::RouterId;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
+use bristle_overlay::obs::{ObsEvent, ObsEventKind};
 
 use crate::failure::{
     FailureDetector, FailurePolicy, Liveness, LivenessTransition, TimeoutVerdict,
@@ -274,6 +275,14 @@ pub trait NodeEnv {
     fn apply_publish(&mut self, holder: Key, subject: Key, addr: WireAddr, seq: u64) {
         let _ = (holder, subject, addr, seq);
     }
+    /// Accepts a structured observability event (default: discard).
+    ///
+    /// Emission is unmetered and must never influence protocol
+    /// decisions; drivers override this to feed a flight recorder and
+    /// per-operation latency histograms.
+    fn emit(&mut self, event: ObsEvent) {
+        let _ = event;
+    }
 }
 
 /// A parked forward waiting on an address resolution.
@@ -285,6 +294,8 @@ struct ParkedForward {
     /// Whether this forward already failed once and was re-resolved;
     /// a second failure is final.
     after_failure: bool,
+    /// The causal trace the forward belongs to.
+    trace: u64,
 }
 
 #[derive(Debug)]
@@ -303,6 +314,11 @@ struct DiscSession {
     subject: Key,
     attempt: u32,
     pending: Vec<ParkedForward>,
+    /// Trace of the forward that opened the session (joiners keep their
+    /// own traces on the parked forwards).
+    trace: u64,
+    /// When the session was opened, for resolution-latency events.
+    started: SimTime,
 }
 
 #[derive(Debug)]
@@ -319,6 +335,7 @@ pub struct ProtoMachine {
     policy: RetryPolicy,
     next_msg_id: u64,
     next_session: u64,
+    next_trace: u64,
     /// Receiver-side dedup: (src, msg_id) pairs already processed.
     seen: HashSet<(Key, u64)>,
     hops: HashMap<u64, HopSession>,
@@ -339,6 +356,7 @@ impl ProtoMachine {
             policy,
             next_msg_id: 0,
             next_session: 0,
+            next_trace: 0,
             seen: HashSet::new(),
             hops: HashMap::new(),
             discs: HashMap::new(),
@@ -414,6 +432,34 @@ impl ProtoMachine {
         id
     }
 
+    /// Allocates a causal trace id for an operation this node originates.
+    ///
+    /// Deterministic (a per-node counter mixed with the node key so two
+    /// nodes never mint the same id in practice) and never 0 — trace 0 is
+    /// reserved for background traffic such as heartbeats.
+    fn fresh_trace(&mut self) -> u64 {
+        self.next_trace += 1;
+        (self.key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.next_trace) | 1
+    }
+
+    /// Emits one [`ObsEventKind::Send`] per outgoing frame in `out`.
+    /// Called exactly once per public entry point so every frame — first
+    /// sends, retransmits, acks, replies — is observed.
+    fn observe_sends(&self, now: SimTime, env: &mut dyn NodeEnv, out: &Output) {
+        for o in &out.outgoing {
+            env.emit(ObsEvent {
+                at: now.0,
+                trace: o.env.trace_id,
+                node: self.key,
+                kind: ObsEventKind::Send {
+                    to: o.env.dst,
+                    tag: o.env.msg.tag_name(),
+                    msg_id: o.env.msg_id,
+                },
+            });
+        }
+    }
+
     fn my_router(&self, env: &dyn NodeEnv) -> RouterId {
         env.current_addr(self.key).router_id()
     }
@@ -432,9 +478,12 @@ impl ProtoMachine {
         target: Key,
     ) -> (u64, Output) {
         let route_id = self.fresh_msg_id();
+        let trace = self.fresh_trace();
         let mut out = Output::none();
-        let parked = ParkedForward { origin: self.key, route_id, target, after_failure: false };
+        let parked =
+            ParkedForward { origin: self.key, route_id, target, after_failure: false, trace };
         self.forward_route(now, env, parked, &mut out);
+        self.observe_sends(now, env, &out);
         (route_id, out)
     }
 
@@ -450,6 +499,7 @@ impl ProtoMachine {
         children: &[Key],
     ) -> Output {
         let mut out = Output::none();
+        let trace = self.fresh_trace();
         for &child in children {
             let msg_id = self.fresh_msg_id();
             let to_addr = env.current_addr(child);
@@ -461,6 +511,7 @@ impl ProtoMachine {
                     src: self.key,
                     dst: child,
                     msg_id,
+                    trace_id: trace,
                     msg: WireMessage::Update { subject, addr, seq },
                 },
             };
@@ -471,6 +522,7 @@ impl ProtoMachine {
                 kind: TimerKind::UpdateRetry { msg_id },
             });
         }
+        self.observe_sends(now, env, &out);
         out
     }
 
@@ -484,6 +536,7 @@ impl ProtoMachine {
     ) -> Output {
         let mut out = Output::none();
         let msg_id = self.fresh_msg_id();
+        let trace = self.fresh_trace();
         let to_addr = env.current_addr(target);
         let cost = env.distance(self.my_router(env), to_addr.router_id());
         env.meter(MessageKind::Register, cost);
@@ -493,6 +546,7 @@ impl ProtoMachine {
                 src: self.key,
                 dst: target,
                 msg_id,
+                trace_id: trace,
                 msg: WireMessage::Register { target, capacity },
             },
         };
@@ -502,6 +556,7 @@ impl ProtoMachine {
             at: now.plus(self.policy.ack_timeout),
             kind: TimerKind::RegisterRetry { msg_id },
         });
+        self.observe_sends(now, env, &out);
         out
     }
 
@@ -509,6 +564,7 @@ impl ProtoMachine {
     /// Leave, Refresh — metered as `kind`.
     pub fn send_oneshot(
         &mut self,
+        now: SimTime,
         env: &mut dyn NodeEnv,
         to: Key,
         msg: WireMessage,
@@ -516,11 +572,15 @@ impl ProtoMachine {
     ) -> Output {
         let mut out = Output::none();
         let msg_id = self.fresh_msg_id();
+        let trace = self.fresh_trace();
         let to_addr = env.current_addr(to);
         let cost = env.distance(self.my_router(env), to_addr.router_id());
         env.meter(kind, cost);
-        out.outgoing
-            .push(Outgoing { to_addr, env: Envelope { src: self.key, dst: to, msg_id, msg } });
+        out.outgoing.push(Outgoing {
+            to_addr,
+            env: Envelope { src: self.key, dst: to, msg_id, trace_id: trace, msg },
+        });
+        self.observe_sends(now, env, &out);
         out
     }
 
@@ -538,6 +598,7 @@ impl ProtoMachine {
                 kind: TimerKind::HeartbeatTimeout { peer, seq },
             });
         }
+        self.observe_sends(now, env, &out);
         out
     }
 
@@ -552,6 +613,7 @@ impl ProtoMachine {
                 src: self.key,
                 dst: peer,
                 msg_id,
+                trace_id: 0,
                 msg: WireMessage::Heartbeat { seq, incarnation: self.incarnation },
             },
         });
@@ -563,7 +625,13 @@ impl ProtoMachine {
     /// wrongfully-buried node itself must eventually receive — learning
     /// of its own funeral is what triggers the incarnation bump and the
     /// `Alive` refutation.
-    pub fn notify_suspect(&mut self, env: &mut dyn NodeEnv, to: Key, suspect: Key) -> Output {
+    pub fn notify_suspect(
+        &mut self,
+        now: SimTime,
+        env: &mut dyn NodeEnv,
+        to: Key,
+        suspect: Key,
+    ) -> Output {
         let mut out = Output::none();
         let to_addr = env.current_addr(to);
         let msg_id = self.fresh_msg_id();
@@ -574,25 +642,27 @@ impl ProtoMachine {
                 src: self.key,
                 dst: to,
                 msg_id,
+                trace_id: 0,
                 msg: WireMessage::SuspectNotify { suspect, incarnation },
             },
         });
+        self.observe_sends(now, env, &out);
         out
     }
 
     /// Asserts this node's own liveness at its current incarnation to
     /// `to` (metered as [`MessageKind::Refutation`]).
-    pub fn send_alive(&mut self, env: &mut dyn NodeEnv, to: Key) -> Output {
+    pub fn send_alive(&mut self, now: SimTime, env: &mut dyn NodeEnv, to: Key) -> Output {
         let msg = WireMessage::Alive { node: self.key, incarnation: self.incarnation };
-        self.send_oneshot(env, to, msg, MessageKind::Refutation)
+        self.send_oneshot(now, env, to, msg, MessageKind::Refutation)
     }
 
     /// Asks `sponsor` to reverse this node's funeral — re-admit it to
     /// the overlay at its current incarnation (metered as
     /// [`MessageKind::Rejoin`]).
-    pub fn start_rejoin(&mut self, env: &mut dyn NodeEnv, sponsor: Key) -> Output {
+    pub fn start_rejoin(&mut self, now: SimTime, env: &mut dyn NodeEnv, sponsor: Key) -> Output {
         let msg = WireMessage::Rejoin { incarnation: self.incarnation };
-        self.send_oneshot(env, sponsor, msg, MessageKind::Rejoin)
+        self.send_oneshot(now, env, sponsor, msg, MessageKind::Rejoin)
     }
 
     /// Digests third-party or first-hand evidence that `peer` is alive
@@ -616,10 +686,12 @@ impl ProtoMachine {
 
     /// Feeds one event (delivery or timer) through the machine.
     pub fn poll(&mut self, now: SimTime, event: Event, env: &mut dyn NodeEnv) -> Output {
-        match event {
+        let out = match event {
             Event::Deliver(envelope) => self.on_deliver(now, env, envelope),
             Event::Timer(kind) => self.on_timer(now, env, kind),
-        }
+        };
+        self.observe_sends(now, env, &out);
+        out
     }
 
     // -----------------------------------------------------------------
@@ -635,6 +707,12 @@ impl ProtoMachine {
     ) {
         let ParkedForward { origin, route_id, target, .. } = parked;
         let Some(next) = env.next_hop_mobile(self.key, target) else {
+            env.emit(ObsEvent {
+                at: now.0,
+                trace: parked.trace,
+                node: self.key,
+                kind: ObsEventKind::RouteDelivered { route_id },
+            });
             out.completions.push(Completion::Delivered { origin, route_id });
             return;
         };
@@ -682,6 +760,7 @@ impl ProtoMachine {
                 src: self.key,
                 dst: next,
                 msg_id,
+                trace_id: parked.trace,
                 msg: WireMessage::RouteHop {
                     origin: parked.origin,
                     route_id: parked.route_id,
@@ -727,8 +806,18 @@ impl ProtoMachine {
         }
         let sid = self.next_session;
         self.next_session += 1;
-        self.discs.insert(sid, DiscSession { subject, attempt: 0, pending: vec![parked] });
-        self.emit_discovery(now, env, sid, subject, out);
+        let trace = parked.trace;
+        self.discs.insert(
+            sid,
+            DiscSession { subject, attempt: 0, pending: vec![parked], trace, started: now },
+        );
+        env.emit(ObsEvent {
+            at: now.0,
+            trace,
+            node: self.key,
+            kind: ObsEventKind::DiscoveryStart { subject },
+        });
+        self.emit_discovery(now, env, sid, subject, trace, out);
         out.timers.push(Timer {
             at: now.plus(self.policy.discovery_timeout),
             kind: TimerKind::DiscoveryRetry { session: sid },
@@ -741,6 +830,7 @@ impl ProtoMachine {
         env: &mut dyn NodeEnv,
         sid: u64,
         subject: Key,
+        trace: u64,
         out: &mut Output,
     ) {
         let entry = env.entry_stationary(self.key);
@@ -748,7 +838,7 @@ impl ProtoMachine {
             // We are our own entry point: run the first stationary step
             // locally, exactly as the function path skips the injection
             // hop when `entry == from`.
-            self.handle_discovery(now, env, subject, self.key, sid, None, out);
+            self.handle_discovery(now, env, subject, self.key, sid, None, trace, out);
         } else {
             let to_addr = env.current_addr(entry);
             let cost = env.distance(self.my_router(env), to_addr.router_id());
@@ -760,6 +850,7 @@ impl ProtoMachine {
                     src: self.key,
                     dst: entry,
                     msg_id,
+                    trace_id: trace,
                     msg: WireMessage::Discovery {
                         subject,
                         asker: self.key,
@@ -782,6 +873,7 @@ impl ProtoMachine {
         asker: Key,
         sid: u64,
         probe: Option<Key>,
+        trace: u64,
         out: &mut Output,
     ) {
         let _ = now;
@@ -798,6 +890,7 @@ impl ProtoMachine {
                             src: self.key,
                             dst: nh,
                             msg_id,
+                            trace_id: trace,
                             msg: WireMessage::Discovery {
                                 subject,
                                 asker,
@@ -810,7 +903,7 @@ impl ProtoMachine {
                 }
                 // We own the subject's record space: the route terminus.
                 if let Some(addr) = env.location_record(self.key, subject) {
-                    self.send_reply(env, subject, sid, asker, Some(addr), out);
+                    self.send_reply(env, subject, sid, asker, Some(addr), trace, out);
                     return;
                 }
                 // Miss at the owner: probe successor replicas.
@@ -827,6 +920,7 @@ impl ProtoMachine {
                                 src: self.key,
                                 dst: next_rep,
                                 msg_id,
+                                trace_id: trace,
                                 msg: WireMessage::Discovery {
                                     subject,
                                     asker,
@@ -836,7 +930,7 @@ impl ProtoMachine {
                             },
                         });
                     }
-                    None => self.send_reply(env, subject, sid, asker, None, out),
+                    None => self.send_reply(env, subject, sid, asker, None, trace, out),
                 }
             }
             Some(terminus) => {
@@ -844,7 +938,7 @@ impl ProtoMachine {
                     // Serving from a probed replica rather than the route
                     // terminus: the chain absorbed the primary's miss.
                     env.bump(MessageKind::ReplicaFailover);
-                    self.send_reply(env, subject, sid, asker, Some(addr), out);
+                    self.send_reply(env, subject, sid, asker, Some(addr), trace, out);
                     return;
                 }
                 let replicas = env.replicas(subject);
@@ -865,6 +959,7 @@ impl ProtoMachine {
                                 src: self.key,
                                 dst: r,
                                 msg_id,
+                                trace_id: trace,
                                 msg: WireMessage::Discovery {
                                     subject,
                                     asker,
@@ -887,6 +982,7 @@ impl ProtoMachine {
                                 src: self.key,
                                 dst: terminus,
                                 msg_id,
+                                trace_id: trace,
                                 msg: WireMessage::ProbeMiss { subject, asker, session: sid },
                             },
                         });
@@ -896,6 +992,7 @@ impl ProtoMachine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_reply(
         &mut self,
         env: &mut dyn NodeEnv,
@@ -903,6 +1000,7 @@ impl ProtoMachine {
         sid: u64,
         asker: Key,
         addr: Option<WireAddr>,
+        trace: u64,
         out: &mut Output,
     ) {
         let to_addr = env.current_addr(asker);
@@ -915,6 +1013,7 @@ impl ProtoMachine {
                 src: self.key,
                 dst: asker,
                 msg_id,
+                trace_id: trace,
                 msg: WireMessage::DiscoveryReply { subject, session: sid, addr },
             },
         });
@@ -929,12 +1028,27 @@ impl ProtoMachine {
         out: &mut Output,
     ) {
         let subject = session.subject;
+        let elapsed = now.since(session.started);
         match addr {
             Some(a) => {
+                env.emit(ObsEvent {
+                    at: now.0,
+                    trace: session.trace,
+                    node: self.key,
+                    kind: ObsEventKind::DiscoveryResolved { subject, elapsed },
+                });
                 env.commit_resolution(self.key, subject, a);
                 out.completions.push(Completion::Resolved { subject });
             }
-            None => out.completions.push(Completion::ResolutionFailed { subject }),
+            None => {
+                env.emit(ObsEvent {
+                    at: now.0,
+                    trace: session.trace,
+                    node: self.key,
+                    kind: ObsEventKind::DiscoveryFailed { subject, elapsed },
+                });
+                out.completions.push(Completion::ResolutionFailed { subject });
+            }
         }
         for parked in session.pending {
             // On success the resolved address is also the cached one; on
@@ -953,6 +1067,10 @@ impl ProtoMachine {
         let mut out = Output::none();
         let src = envelope.src;
         let msg_id = envelope.msg_id;
+        // Replies and forwards stay on the causal trace of the frame that
+        // provoked them, so a route and the discovery retries, replica
+        // failovers and refutations it triggers share one trace id.
+        let trace = envelope.trace_id;
         match envelope.msg {
             WireMessage::RouteHop { origin, route_id, target } => {
                 let dup = !self.seen.insert((src, msg_id));
@@ -966,20 +1084,31 @@ impl ProtoMachine {
                         src: self.key,
                         dst: src,
                         msg_id: ack_id,
+                        trace_id: trace,
                         msg: WireMessage::HopAck { acked: msg_id },
                     },
                 });
                 if !dup {
-                    let parked = ParkedForward { origin, route_id, target, after_failure: false };
+                    let parked =
+                        ParkedForward { origin, route_id, target, after_failure: false, trace };
                     self.forward_route(now, env, parked, &mut out);
                 }
             }
             WireMessage::HopAck { acked } => {
-                self.hops.remove(&acked);
+                if self.hops.remove(&acked).is_some() {
+                    env.emit(ObsEvent {
+                        at: now.0,
+                        trace,
+                        node: self.key,
+                        kind: ObsEventKind::Ack { from: src, msg_id: acked },
+                    });
+                }
             }
             WireMessage::Discovery { subject, asker, session, probe } => {
                 if self.seen.insert((src, msg_id)) {
-                    self.handle_discovery(now, env, subject, asker, session, probe, &mut out);
+                    self.handle_discovery(
+                        now, env, subject, asker, session, probe, trace, &mut out,
+                    );
                 }
             }
             WireMessage::DiscoveryReply { subject: _, session, addr } => {
@@ -989,7 +1118,7 @@ impl ProtoMachine {
             }
             WireMessage::ProbeMiss { subject, asker, session } => {
                 if self.seen.insert((src, msg_id)) {
-                    self.send_reply(env, subject, session, asker, None, &mut out);
+                    self.send_reply(env, subject, session, asker, None, trace, &mut out);
                 }
             }
             WireMessage::Register { target, capacity } => {
@@ -1004,12 +1133,19 @@ impl ProtoMachine {
                         src: self.key,
                         dst: src,
                         msg_id: ack_id,
+                        trace_id: trace,
                         msg: WireMessage::RegisterAck { acked: msg_id },
                     },
                 });
             }
             WireMessage::RegisterAck { acked } => {
                 if let Some(s) = self.registers.remove(&acked) {
+                    env.emit(ObsEvent {
+                        at: now.0,
+                        trace,
+                        node: self.key,
+                        kind: ObsEventKind::Ack { from: src, msg_id: acked },
+                    });
                     env.commit_register(self.key, s.peer);
                     out.completions.push(Completion::Registered { target: s.peer });
                 }
@@ -1026,12 +1162,19 @@ impl ProtoMachine {
                         src: self.key,
                         dst: src,
                         msg_id: ack_id,
+                        trace_id: trace,
                         msg: WireMessage::UpdateAck { acked: msg_id },
                     },
                 });
             }
             WireMessage::UpdateAck { acked } => {
                 if let Some(s) = self.updates.remove(&acked) {
+                    env.emit(ObsEvent {
+                        at: now.0,
+                        trace,
+                        node: self.key,
+                        kind: ObsEventKind::Ack { from: src, msg_id: acked },
+                    });
                     out.completions.push(Completion::UpdateAcked { child: s.peer });
                 }
             }
@@ -1069,7 +1212,13 @@ impl ProtoMachine {
                 };
                 out.outgoing.push(Outgoing {
                     to_addr: ack_to,
-                    env: Envelope { src: self.key, dst: src, msg_id: ack_id, msg: reply },
+                    env: Envelope {
+                        src: self.key,
+                        dst: src,
+                        msg_id: ack_id,
+                        trace_id: trace,
+                        msg: reply,
+                    },
                 });
             }
             WireMessage::HeartbeatAck { seq, incarnation } => {
@@ -1086,6 +1235,12 @@ impl ProtoMachine {
                     }
                     let cost = env.distance(self.my_router(env), env.current_addr(src).router_id());
                     env.meter(MessageKind::Refutation, cost);
+                    env.emit(ObsEvent {
+                        at: now.0,
+                        trace,
+                        node: self.key,
+                        kind: ObsEventKind::Refute { incarnation: self.incarnation },
+                    });
                     let reply_id = self.fresh_msg_id();
                     out.outgoing.push(Outgoing {
                         to_addr: env.current_addr(src),
@@ -1093,6 +1248,7 @@ impl ProtoMachine {
                             src: self.key,
                             dst: src,
                             msg_id: reply_id,
+                            trace_id: trace,
                             msg: WireMessage::Alive {
                                 node: self.key,
                                 incarnation: self.incarnation,
@@ -1134,6 +1290,7 @@ impl ProtoMachine {
                         src: self.key,
                         dst: src,
                         msg_id: ack_id,
+                        trace_id: trace,
                         msg: WireMessage::RejoinAck { incarnation },
                     },
                 });
@@ -1167,6 +1324,8 @@ impl ProtoMachine {
                     self.policy,
                     MessageKind::Update,
                     TimerKind::UpdateRetry { msg_id },
+                    self.key,
+                    "update",
                     &mut out,
                     |peer| Completion::UpdateFailed { child: peer },
                 );
@@ -1180,6 +1339,8 @@ impl ProtoMachine {
                     self.policy,
                     MessageKind::Register,
                     TimerKind::RegisterRetry { msg_id },
+                    self.key,
+                    "register",
                     &mut out,
                     |peer| Completion::RegisterFailed { target: peer },
                 );
@@ -1203,6 +1364,12 @@ impl ProtoMachine {
             TimeoutVerdict::Ignore => {}
             TimeoutVerdict::Resend { attempt } => {
                 env.bump(MessageKind::Timeout);
+                env.emit(ObsEvent {
+                    at: now.0,
+                    trace: 0,
+                    node: self.key,
+                    kind: ObsEventKind::Timeout { what: "heartbeat", attempt },
+                });
                 self.push_heartbeat(env, peer, seq, out);
                 let backoff = self.detector.policy().ack_wait << attempt;
                 out.timers.push(Timer {
@@ -1212,9 +1379,27 @@ impl ProtoMachine {
             }
             TimeoutVerdict::Missed { transition } => {
                 env.bump(MessageKind::Timeout);
+                env.emit(ObsEvent {
+                    at: now.0,
+                    trace: 0,
+                    node: self.key,
+                    kind: ObsEventKind::Timeout {
+                        what: "heartbeat",
+                        attempt: self.detector.policy().probe_attempts,
+                    },
+                });
                 match transition {
                     Some(LivenessTransition::Suspected) => {
                         env.bump(MessageKind::SuspectRaised);
+                        env.emit(ObsEvent {
+                            at: now.0,
+                            trace: 0,
+                            node: self.key,
+                            kind: ObsEventKind::Suspect {
+                                peer,
+                                incarnation: self.detector.incarnation_of(peer).unwrap_or(0),
+                            },
+                        });
                         out.completions.push(Completion::PeerSuspected { peer });
                     }
                     Some(LivenessTransition::ConfirmedDead) => {
@@ -1230,7 +1415,16 @@ impl ProtoMachine {
         let Some(session) = self.hops.get_mut(&msg_id) else { return };
         session.attempt += 1;
         if session.attempt < self.policy.max_attempts {
+            let attempt = session.attempt;
+            let trace = session.out.env.trace_id;
             env.bump(MessageKind::Timeout);
+            env.emit(ObsEvent {
+                at: now.0,
+                trace,
+                node: self.key,
+                kind: ObsEventKind::Timeout { what: "hop", attempt },
+            });
+            let session = self.hops.get(&msg_id).expect("session present");
             let cost = env.distance(
                 env.current_addr(session.out.env.src).router_id(),
                 session.out.to_addr.router_id(),
@@ -1243,7 +1437,14 @@ impl ProtoMachine {
         }
         // Retries exhausted.
         let session = self.hops.remove(&msg_id).expect("session present");
+        let trace = session.out.env.trace_id;
         env.bump(MessageKind::Timeout);
+        env.emit(ObsEvent {
+            at: now.0,
+            trace,
+            node: self.key,
+            kind: ObsEventKind::Timeout { what: "hop", attempt: session.attempt },
+        });
         if env.is_mobile(session.next) && !session.after_failure {
             // The peer may have moved out from under us: retry through the
             // stationary layer (the paper's recovery path), once.
@@ -1253,9 +1454,16 @@ impl ProtoMachine {
                 route_id: session.route_id,
                 target: session.target,
                 after_failure: true,
+                trace,
             };
             self.start_discovery(now, env, session.next, parked, out);
         } else {
+            env.emit(ObsEvent {
+                at: now.0,
+                trace,
+                node: self.key,
+                kind: ObsEventKind::RouteFailed { route_id: session.route_id },
+            });
             out.completions.push(Completion::RouteFailed {
                 origin: session.origin,
                 route_id: session.route_id,
@@ -1268,11 +1476,18 @@ impl ProtoMachine {
         let Some(session) = self.discs.get_mut(&sid) else { return };
         session.attempt += 1;
         let subject = session.subject;
+        let trace = session.trace;
         if session.attempt < self.policy.max_attempts {
             let attempt = session.attempt;
             env.bump(MessageKind::Timeout);
             env.bump(MessageKind::DiscoveryRetry);
-            self.emit_discovery(now, env, sid, subject, out);
+            env.emit(ObsEvent {
+                at: now.0,
+                trace,
+                node: self.key,
+                kind: ObsEventKind::Timeout { what: "discovery", attempt },
+            });
+            self.emit_discovery(now, env, sid, subject, trace, out);
             let backoff = self.policy.discovery_timeout << attempt;
             out.timers.push(Timer {
                 at: now.plus(backoff),
@@ -1282,6 +1497,12 @@ impl ProtoMachine {
         }
         env.bump(MessageKind::Timeout);
         let session = self.discs.remove(&sid).expect("session present");
+        env.emit(ObsEvent {
+            at: now.0,
+            trace,
+            node: self.key,
+            kind: ObsEventKind::Timeout { what: "discovery", attempt: session.attempt },
+        });
         self.finish_discovery(now, env, session, None, out);
     }
 
@@ -1294,12 +1515,20 @@ impl ProtoMachine {
         policy: RetryPolicy,
         kind: MessageKind,
         timer_kind: TimerKind,
+        node: Key,
+        what: &'static str,
         out: &mut Output,
         fail: impl Fn(Key) -> Completion,
     ) {
         let Some(session) = sessions.get_mut(&msg_id) else { return };
         session.attempt += 1;
         env.bump(MessageKind::Timeout);
+        env.emit(ObsEvent {
+            at: now.0,
+            trace: session.out.env.trace_id,
+            node,
+            kind: ObsEventKind::Timeout { what, attempt: session.attempt },
+        });
         if session.attempt < policy.max_attempts {
             let cost = env.distance(
                 env.current_addr(session.out.env.src).router_id(),
@@ -1428,8 +1657,13 @@ mod tests {
         assert_eq!(env.meter.count(MessageKind::RouteHop), 1);
         assert_eq!(env.meter.cost(MessageKind::RouteHop), 4);
         let hop_id = out.outgoing[0].env.msg_id;
-        let ack =
-            Envelope { src: B, dst: A, msg_id: 0, msg: WireMessage::HopAck { acked: hop_id } };
+        let ack = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 0,
+            trace_id: 0,
+            msg: WireMessage::HopAck { acked: hop_id },
+        };
         m.poll(t(10), Event::Deliver(ack), &mut env);
         assert_eq!(m.inflight(), 0);
         // The stale timer fires harmlessly.
@@ -1476,6 +1710,7 @@ mod tests {
             src: A,
             dst: B,
             msg_id: 7,
+            trace_id: 0,
             msg: WireMessage::RouteHop { origin: A, route_id: 3, target: B },
         };
         let out1 = m.poll(t(0), Event::Deliver(hop.clone()), &mut env);
@@ -1514,6 +1749,7 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 0,
+            trace_id: 0,
             msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(m_addr) },
         };
         let out = m.poll(t(50), Event::Deliver(reply), &mut env);
@@ -1597,6 +1833,7 @@ mod tests {
             src: A,
             dst: s1,
             msg_id: 0,
+            trace_id: 0,
             msg: WireMessage::Discovery { subject: M, asker: A, session: 9, probe: None },
         };
         let out = m1.poll(t(0), Event::Deliver(q), &mut env);
@@ -1632,6 +1869,7 @@ mod tests {
             src: A,
             dst: s1,
             msg_id: 0,
+            trace_id: 0,
             msg: WireMessage::Discovery { subject: M, asker: A, session: 4, probe: None },
         };
         let out = m1.poll(t(0), Event::Deliver(q), &mut env);
@@ -1755,6 +1993,7 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 50,
+            trace_id: 0,
             msg: WireMessage::DiscoveryReply {
                 subject: M,
                 session: sid,
@@ -1794,6 +2033,7 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 0,
+            trace_id: 0,
             msg: WireMessage::DiscoveryReply {
                 subject: M,
                 session: sid,
@@ -1875,7 +2115,7 @@ mod tests {
         let mut origin = ProtoMachine::new(A, policy());
         let mut receiver = ProtoMachine::new(B, policy());
         receiver.monitor(M);
-        let out = origin.notify_suspect(&mut env, B, M);
+        let out = origin.notify_suspect(t(0), &mut env, B, M);
         assert_eq!(env.meter.total_messages(), 0, "verdict spreading is unmetered");
         let notice = out.outgoing[0].env.clone();
         let r1 = receiver.poll(t(0), Event::Deliver(notice.clone()), &mut env);
@@ -1901,7 +2141,7 @@ mod tests {
 
         // A third party convinces A that B is dead (wrongfully: B is
         // merely beyond a partition).
-        let notice = herald.notify_suspect(&mut env, A, B).outgoing[0].env.clone();
+        let notice = herald.notify_suspect(t(0), &mut env, A, B).outgoing[0].env.clone();
         a.poll(t(0), Event::Deliver(notice), &mut env);
         assert_eq!(a.liveness(B), Some(Liveness::Dead));
 
@@ -1940,11 +2180,11 @@ mod tests {
         let mut rejoiner = ProtoMachine::new(A, policy());
         let mut sponsor = ProtoMachine::new(B, policy());
         // A's funeral was charged to incarnation 0; learning of it bumps.
-        let notice = sponsor.notify_suspect(&mut env, A, A).outgoing[0].env.clone();
+        let notice = sponsor.notify_suspect(t(0), &mut env, A, A).outgoing[0].env.clone();
         rejoiner.poll(t(0), Event::Deliver(notice), &mut env);
         assert_eq!(rejoiner.incarnation(), 1);
 
-        let ask = rejoiner.start_rejoin(&mut env, B).outgoing[0].env.clone();
+        let ask = rejoiner.start_rejoin(t(1), &mut env, B).outgoing[0].env.clone();
         assert_eq!(env.meter.count(MessageKind::Rejoin), 1);
         let out = sponsor.poll(t(1), Event::Deliver(ask.clone()), &mut env);
         assert_eq!(out.completions, vec![Completion::RejoinRequested { peer: A, incarnation: 1 }]);
@@ -1969,10 +2209,11 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 50,
+            trace_id: 0,
             msg: WireMessage::Alive { node: M, incarnation: 2 },
         };
         a.poll(t(0), Event::Deliver(alive), &mut env);
-        let notice = herald.notify_suspect(&mut env, A, M).outgoing[0].env.clone();
+        let notice = herald.notify_suspect(t(1), &mut env, A, M).outgoing[0].env.clone();
         // The herald never saw M, so its verdict is charged to
         // incarnation 0 — stale against A's knowledge.
         a.poll(t(1), Event::Deliver(notice), &mut env);
@@ -1982,6 +2223,7 @@ mod tests {
             src: B,
             dst: A,
             msg_id: 51,
+            trace_id: 0,
             msg: WireMessage::Alive { node: M, incarnation: 2 },
         };
         let out = a.poll(t(2), Event::Deliver(stale_alive), &mut env);

@@ -351,7 +351,13 @@ mod tests {
     }
 
     fn envelope(id: u64) -> Envelope {
-        Envelope { src: Key(1), dst: Key(2), msg_id: id, msg: WireMessage::Refresh { key: Key(1) } }
+        Envelope {
+            src: Key(1),
+            dst: Key(2),
+            msg_id: id,
+            trace_id: 0,
+            msg: WireMessage::Refresh { key: Key(1) },
+        }
     }
 
     #[test]

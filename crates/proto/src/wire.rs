@@ -227,6 +227,31 @@ impl WireMessage {
             WireMessage::RejoinAck { .. } => 18,
         }
     }
+
+    /// Static name of the variant, for traces, events and run reports.
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            WireMessage::RouteHop { .. } => "RouteHop",
+            WireMessage::HopAck { .. } => "HopAck",
+            WireMessage::Discovery { .. } => "Discovery",
+            WireMessage::DiscoveryReply { .. } => "DiscoveryReply",
+            WireMessage::ProbeMiss { .. } => "ProbeMiss",
+            WireMessage::Register { .. } => "Register",
+            WireMessage::RegisterAck { .. } => "RegisterAck",
+            WireMessage::Update { .. } => "Update",
+            WireMessage::UpdateAck { .. } => "UpdateAck",
+            WireMessage::Publish { .. } => "Publish",
+            WireMessage::JoinProbe { .. } => "JoinProbe",
+            WireMessage::Leave { .. } => "Leave",
+            WireMessage::Refresh { .. } => "Refresh",
+            WireMessage::Heartbeat { .. } => "Heartbeat",
+            WireMessage::HeartbeatAck { .. } => "HeartbeatAck",
+            WireMessage::SuspectNotify { .. } => "SuspectNotify",
+            WireMessage::Alive { .. } => "Alive",
+            WireMessage::Rejoin { .. } => "Rejoin",
+            WireMessage::RejoinAck { .. } => "RejoinAck",
+        }
+    }
 }
 
 /// A message addressed between two overlay nodes.
@@ -239,6 +264,12 @@ pub struct Envelope {
     /// Sender-scoped message id; retransmissions reuse it, so
     /// `(src, msg_id)` is the receiver's deduplication key.
     pub msg_id: u64,
+    /// Causal trace id: every frame a logical operation (a route, an
+    /// update) triggers — including `_discovery` retries, replica
+    /// failovers and refutations — carries the originating operation's
+    /// trace id, so a flight recorder can replay one operation's whole
+    /// story. 0 means background traffic with no originating operation.
+    pub trace_id: u64,
     /// The payload.
     pub msg: WireMessage,
 }
@@ -359,12 +390,14 @@ impl<'a> Reader<'a> {
 }
 
 impl Envelope {
-    /// Serializes the envelope: `src, dst, msg_id` then a tagged message.
+    /// Serializes the envelope: `src, dst, msg_id, trace_id` then a
+    /// tagged message.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer(Vec::with_capacity(64));
         w.key(self.src);
         w.key(self.dst);
         w.u64(self.msg_id);
+        w.u64(self.trace_id);
         w.u8(self.msg.tag());
         match &self.msg {
             WireMessage::RouteHop { origin, route_id, target } => {
@@ -427,6 +460,7 @@ impl Envelope {
         let src = r.key()?;
         let dst = r.key()?;
         let msg_id = r.u64()?;
+        let trace_id = r.u64()?;
         let tag = r.u8()?;
         let msg = match tag {
             0 => WireMessage::RouteHop { origin: r.key()?, route_id: r.u64()?, target: r.key()? },
@@ -462,7 +496,7 @@ impl Envelope {
         if r.pos != bytes.len() {
             return Err(WireError::TrailingBytes(bytes.len() - r.pos));
         }
-        Ok(Envelope { src, dst, msg_id, msg })
+        Ok(Envelope { src, dst, msg_id, trace_id, msg })
     }
 }
 
@@ -522,7 +556,13 @@ mod tests {
     #[test]
     fn every_variant_reencodes_byte_identically() {
         for (i, msg) in every_message().into_iter().enumerate() {
-            let env = Envelope { src: Key(300 + i as u64), dst: Key(400), msg_id: i as u64, msg };
+            let env = Envelope {
+                src: Key(300 + i as u64),
+                dst: Key(400),
+                msg_id: i as u64,
+                trace_id: 9,
+                msg,
+            };
             let bytes = env.encode();
             let back = Envelope::decode(&bytes).expect("decodes");
             assert_eq!(back.encode(), bytes, "variant {i} re-encode differs");
@@ -532,7 +572,13 @@ mod tests {
     #[test]
     fn every_variant_round_trips() {
         for (i, msg) in every_message().into_iter().enumerate() {
-            let env = Envelope { src: Key(100 + i as u64), dst: Key(200), msg_id: i as u64, msg };
+            let env = Envelope {
+                src: Key(100 + i as u64),
+                dst: Key(200),
+                msg_id: i as u64,
+                trace_id: 8,
+                msg,
+            };
             let bytes = env.encode();
             let back = Envelope::decode(&bytes).expect("decodes");
             assert_eq!(back, env, "variant {i}");
@@ -551,7 +597,7 @@ mod tests {
     #[test]
     fn truncation_at_every_length_is_an_error_not_a_panic() {
         for msg in every_message() {
-            let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, msg };
+            let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, trace_id: 4, msg };
             let bytes = env.encode();
             for cut in 0..bytes.len() {
                 assert_eq!(Envelope::decode(&bytes[..cut]), Err(WireError::Truncated), "cut {cut}");
@@ -565,6 +611,7 @@ mod tests {
             src: Key(1),
             dst: Key(2),
             msg_id: 3,
+            trace_id: 4,
             msg: WireMessage::Leave { key: Key(4) },
         };
         let mut bytes = env.encode();
@@ -578,10 +625,11 @@ mod tests {
             src: Key(1),
             dst: Key(2),
             msg_id: 3,
+            trace_id: 4,
             msg: WireMessage::Leave { key: Key(4) },
         };
         let mut bytes = env.encode();
-        bytes[24] = 200; // tag byte follows src+dst+msg_id
+        bytes[32] = 200; // tag byte follows src+dst+msg_id+trace_id
         assert_eq!(Envelope::decode(&bytes), Err(WireError::BadTag(200)));
     }
 
@@ -591,6 +639,7 @@ mod tests {
             src: Key(1),
             dst: Key(2),
             msg_id: 3,
+            trace_id: 4,
             msg: WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: None },
         };
         let mut bytes = env.encode();

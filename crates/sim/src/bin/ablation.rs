@@ -1,9 +1,12 @@
 //! Runs the ablation studies (substrate comparison, LDT fan-out, binding
-//! modes). `--paper` for larger populations.
+//! modes). `--paper` for larger populations; `--json <path>` also writes
+//! a machine-readable run report.
 use bristle_sim::experiments::{ablation, Scale};
+use bristle_sim::runreport::{json_arg, Json, RunReport};
 
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
+    let json_path = json_arg(std::env::args().skip(1));
     let cfg = match scale {
         Scale::Quick => ablation::AblationConfig::quick(),
         Scale::Paper => ablation::AblationConfig::paper(),
@@ -17,4 +20,60 @@ fn main() {
     ablation::to_table_binding(&result).print();
     println!();
     ablation::to_table_query_modes(&result).print();
+    if let Some(path) = json_path {
+        // Ablation runs have no message-passing driver, so cells carry
+        // study rows only — no meter tallies, no latency histograms.
+        let mut report = RunReport::new("ablation", cfg.seed);
+        for row in &result.substrates {
+            report.push_cell(
+                Json::obj([("study", Json::Str("substrate".into()))]),
+                &[],
+                &[],
+                Json::obj([
+                    ("name", Json::Str(row.name.into())),
+                    ("state_per_node", Json::F64(row.state_per_node)),
+                    ("route_hops", Json::F64(row.route_hops)),
+                ]),
+            );
+        }
+        for row in &result.fanout {
+            report.push_cell(
+                Json::obj([("study", Json::Str("fanout".into()))]),
+                &[],
+                &[],
+                Json::obj([
+                    ("unit_cost", Json::U64(row.unit_cost as u64)),
+                    ("depth", Json::U64(row.depth as u64)),
+                    ("max_fanout", Json::U64(row.max_fanout as u64)),
+                ]),
+            );
+        }
+        for row in &result.binding {
+            report.push_cell(
+                Json::obj([("study", Json::Str("binding".into()))]),
+                &[],
+                &[],
+                Json::obj([
+                    ("name", Json::Str(row.name.into())),
+                    ("proactive_msgs", Json::U64(row.proactive_msgs)),
+                    ("discoveries", Json::F64(row.discoveries)),
+                    ("route_hops", Json::F64(row.route_hops)),
+                ]),
+            );
+        }
+        for row in &result.query_modes {
+            report.push_cell(
+                Json::obj([("study", Json::Str("query_mode".into()))]),
+                &[],
+                &[],
+                Json::obj([
+                    ("name", Json::Str(row.name.into())),
+                    ("cost_per_query", Json::F64(row.cost_per_query)),
+                    ("msgs_per_query", Json::F64(row.msgs_per_query)),
+                ]),
+            );
+        }
+        report.write_to(&path).expect("run report written");
+        eprintln!("run report: {}", path.display());
+    }
 }

@@ -5,14 +5,17 @@
 use bristle_sim::experiments::Scale;
 use bristle_sim::partition::{run_partition, PartitionConfig};
 use bristle_sim::report::{pct, Table};
+use bristle_sim::runreport::{json_arg, Json, RunReport};
 
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
+    let json_path = json_arg(std::env::args().skip(1));
     let (stationary, mobile) = match scale {
         Scale::Quick => (36, 14),
         Scale::Paper => (90, 40),
     };
     eprintln!("partition: {stationary}+{mobile} nodes per cell");
+    let mut report = RunReport::new("partition", 8);
 
     let mut table = Table::new(
         "Partition tolerance — wrongful death and recovery vs cut duration × loss",
@@ -41,6 +44,28 @@ fn main() {
             let out = run_partition(&cfg);
             all_recovered &= out.rejoined == out.wrongful_deaths && out.delivery_recovered(0.01);
             all_reconciled &= out.reconciled;
+            report.push_cell(
+                Json::obj([
+                    ("partition_rounds", Json::U64(partition_rounds as u64)),
+                    ("loss", Json::F64(loss)),
+                    ("stationary", Json::U64(stationary as u64)),
+                    ("mobile", Json::U64(mobile as u64)),
+                ]),
+                &out.tallies,
+                &out.latencies,
+                Json::obj([
+                    ("far_side", Json::U64(out.far_side as u64)),
+                    ("wrongful_deaths", Json::U64(out.wrongful_deaths as u64)),
+                    ("rejoined", Json::U64(out.rejoined as u64)),
+                    ("recovery_rounds_used", Json::U64(out.recovery_rounds_used as u64)),
+                    ("max_rejoin_latency", Json::U64(out.max_rejoin_latency)),
+                    ("refutations", Json::U64(out.refutations)),
+                    ("rejoin_messages", Json::U64(out.rejoin_messages)),
+                    ("pre_rate", Json::F64(out.pre_rate())),
+                    ("post_rate", Json::F64(out.post_rate())),
+                    ("reconciled", Json::Bool(out.reconciled)),
+                ]),
+            );
             table.row(vec![
                 partition_rounds.to_string(),
                 pct(loss),
@@ -72,4 +97,8 @@ fn main() {
         "split-brain records reconciled to the incarnation maximum: {}",
         if all_reconciled { "ok in all cells" } else { "VIOLATED" }
     );
+    if let Some(path) = json_path {
+        report.write_to(&path).expect("run report written");
+        eprintln!("run report: {}", path.display());
+    }
 }

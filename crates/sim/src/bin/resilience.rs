@@ -7,14 +7,17 @@ use bristle_sim::churn::ChurnModel;
 use bristle_sim::experiments::Scale;
 use bristle_sim::report::{f2, pct, Table};
 use bristle_sim::resilience::{run_churn_messaging, ResilienceConfig};
+use bristle_sim::runreport::{json_arg, Json, RunReport};
 
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
+    let json_path = json_arg(std::env::args().skip(1));
     let (stationary, mobile, events) = match scale {
         Scale::Quick => (36, 14, 18),
         Scale::Paper => (90, 40, 60),
     };
     eprintln!("resilience: {stationary}+{mobile} nodes, {events} churn events per cell");
+    let mut report = RunReport::new("resilience", 8);
 
     let mut table = Table::new(
         "Churn resilience — delivery, staleness and repair vs fail weight × loss",
@@ -43,6 +46,30 @@ fn main() {
                 ChurnModel { mean_interval: 50, join_weight: 4, leave_weight: 3, fail_weight };
             let out = run_churn_messaging(&cfg);
             all_invariants_ok &= out.invariant_ok;
+            report.push_cell(
+                Json::obj([
+                    ("fail_weight", Json::U64(fail_weight as u64)),
+                    ("loss", Json::F64(loss)),
+                    ("stationary", Json::U64(stationary as u64)),
+                    ("mobile", Json::U64(mobile as u64)),
+                    ("events", Json::U64(events as u64)),
+                ]),
+                &out.tallies,
+                &out.latencies,
+                Json::obj([
+                    ("delivery_rate", Json::F64(out.delivery_rate())),
+                    ("routes_attempted", Json::U64(out.routes_attempted as u64)),
+                    ("routes_delivered", Json::U64(out.routes_delivered as u64)),
+                    ("discoveries", Json::U64(out.discoveries as u64)),
+                    ("stale_answers", Json::U64(out.stale_answers as u64)),
+                    ("fails", Json::U64(out.fails as u64)),
+                    ("deaths_confirmed", Json::U64(out.deaths_confirmed as u64)),
+                    ("detection_rounds", Json::U64(out.detection_rounds as u64)),
+                    ("ldts_repaired", Json::U64(out.ldts_repaired as u64)),
+                    ("repairs_expected", Json::U64(out.repairs_expected as u64)),
+                    ("invariant_ok", Json::Bool(out.invariant_ok)),
+                ]),
+            );
             let heartbeats = out
                 .tallies
                 .iter()
@@ -73,4 +100,8 @@ fn main() {
         "root-reachability invariant after every repair: {}",
         if all_invariants_ok { "ok in all cells" } else { "VIOLATED" }
     );
+    if let Some(path) = json_path {
+        report.write_to(&path).expect("run report written");
+        eprintln!("run report: {}", path.display());
+    }
 }

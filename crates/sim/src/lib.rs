@@ -30,6 +30,7 @@ pub mod mobility;
 pub mod partition;
 pub mod report;
 pub mod resilience;
+pub mod runreport;
 pub mod scenario;
 pub mod workload;
 

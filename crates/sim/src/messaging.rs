@@ -28,6 +28,9 @@ use bristle_core::time::SimTime;
 use bristle_netsim::graph::RouterId;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
+use bristle_overlay::obs::{
+    EventSink, FlightRecorder, Histogram as LatencyHistogram, ObsEvent, ObsEventKind, Snapshot,
+};
 use bristle_proto::failure::FailurePolicy;
 use bristle_proto::machine::{
     Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind,
@@ -150,6 +153,86 @@ pub struct MessagingRouteReport {
     pub events: u64,
 }
 
+/// How many structured events the driver's flight recorder retains.
+/// Large enough to hold a whole operation's causal neighborhood at the
+/// paper's scales; old events are overwritten (and counted) beyond it.
+const FLIGHT_RECORDER_CAPACITY: usize = 4096;
+
+/// Driver-side observability state: the flight recorder plus the
+/// per-operation latency histograms the run reports are built from.
+/// All latencies are micro-clock ticks (the driver's [`EventQueue`]
+/// time scale, not the coarse lease clock).
+#[derive(Debug)]
+pub struct ObsCollector {
+    /// Bounded ring of recent structured protocol events.
+    pub flight: FlightRecorder,
+    /// Route start → delivery-at-owner latency.
+    pub route_latency: LatencyHistogram,
+    /// `_discovery` session start → resolution (or abandonment) latency.
+    pub discovery_latency: LatencyHistogram,
+    /// Update-dissemination start → every edge settled latency.
+    pub dissemination_latency: LatencyHistogram,
+    /// Failure-detection latency: first suspicion → confirmed dead.
+    pub detection_latency: LatencyHistogram,
+    /// Partition-recovery latency: wrongful burial → funeral reversed.
+    pub rejoin_latency: LatencyHistogram,
+    /// Micro-time each peer was first suspected, pending confirmation.
+    suspected_at: HashMap<Key, u64>,
+}
+
+impl Default for ObsCollector {
+    fn default() -> Self {
+        ObsCollector {
+            flight: FlightRecorder::new(FLIGHT_RECORDER_CAPACITY),
+            route_latency: LatencyHistogram::new(),
+            discovery_latency: LatencyHistogram::new(),
+            dissemination_latency: LatencyHistogram::new(),
+            detection_latency: LatencyHistogram::new(),
+            rejoin_latency: LatencyHistogram::new(),
+            suspected_at: HashMap::new(),
+        }
+    }
+}
+
+impl ObsCollector {
+    /// Digests one machine-emitted event: records it in the flight
+    /// recorder and folds resolution latencies / suspicion timestamps
+    /// into the histograms.
+    fn observe(&mut self, event: ObsEvent) {
+        match event.kind {
+            ObsEventKind::DiscoveryResolved { elapsed, .. }
+            | ObsEventKind::DiscoveryFailed { elapsed, .. } => {
+                self.discovery_latency.record(elapsed);
+            }
+            ObsEventKind::Suspect { peer, .. } => {
+                self.suspected_at.entry(peer).or_insert(event.at);
+            }
+            _ => {}
+        }
+        self.flight.record(event);
+    }
+
+    /// Records suspect→confirmed latency for `key` if a machine reported
+    /// suspicion of it earlier (first suspicion wins), and forgets the
+    /// pending suspicion either way.
+    fn confirm_detection(&mut self, key: Key, now: u64) {
+        if let Some(at) = self.suspected_at.remove(&key) {
+            self.detection_latency.record(now.saturating_sub(at));
+        }
+    }
+
+    /// Named snapshots of every latency histogram, in report order.
+    pub fn latency_snapshots(&self) -> Vec<(&'static str, Snapshot)> {
+        vec![
+            ("route", self.route_latency.snapshot()),
+            ("discovery", self.discovery_latency.snapshot()),
+            ("dissemination", self.dissemination_latency.snapshot()),
+            ("detection", self.detection_latency.snapshot()),
+            ("rejoin", self.rejoin_latency.snapshot()),
+        ]
+    }
+}
+
 /// The machines' window onto the shared system: every [`NodeEnv`] query
 /// or commit maps onto the exact state the function-call path reads and
 /// writes, which is what makes the meter tallies comparable.
@@ -159,6 +242,8 @@ struct SystemEnv<'a> {
     /// may still address them (that is the point of crash *detection*),
     /// and the transport needs a router to deliver the doomed bytes to.
     tombstones: &'a HashMap<Key, WireAddr>,
+    /// Destination for machine-emitted structured events.
+    obs: &'a mut ObsCollector,
 }
 
 /// Where mail for a node nobody ever knew goes: a syntactically valid
@@ -302,6 +387,10 @@ impl NodeEnv for SystemEnv<'_> {
             }
         }
     }
+
+    fn emit(&mut self, event: ObsEvent) {
+        self.obs.observe(event);
+    }
 }
 
 /// A [`BristleSystem`] driven entirely by messages over a
@@ -326,6 +415,8 @@ pub struct MessagingBristleSystem {
     wrongly_buried: BTreeMap<Key, WrongfulBurial>,
     /// Every funeral reversed so far, in rejoin order.
     rejoin_log: Vec<RejoinRecord>,
+    /// Flight recorder and latency histograms for this run.
+    obs: ObsCollector,
 }
 
 impl MessagingBristleSystem {
@@ -357,6 +448,7 @@ impl MessagingBristleSystem {
             tombstones: HashMap::new(),
             wrongly_buried: BTreeMap::new(),
             rejoin_log: Vec::new(),
+            obs: ObsCollector::default(),
         }
     }
 
@@ -372,6 +464,12 @@ impl MessagingBristleSystem {
     /// The transport (for its trace).
     pub fn transport(&self) -> &SimTransport {
         &self.transport
+    }
+
+    /// The run's observability state: flight recorder and latency
+    /// histograms.
+    pub fn obs(&self) -> &ObsCollector {
+        &self.obs
     }
 
     /// The driver's micro-clock.
@@ -550,7 +648,11 @@ impl MessagingBristleSystem {
             let now = self.queue.now();
             let out = {
                 let Some(machine) = self.machines.get_mut(&w) else { continue };
-                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                let mut env = SystemEnv {
+                    sys: &mut self.sys,
+                    tombstones: &self.tombstones,
+                    obs: &mut self.obs,
+                };
                 machine.start_heartbeats(now, &mut env)
             };
             self.dispatch(w, out);
@@ -600,10 +702,15 @@ impl MessagingBristleSystem {
         for &f in &buried {
             let Some(announcer) = self.pick_announcer(f) else { continue };
             sponsors.insert(f, announcer);
+            let now = self.queue.now();
             let out = {
                 let Some(machine) = self.machines.get_mut(&announcer) else { continue };
-                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
-                machine.notify_suspect(&mut env, f, f)
+                let mut env = SystemEnv {
+                    sys: &mut self.sys,
+                    tombstones: &self.tombstones,
+                    obs: &mut self.obs,
+                };
+                machine.notify_suspect(now, &mut env, f, f)
             };
             self.dispatch(announcer, out);
         }
@@ -623,10 +730,15 @@ impl MessagingBristleSystem {
             if !refuted {
                 continue;
             }
+            let now = self.queue.now();
             let out = {
                 let Some(machine) = self.machines.get_mut(&f) else { continue };
-                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
-                machine.start_rejoin(&mut env, sponsor)
+                let mut env = SystemEnv {
+                    sys: &mut self.sys,
+                    tombstones: &self.tombstones,
+                    obs: &mut self.obs,
+                };
+                machine.start_rejoin(now, &mut env, sponsor)
             };
             self.dispatch(f, out);
         }
@@ -652,10 +764,12 @@ impl MessagingBristleSystem {
                 continue;
             }
             self.sys.meter.bump(MessageKind::WrongfulDeath, 1);
+            let rejoined_at = self.queue.now();
+            self.obs.rejoin_latency.record(rejoined_at.since(burial.at));
             self.rejoin_log.push(RejoinRecord {
                 key: peer,
                 buried_at: burial.at,
-                rejoined_at: self.queue.now(),
+                rejoined_at,
                 incarnation: report.incarnation,
             });
         }
@@ -717,10 +831,15 @@ impl MessagingBristleSystem {
         unconvinced.sort_unstable();
         if let Some(&herald) = believers.first() {
             for &peer in &unconvinced {
+                let now = self.queue.now();
                 let out = {
                     let Some(machine) = self.machines.get_mut(&herald) else { break };
-                    let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
-                    machine.notify_suspect(&mut env, peer, key)
+                    let mut env = SystemEnv {
+                        sys: &mut self.sys,
+                        tombstones: &self.tombstones,
+                        obs: &mut self.obs,
+                    };
+                    machine.notify_suspect(now, &mut env, peer, key)
                 };
                 self.dispatch(herald, out);
             }
@@ -739,7 +858,9 @@ impl MessagingBristleSystem {
                 WrongfulBurial { incarnation, at: self.queue.now(), announcers: believers },
             );
         }
-        self.sys.confirm_dead(key).map_err(|_| MessagingError::UnknownNode(key))
+        let report = self.sys.confirm_dead(key).map_err(|_| MessagingError::UnknownNode(key))?;
+        self.obs.confirm_detection(key, self.queue.now().0);
+        Ok(report)
     }
 
     /// Routes a message from `src` toward `target` entirely by message
@@ -753,13 +874,15 @@ impl MessagingBristleSystem {
         let now = self.queue.now();
         let (route_id, out) = {
             let machine = machine_entry(&mut self.machines, src, self.policy, self.failure_policy);
-            let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+            let mut env =
+                SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones, obs: &mut self.obs };
             machine.start_route(now, &mut env, target)
         };
         self.dispatch(src, out);
         let mut events = 0u64;
         loop {
             if let Some(done) = self.take_route_completion(src, route_id)? {
+                self.obs.route_latency.record(done.since(now));
                 return Ok(MessagingRouteReport { route_id, delivered_at: done, events });
             }
             if events >= MAX_EVENTS_PER_OP {
@@ -783,6 +906,7 @@ impl MessagingBristleSystem {
             info.host,
             &self.sys.attachments,
         ));
+        let started = self.queue.now();
         let mut by_parent: Vec<(Key, Vec<Key>)> = Vec::new();
         for (parent, child) in ldt.edges() {
             match by_parent.iter_mut().find(|(p, _)| *p == parent) {
@@ -802,7 +926,11 @@ impl MessagingBristleSystem {
             let out = {
                 let machine =
                     machine_entry(&mut self.machines, parent, self.policy, self.failure_policy);
-                let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                let mut env = SystemEnv {
+                    sys: &mut self.sys,
+                    tombstones: &self.tombstones,
+                    obs: &mut self.obs,
+                };
                 machine.start_update(now, &mut env, key, addr, info.seq, &children)
             };
             self.dispatch(parent, out);
@@ -838,6 +966,9 @@ impl MessagingBristleSystem {
             }
             events += 1;
         }
+        if expected > 0 {
+            self.obs.dissemination_latency.record(self.queue.now().since(started));
+        }
         Ok(acked)
     }
 
@@ -854,7 +985,8 @@ impl MessagingBristleSystem {
         let now = self.queue.now();
         let out = {
             let machine = machine_entry(&mut self.machines, who, self.policy, self.failure_policy);
-            let mut env = SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+            let mut env =
+                SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones, obs: &mut self.obs };
             machine.start_register(now, &mut env, target, info.capacity)
         };
         self.dispatch(who, out);
@@ -929,8 +1061,11 @@ impl MessagingBristleSystem {
                             self.policy,
                             self.failure_policy,
                         );
-                        let mut env =
-                            SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                        let mut env = SystemEnv {
+                            sys: &mut self.sys,
+                            tombstones: &self.tombstones,
+                            obs: &mut self.obs,
+                        };
                         machine.poll(now, Event::Deliver(d.env), &mut env)
                     };
                     self.dispatch(dst, out);
@@ -939,8 +1074,11 @@ impl MessagingBristleSystem {
             MsgEvent::Timer { node, kind } => {
                 if let Some(machine) = self.machines.get_mut(&node) {
                     let out = {
-                        let mut env =
-                            SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones };
+                        let mut env = SystemEnv {
+                            sys: &mut self.sys,
+                            tombstones: &self.tombstones,
+                            obs: &mut self.obs,
+                        };
                         machine.poll(now, Event::Timer(kind), &mut env)
                     };
                     self.dispatch(node, out);

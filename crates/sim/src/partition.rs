@@ -28,6 +28,7 @@ use bristle_netsim::rng::Pcg64;
 use bristle_netsim::transit_stub::TransitStubConfig;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::{MessageKind, ALL_KINDS};
+use bristle_overlay::obs::Snapshot;
 use bristle_proto::transport::{FaultConfig, LinkFilter};
 
 use crate::messaging::MessagingBristleSystem;
@@ -105,6 +106,10 @@ pub struct PartitionOutcome {
     pub anti_entropy_fixes: usize,
     /// Per-kind meter `(kind, count, cost)` at the end of the run.
     pub tallies: Vec<(MessageKind, u64, u64)>,
+    /// Named latency-histogram snapshots from the driver's collector
+    /// (micro-clock ticks; see
+    /// [`ObsCollector`](crate::messaging::ObsCollector)).
+    pub latencies: Vec<(&'static str, Snapshot)>,
 }
 
 impl PartitionOutcome {
@@ -211,6 +216,7 @@ pub fn run_partition(cfg: &PartitionConfig) -> PartitionOutcome {
         reconciled: true,
         anti_entropy_fixes: 0,
         tallies: Vec::new(),
+        latencies: Vec::new(),
     };
 
     // Fixed endpoint pairs, measured identically before and after.
@@ -317,6 +323,7 @@ pub fn run_partition(cfg: &PartitionConfig) -> PartitionOutcome {
     out.rejoin_messages = msys.sys.meter.count(MessageKind::Rejoin);
     out.tallies =
         ALL_KINDS.iter().map(|&k| (k, msys.sys.meter.count(k), msys.sys.meter.cost(k))).collect();
+    out.latencies = msys.obs().latency_snapshots();
     out
 }
 

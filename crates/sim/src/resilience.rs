@@ -26,6 +26,7 @@ use bristle_netsim::transit_stub::TransitStubConfig;
 use bristle_overlay::addr::NetAddr;
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::{MessageKind, ALL_KINDS};
+use bristle_overlay::obs::Snapshot;
 use bristle_proto::transport::FaultConfig;
 
 use crate::churn::{ChurnAction, ChurnModel};
@@ -123,6 +124,10 @@ pub struct ResilienceOutcome {
     pub anti_entropy_fixes: usize,
     /// Per-kind meter `(kind, count, cost)` at the end of the run.
     pub tallies: Vec<(MessageKind, u64, u64)>,
+    /// Named latency-histogram snapshots from the driver's collector
+    /// (micro-clock ticks; see
+    /// [`ObsCollector`](crate::messaging::ObsCollector)).
+    pub latencies: Vec<(&'static str, Snapshot)>,
 }
 
 impl ResilienceOutcome {
@@ -262,6 +267,7 @@ pub fn run_churn_messaging(cfg: &ResilienceConfig) -> ResilienceOutcome {
         replica_failovers: 0,
         anti_entropy_fixes: 0,
         tallies: Vec::new(),
+        latencies: Vec::new(),
     };
     let failovers_before = msys.sys.meter.count(MessageKind::ReplicaFailover);
     // Crashes injected but not yet confirmed dead.
@@ -391,6 +397,7 @@ pub fn run_churn_messaging(cfg: &ResilienceConfig) -> ResilienceOutcome {
     out.replica_failovers = msys.sys.meter.count(MessageKind::ReplicaFailover) - failovers_before;
     out.tallies =
         ALL_KINDS.iter().map(|&k| (k, msys.sys.meter.count(k), msys.sys.meter.cost(k))).collect();
+    out.latencies = msys.obs().latency_snapshots();
     out
 }
 
