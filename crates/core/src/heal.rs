@@ -12,6 +12,7 @@
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
 
+use crate::durable::{self, WalRecord};
 use crate::error::Result;
 use crate::ldt::Ldt;
 use crate::registry::Registrant;
@@ -81,6 +82,10 @@ impl BristleSystem {
         if !self.dead.insert(key) {
             return Ok(report);
         }
+        // The corpse's durable store must reflect its state *as of the
+        // crash*: freeze it before any funeral bookkeeping, so cleanup
+        // performed about it by survivors is not written into it.
+        self.stores.freeze(key);
         report.was_present = self.node_info(key).is_ok();
         report.was_mobile = self.is_mobile(key);
 
@@ -107,6 +112,15 @@ impl BristleSystem {
             let corpse = *self.node_info(key)?;
             self.remember_corpse(key, corpse);
             self.fail_node(key)?;
+        }
+        // Survivors durably drop their edges to the corpse (its own
+        // store is frozen, so only live holders are mirrored).
+        let bereaved: Vec<Key> = self.registry.registrants_of(key).iter().map(|r| r.key).collect();
+        for holder in bereaved {
+            self.stores.apply(holder, WalRecord::Deregister { target: key.0 });
+        }
+        for holder in self.leases.holders_of_subject(key) {
+            self.stores.apply(holder, WalRecord::LeaseRevoke { subject: key.0 });
         }
         report.registrations_pruned =
             self.registry.remove_everywhere(key) + self.registry.drop_target(key);
@@ -147,8 +161,12 @@ impl BristleSystem {
 
         // (5) A dead mobile node's published location is a lie.
         if report.was_mobile {
+            let set = self.stationary.replica_set(key, self.config().location_replicas)?;
             report.records_unpublished =
                 self.stationary.unpublish(key, self.config().location_replicas)?;
+            for &replica in &set {
+                self.stores.apply(replica, WalRecord::RecordRemove { subject: key.0 });
+            }
         }
         Ok(report)
     }
@@ -198,6 +216,7 @@ impl BristleSystem {
                 let cost = self.distances().distance(holder_router, self.router_of(replica)?);
                 self.meter.record(MessageKind::Replicate, cost);
                 self.stationary.node_mut(replica)?.store.insert(subject, record);
+                self.stores.apply(replica, durable::record_put(&record));
                 installed += 1;
             }
         }

@@ -20,7 +20,9 @@
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
 
+use crate::durable::{self, WalRecord};
 use crate::error::Result;
+use crate::location::LocationRecord;
 use crate::naming::Mobility;
 use crate::registry::Registrant;
 use crate::system::BristleSystem;
@@ -100,6 +102,7 @@ impl BristleSystem {
         for subject in my_entries {
             if self.is_mobile(subject) {
                 self.registry.register(Registrant::new(key, my_cap), subject);
+                self.stores.apply(key, WalRecord::Register { target: subject.0, capacity: my_cap });
                 self.meter.bump(MessageKind::Register, 1);
                 messages += 1;
             }
@@ -109,6 +112,7 @@ impl BristleSystem {
                 if self.mobile.node(holder)?.knows(key) {
                     let cap = self.node_info(holder)?.capacity;
                     self.registry.register(Registrant::new(holder, cap), key);
+                    self.stores.apply(holder, WalRecord::Register { target: key.0, capacity: cap });
                     self.meter.bump(MessageKind::Register, 1);
                     messages += 1;
                 }
@@ -124,20 +128,47 @@ impl BristleSystem {
     pub fn leave_node(&mut self, key: Key) -> Result<()> {
         let info = *self.node_info(key)?;
         let dcache = self.distances_arc();
+        let replicas = self.config().location_replicas;
         if info.mobility == Mobility::Mobile {
-            self.stationary.unpublish(key, self.config().location_replicas)?;
+            let set = self.stationary.replica_set(key, replicas)?;
+            self.stationary.unpublish(key, replicas)?;
+            for &replica in &set {
+                self.stores.apply(replica, WalRecord::RecordRemove { subject: key.0 });
+            }
+        }
+        // Survivors durably drop their edges to the leaver; its own
+        // store is forgotten below, so only they are mirrored.
+        let bereaved: Vec<Key> = self.registry.registrants_of(key).iter().map(|r| r.key).collect();
+        for holder in bereaved {
+            self.stores.apply(holder, WalRecord::Deregister { target: key.0 });
+        }
+        for holder in self.leases.holders_of_subject(key) {
+            self.stores.apply(holder, WalRecord::LeaseRevoke { subject: key.0 });
         }
         self.registry.remove_everywhere(key);
         self.registry.drop_target(key);
         self.leases.revoke_subject(key);
         self.mobile.leave_gracefully(key, &self.attachments, &dcache, &mut self.meter)?;
         if info.mobility == Mobility::Stationary {
+            // Records the leaver hands off land at new replica homes;
+            // mirror them into the receiving nodes' stores afterwards.
+            let moving: Vec<LocationRecord> =
+                self.stationary.node(key)?.store.values().copied().collect();
             self.stationary.leave_gracefully(key, &self.attachments, &dcache, &mut self.meter)?;
+            for record in moving {
+                let set = self.stationary.replica_set(record.subject, replicas)?;
+                for &replica in &set {
+                    if self.stationary.node(replica)?.store.get(&record.subject) == Some(&record) {
+                        self.stores.apply(replica, durable::record_put(&record));
+                    }
+                }
+            }
             self.remove_key_from_lists(key, Mobility::Stationary);
         } else {
             self.remove_key_from_lists(key, Mobility::Mobile);
         }
         self.forget(key);
+        self.stores.forget(key);
         Ok(())
     }
 
@@ -147,6 +178,9 @@ impl BristleSystem {
     /// experiments measure.
     pub fn fail_node(&mut self, key: Key) -> Result<()> {
         let info = *self.node_info(key)?;
+        // Crash semantics: the node's durable store stops changing at
+        // the instant of death (idempotent; `confirm_dead` also freezes).
+        self.stores.freeze(key);
         self.mobile.fail_node(key)?;
         if info.mobility == Mobility::Stationary {
             self.stationary.fail_node(key)?;

@@ -98,9 +98,31 @@ impl LeaseTable {
 
     /// Drops every expired lease; returns how many were purged.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
-        let before = self.leases.len();
-        self.leases.retain(|_, l| l.is_valid(now));
-        before - self.leases.len()
+        self.purge_expired_pairs(now).len()
+    }
+
+    /// Drops every expired lease and returns the `(holder, subject)`
+    /// pairs purged, sorted — callers that mirror revocations into
+    /// per-holder durable stores need to know whose contract ended.
+    pub fn purge_expired_pairs(&mut self, now: SimTime) -> Vec<(Key, Key)> {
+        let mut purged = Vec::new();
+        self.leases.retain(|&pair, l| {
+            let keep = l.is_valid(now);
+            if !keep {
+                purged.push(pair);
+            }
+            keep
+        });
+        purged.sort_unstable();
+        purged
+    }
+
+    /// The holders currently leasing `subject`'s state, sorted.
+    pub fn holders_of_subject(&self, subject: Key) -> Vec<Key> {
+        let mut holders: Vec<Key> =
+            self.leases.keys().filter(|&&(_, s)| s == subject).map(|&(h, _)| h).collect();
+        holders.sort_unstable();
+        holders
     }
 
     /// Number of live lease contracts (valid or not yet purged).

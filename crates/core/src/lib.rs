@@ -26,7 +26,11 @@
 //!   records ([`rejoin`]);
 //! * **clustered naming** — keeping stationary-to-stationary routes
 //!   inside the stationary key band, reducing route cost from O(log² N)
-//!   to O(log N) ([`naming`], §3).
+//!   to O(log N) ([`naming`], §3);
+//! * **durable state** — every repository mutation is mirrored into a
+//!   per-node pluggable store; with a write-ahead-log backend a crashed
+//!   node restarts from disk with its shard intact instead of
+//!   re-learning it from the overlay ([`durable`], [`restart`]).
 //!
 //! ## Quick start
 //!
@@ -53,6 +57,7 @@
 pub mod advertise;
 pub mod analysis;
 pub mod config;
+pub mod durable;
 pub mod error;
 pub mod heal;
 pub mod join;
@@ -64,6 +69,7 @@ pub mod mobile;
 pub mod naming;
 pub mod registry;
 pub mod rejoin;
+pub mod restart;
 pub mod stats;
 pub mod system;
 pub mod time;
@@ -71,6 +77,7 @@ pub mod upkeep;
 
 pub use advertise::{plan_advertisement, AdvertiseStep, DEFAULT_UNIT_COST};
 pub use config::{BindingMode, BristleConfig, NamingPolicy};
+pub use durable::StoreHub;
 pub use error::{BristleError, Result};
 pub use heal::DeathReport;
 pub use join::JoinReport;
@@ -82,6 +89,7 @@ pub use mobile::{DiscoveryReport, MobileRouteReport};
 pub use naming::{Mobility, NamingScheme};
 pub use registry::{Registrant, Registry};
 pub use rejoin::RejoinReport;
+pub use restart::RestartReport;
 pub use stats::SystemStats;
 pub use system::{BristleBuilder, BristleSystem, MoveReport, NodeInfo};
 pub use time::{Clock, SimTime};

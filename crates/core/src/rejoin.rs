@@ -18,6 +18,7 @@
 use bristle_overlay::key::Key;
 use bristle_overlay::meter::MessageKind;
 
+use crate::durable::WalRecord;
 use crate::error::Result;
 use crate::naming::Mobility;
 use crate::registry::Registrant;
@@ -79,6 +80,9 @@ impl BristleSystem {
         report.reversed = true;
         report.was_mobile = info.mobility == Mobility::Mobile;
         self.dead.remove(&key);
+        // The node is alive again: its store resumes recording (the
+        // readmit below mirrors the fresher incarnation into it).
+        self.stores.thaw(key);
 
         // Structural resurrection: membership back, then rebuild wiring
         // so every table sees the returned node (the omniscient
@@ -95,6 +99,8 @@ impl BristleSystem {
             if self.is_mobile(subject)
                 && self.registry.register(Registrant::new(key, info.capacity), subject)
             {
+                self.stores
+                    .apply(key, WalRecord::Register { target: subject.0, capacity: info.capacity });
                 self.meter.bump(MessageKind::Register, 1);
                 report.registrations_restored += 1;
             }
@@ -106,6 +112,7 @@ impl BristleSystem {
             for holder in holders {
                 let cap = self.node_info(holder)?.capacity;
                 if self.registry.register(Registrant::new(holder, cap), key) {
+                    self.stores.apply(holder, WalRecord::Register { target: key.0, capacity: cap });
                     self.meter.bump(MessageKind::Register, 1);
                     report.registrations_restored += 1;
                 }

@@ -30,6 +30,7 @@ use bristle_overlay::meter::{MessageKind, Meter};
 use bristle_overlay::ring::RingDht;
 
 use crate::config::{BristleConfig, NamingPolicy};
+use crate::durable::{self, StoreHub, WalRecord};
 use crate::error::{BristleError, Result};
 use crate::ldt::Ldt;
 use crate::lease::LeaseTable;
@@ -100,6 +101,10 @@ pub struct BristleSystem {
     /// Corpse state for nodes in `dead`, kept so a wrongful funeral can
     /// be reversed by [`crate::rejoin`] without re-admitting from scratch.
     pub(crate) graveyard: HashMap<Key, NodeInfo>,
+    /// Per-node durable-state stores: every repository mutation is
+    /// mirrored here (see [`crate::durable`]). In-memory by default;
+    /// attach a WAL backend to make a node crash-restartable.
+    pub stores: StoreHub,
 }
 
 /// Builder for [`BristleSystem`].
@@ -198,6 +203,7 @@ impl BristleBuilder {
             leases: LeaseTable::new(),
             dead: HashSet::new(),
             graveyard: HashMap::new(),
+            stores: StoreHub::new(),
         };
 
         for _ in 0..self.n_stationary {
@@ -238,6 +244,7 @@ impl BristleSystem {
         let (lo, hi) = self.cfg.capacity_range;
         let capacity = self.rng.range_inclusive(lo as u64, hi as u64) as u32;
         self.info.insert(key, NodeInfo { host, mobility, capacity, incarnation: 0, seq: 0 });
+        self.stores.apply(key, WalRecord::Identity { key: key.0, incarnation: 0 });
         self.mobile.insert(key, host, capacity)?;
         match mobility {
             Mobility::Stationary => {
@@ -266,6 +273,7 @@ impl BristleSystem {
     /// membership structures are restored; the caller rebuilds wiring.
     pub(crate) fn readmit(&mut self, key: Key, info: NodeInfo) -> Result<()> {
         self.info.insert(key, info);
+        self.stores.apply(key, WalRecord::Identity { key: key.0, incarnation: info.incarnation });
         self.mobile.insert(key, info.host, info.capacity)?;
         match info.mobility {
             Mobility::Stationary => {
@@ -289,6 +297,14 @@ impl BristleSystem {
     /// registers to that node with its capacity (§2.3.1 — "X can register
     /// itself to those mobile nodes only").
     pub fn sync_registrations(&mut self) {
+        // Capture each holder's edge set before the rebuild so the diff
+        // can be mirrored into the holders' durable stores.
+        let mut old_edges: HashMap<Key, Vec<Key>> = HashMap::new();
+        for (target, regs) in self.registry.iter() {
+            for r in regs {
+                old_edges.entry(r.key).or_default().push(target);
+            }
+        }
         self.registry = Registry::new();
         let rev = self.mobile.reverse_index();
         for (&subject, holders) in rev.iter() {
@@ -299,6 +315,27 @@ impl BristleSystem {
                 let cap = self.info[&holder].capacity;
                 self.registry.register(Registrant::new(holder, cap), subject);
                 self.meter.bump(MessageKind::Register, 1);
+            }
+        }
+        let mut new_edges: HashMap<Key, Vec<(Key, u32)>> = HashMap::new();
+        for (target, regs) in self.registry.iter() {
+            for r in regs {
+                new_edges.entry(r.key).or_default().push((target, r.capacity));
+            }
+        }
+        for (holder, targets) in old_edges {
+            for target in targets {
+                let kept =
+                    new_edges.get(&holder).is_some_and(|v| v.iter().any(|&(t, _)| t == target));
+                if !kept {
+                    self.stores.apply(holder, WalRecord::Deregister { target: target.0 });
+                }
+            }
+        }
+        for (holder, targets) in new_edges {
+            for (target, capacity) in targets {
+                // Idempotent: backends skip no-op re-registrations.
+                self.stores.apply(holder, WalRecord::Register { target: target.0, capacity });
             }
         }
     }
@@ -452,7 +489,29 @@ impl BristleSystem {
             &mut self.meter,
         )?;
         hops += set.len(); // replica pushes
+                           // Each replica durably records the copy it now stores.
+        let put = durable::record_put(&record);
+        for &replica in &set {
+            self.stores.apply(replica, put);
+        }
         Ok(hops)
+    }
+
+    /// Installs `record` into `holder`'s stationary-layer shard unless a
+    /// strictly newer copy (by incarnation, then sequence) is already
+    /// there, mirroring the write into `holder`'s durable store. The
+    /// messaging driver's publish path lands here. Returns whether the
+    /// record was installed.
+    pub fn install_record(&mut self, holder: Key, record: LocationRecord) -> Result<bool> {
+        let node = self.stationary.node_mut(holder)?;
+        if let Some(existing) = node.store.get(&record.subject) {
+            if (existing.incarnation, existing.seq) > (record.incarnation, record.seq) {
+                return Ok(false);
+            }
+        }
+        node.store.insert(record.subject, record);
+        self.stores.apply(holder, durable::record_put(&record));
+        Ok(true)
     }
 
     /// Registers `who`'s interest in mobile node `target` (§2.3.1's
@@ -471,6 +530,15 @@ impl BristleSystem {
         self.meter.record(MessageKind::Register, cost);
         self.registry.register(Registrant::new(who, who_info.capacity), target);
         self.leases.grant(who, target, self.clock.now(), self.cfg.lease_ttl);
+        self.stores
+            .apply(who, WalRecord::Register { target: target.0, capacity: who_info.capacity });
+        self.stores.apply(
+            who,
+            WalRecord::LeaseGrant {
+                subject: target.0,
+                expires: self.clock.now().plus(self.cfg.lease_ttl).0,
+            },
+        );
         Ok(())
     }
 
@@ -514,6 +582,10 @@ impl BristleSystem {
             sent += 1;
             total_cost += cost;
             self.leases.grant(child, key, now, self.cfg.lease_ttl);
+            self.stores.apply(
+                child,
+                WalRecord::LeaseGrant { subject: key.0, expires: now.plus(self.cfg.lease_ttl).0 },
+            );
             if let Ok(node) = self.mobile.node_mut(child) {
                 if let Some(pair) = node.entry_mut(key) {
                     pair.addr = Some(new_addr);
@@ -571,7 +643,11 @@ impl BristleSystem {
     /// Advances the virtual clock and purges expired leases.
     pub fn tick(&mut self, ticks: u64) -> usize {
         self.clock.advance(ticks);
-        self.leases.purge_expired(self.clock.now())
+        let purged = self.leases.purge_expired_pairs(self.clock.now());
+        for &(holder, subject) in &purged {
+            self.stores.apply(holder, WalRecord::LeaseRevoke { subject: subject.0 });
+        }
+        purged.len()
     }
 
     /// Early-binding maintenance round: every mobile node republishes its

@@ -383,6 +383,14 @@ impl ProtoMachine {
         self.detector.incarnation_of(peer)
     }
 
+    /// Raises this node's own incarnation to `incarnation` (never
+    /// lowers it). A process restarted from its durable store resumes
+    /// at the persisted-and-bumped incarnation rather than 0, so its
+    /// post-restart messages out-rank its pre-crash life.
+    pub fn restore_incarnation(&mut self, incarnation: u64) {
+        self.incarnation = self.incarnation.max(incarnation);
+    }
+
     /// Replaces the failure-detection thresholds (existing suspicion
     /// state, incarnations included, is kept).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {

@@ -1,9 +1,12 @@
 //! Regenerates the paper's **Figure 8** (LDT adaptation and node
-//! heterogeneity). `--paper` for full scale.
+//! heterogeneity). `--paper` for full scale; `--json <path>` also writes
+//! a machine-readable run report.
 use bristle_sim::experiments::{fig8, Scale};
+use bristle_sim::runreport::{json_arg, Json, RunReport};
 
 fn main() {
     let scale = Scale::from_args(std::env::args().skip(1));
+    let json_path = json_arg(std::env::args().skip(1));
     let cfg = match scale {
         Scale::Quick => fig8::Fig8Config::quick(),
         Scale::Paper => fig8::Fig8Config::paper(),
@@ -13,4 +16,50 @@ fn main() {
     fig8::to_table_levels(&result).print();
     println!();
     fig8::to_table_detail(&result).print();
+    if let Some(path) = json_path {
+        // Figure 8 is a function-call experiment: no message-passing
+        // driver, so cells carry distribution rows only.
+        let mut report = RunReport::new("fig8", cfg.seed);
+        for dist in &result.distributions {
+            report.push_cell(
+                Json::obj([
+                    ("study", Json::Str("levels".into())),
+                    ("n_nodes", Json::U64(cfg.n_nodes as u64)),
+                    ("max_capacity", Json::U64(dist.max_capacity as u64)),
+                ]),
+                &[],
+                &[],
+                Json::obj([
+                    (
+                        "fractions",
+                        Json::Arr(dist.fractions.iter().map(|&f| Json::F64(f)).collect()),
+                    ),
+                    ("mean_depth", Json::F64(dist.mean_depth)),
+                    ("max_depth", Json::U64(dist.max_depth as u64)),
+                ]),
+            );
+        }
+        for (i, tree) in result.detail.iter().enumerate() {
+            report.push_cell(
+                Json::obj([("study", Json::Str("detail".into())), ("tree", Json::U64(i as u64))]),
+                &[],
+                &[],
+                Json::Obj(vec![(
+                    "members".to_string(),
+                    Json::Arr(
+                        tree.iter()
+                            .map(|m| {
+                                Json::obj([
+                                    ("capacity", Json::U64(m.capacity as u64)),
+                                    ("assigned", Json::U64(m.assigned as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+            );
+        }
+        report.write_to(&path).expect("run report written");
+        eprintln!("run report: {}", path.display());
+    }
 }

@@ -1,0 +1,429 @@
+//! Crash-restart durability scenario: restart-from-WAL versus
+//! republication (the `bristle-store` payoff, metered).
+//!
+//! The run grows a system, attaches a [`WalBackend`] to the busiest
+//! record primary (the *victim*), and lets warm-up mobility traffic
+//! accumulate in the log. The victim then crashes silently; the
+//! heartbeat machinery detects and confirms the death, the overlay
+//! heals around the corpse, and more mobility happens while the victim
+//! is down. Recovery runs one of two ways on the same seed:
+//!
+//! * [`RestartMode::Republish`] — the blank-disk baseline. The node
+//!   rejoins empty ([`MessagingBristleSystem::republish_restart`]) and
+//!   anti-entropy refills its shard from the surviving replicas, one
+//!   `Replicate` message per record.
+//! * [`RestartMode::WalReplay`] — the node replays its snapshot + log
+//!   off disk ([`MessagingBristleSystem::crash_restart`]) and comes
+//!   back with its shard intact; the same anti-entropy pass ships only
+//!   the records that changed during the downtime.
+//!
+//! The scenario meters the recovery traffic (the `Replicate` bill in
+//! particular), checks convergence with a second anti-entropy pass
+//! (which must find nothing), and re-measures delivery over fixed
+//! endpoint pairs. Everything is seeded: two runs with the same
+//! [`DurabilityConfig`] produce identical [`DurabilityOutcome`]s, WAL
+//! round-trip included.
+
+use std::path::PathBuf;
+
+use bristle_core::config::BristleConfig;
+use bristle_core::system::{BristleBuilder, BristleSystem};
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::TransitStubConfig;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::{MessageKind, ALL_KINDS};
+use bristle_overlay::obs::Snapshot;
+use bristle_proto::transport::FaultConfig;
+use bristle_store::WalBackend;
+
+use crate::messaging::MessagingBristleSystem;
+
+/// How the crashed victim comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartMode {
+    /// Blank disk: rejoin empty, let anti-entropy republish the shard.
+    Republish,
+    /// Durable disk: replay the WAL, restart with the shard intact.
+    WalReplay,
+}
+
+impl RestartMode {
+    /// Short label for tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestartMode::Republish => "republish",
+            RestartMode::WalReplay => "wal-replay",
+        }
+    }
+}
+
+/// Parameters of one durability run.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Seed for the system build, the transport, and the scenario draws.
+    pub seed: u64,
+    /// Stationary population at build time.
+    pub stationary: usize,
+    /// Mobile population at build time.
+    pub mobile: usize,
+    /// Transport drop probability.
+    pub loss: f64,
+    /// How the victim recovers.
+    pub mode: RestartMode,
+    /// WAL snapshot interval in log records (0 = never snapshot; only
+    /// meaningful under [`RestartMode::WalReplay`]).
+    pub snapshot_every: u64,
+    /// Mobile moves before the crash (how much history the WAL holds —
+    /// the *crash point*).
+    pub crash_point: usize,
+    /// Mobile moves while the victim is down (how stale its disk is at
+    /// restart).
+    pub downtime_moves: usize,
+    /// Maximum heartbeat rounds allowed for the crash to be detected and
+    /// confirmed; the scenario confirms directly if detection never
+    /// hardens (counted in [`DurabilityOutcome::forced_confirm`]).
+    pub detection_rounds: usize,
+    /// Endpoint pairs measured before the crash and after recovery.
+    pub route_pairs: usize,
+    /// Scratch directory for the WAL; `None` picks a per-process temp
+    /// path keyed by the sweep cell. Always wiped before and after.
+    pub wal_dir: Option<PathBuf>,
+}
+
+impl DurabilityConfig {
+    /// The standard acceptance-scale run at `seed`.
+    pub fn standard(seed: u64, mode: RestartMode) -> Self {
+        DurabilityConfig {
+            seed,
+            stationary: 40,
+            mobile: 16,
+            loss: 0.02,
+            mode,
+            snapshot_every: 8,
+            crash_point: 12,
+            downtime_moves: 3,
+            detection_rounds: 8,
+            route_pairs: 16,
+            wal_dir: None,
+        }
+    }
+
+    fn scratch_dir(&self) -> PathBuf {
+        match &self.wal_dir {
+            Some(d) => d.clone(),
+            None => std::env::temp_dir()
+                .join(format!("bristle-durability-{}", std::process::id()))
+                .join(format!(
+                    "s{}-c{}-e{}-{}",
+                    self.seed,
+                    self.crash_point,
+                    self.snapshot_every,
+                    self.mode.name()
+                )),
+        }
+    }
+}
+
+/// What one durability run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityOutcome {
+    /// The crashed record primary.
+    pub victim: Key,
+    /// Location records the victim held at crash time.
+    pub victim_shard: usize,
+    /// Heartbeat rounds until the crash was confirmed.
+    pub detection_rounds_used: usize,
+    /// Whether the scenario had to confirm the death directly because
+    /// `detection_rounds` passed without a verdict.
+    pub forced_confirm: bool,
+    /// Records the WAL replay loaded from the snapshot (0 without one).
+    pub wal_snapshot_records: u64,
+    /// Records the WAL replay read from the log tail.
+    pub wal_log_records: u64,
+    /// Shard records reinstalled locally at restart (0 for republish —
+    /// the baseline comes back empty).
+    pub records_recovered: usize,
+    /// Persisted records dropped at restart (subject gone or expired).
+    pub records_skipped: usize,
+    /// Registration edges re-established at recovery.
+    pub registrations_restored: usize,
+    /// Lease contracts restored from the durable store.
+    pub leases_restored: usize,
+    /// `Replicate` messages spent on recovery (restart + first
+    /// anti-entropy pass) — the headline restart-vs-republish metric.
+    pub recovery_replicates: u64,
+    /// Total messages of every kind spent on recovery.
+    pub recovery_messages: u64,
+    /// Record copies the first anti-entropy pass shipped.
+    pub anti_entropy_fixes: usize,
+    /// Whether a second anti-entropy pass found nothing left to fix.
+    pub converged: bool,
+    /// Routes delivered / attempted before the crash.
+    pub pre_delivered: usize,
+    /// Routes attempted before the crash.
+    pub pre_attempted: usize,
+    /// Routes delivered over the same pairs after recovery.
+    pub post_delivered: usize,
+    /// Routes attempted after recovery.
+    pub post_attempted: usize,
+    /// Per-kind meter `(kind, count, cost)` at the end of the run.
+    pub tallies: Vec<(MessageKind, u64, u64)>,
+    /// Named latency-histogram snapshots from the driver's collector.
+    pub latencies: Vec<(&'static str, Snapshot)>,
+}
+
+impl DurabilityOutcome {
+    /// Fraction of pre-crash routes delivered.
+    pub fn pre_rate(&self) -> f64 {
+        if self.pre_attempted == 0 {
+            1.0
+        } else {
+            self.pre_delivered as f64 / self.pre_attempted as f64
+        }
+    }
+
+    /// Fraction of post-recovery routes delivered.
+    pub fn post_rate(&self) -> f64 {
+        if self.post_attempted == 0 {
+            1.0
+        } else {
+            self.post_delivered as f64 / self.post_attempted as f64
+        }
+    }
+}
+
+/// The stationary node holding the most location records (ties break
+/// toward the smaller key for determinism).
+fn busiest_primary(sys: &BristleSystem) -> Key {
+    let mut best = (0usize, Key(u64::MAX));
+    for &s in sys.stationary_keys() {
+        let n = sys.stationary.node(s).map(|node| node.store.len()).unwrap_or(0);
+        if n > best.0 || (n == best.0 && s < best.1) {
+            best = (n, s);
+        }
+    }
+    best.1
+}
+
+/// Measures message-passing delivery over `pairs`, skipping pairs with a
+/// missing endpoint. Returns `(delivered, attempted)`.
+fn measure_pairs(msys: &mut MessagingBristleSystem, pairs: &[(Key, Key)]) -> (usize, usize) {
+    let mut delivered = 0usize;
+    let mut attempted = 0usize;
+    for &(src, target) in pairs {
+        if msys.is_failed(src)
+            || msys.is_failed(target)
+            || msys.sys.node_info(src).is_err()
+            || msys.sys.node_info(target).is_err()
+        {
+            continue;
+        }
+        attempted += 1;
+        if msys.route(src, target).is_ok() {
+            delivered += 1;
+        }
+    }
+    (delivered, attempted)
+}
+
+/// Moves `n` randomly drawn mobile nodes (new location records at the
+/// replicas; for the victim's shard this is WAL traffic before the crash
+/// and staleness after it).
+fn churn_moves(msys: &mut MessagingBristleSystem, rng: &mut Pcg64, n: usize) {
+    for _ in 0..n {
+        let mut mobiles: Vec<Key> = msys.sys.mobile_keys().to_vec();
+        mobiles.retain(|&m| !msys.is_failed(m));
+        mobiles.sort_unstable();
+        if mobiles.is_empty() {
+            return;
+        }
+        let m = mobiles[rng.index(mobiles.len())];
+        msys.sys.move_node(m, None).expect("mover is live");
+    }
+}
+
+/// Runs one durability scenario: build, warm up, crash, detect, churn,
+/// recover, reconcile, re-measure. Deterministic in `cfg`.
+pub fn run_durability(cfg: &DurabilityConfig) -> DurabilityOutcome {
+    let sys = BristleBuilder::new(cfg.seed)
+        .stationary_nodes(cfg.stationary)
+        .mobile_nodes(cfg.mobile)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig::recommended())
+        .build()
+        .expect("system builds");
+    let mut msys = MessagingBristleSystem::new(sys, FaultConfig::lossy(cfg.loss), cfg.seed ^ 0xD0);
+    let mut rng = Pcg64::new(cfg.seed, 0xD07A);
+
+    let victim = busiest_primary(&msys.sys);
+    let wal_dir = cfg.scratch_dir();
+    if cfg.mode == RestartMode::WalReplay {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let backend = WalBackend::open(&wal_dir, cfg.snapshot_every).expect("scratch WAL opens");
+        msys.sys.stores.attach_wal(victim, backend);
+    }
+
+    let mut out = DurabilityOutcome {
+        victim,
+        victim_shard: 0,
+        detection_rounds_used: 0,
+        forced_confirm: false,
+        wal_snapshot_records: 0,
+        wal_log_records: 0,
+        records_recovered: 0,
+        records_skipped: 0,
+        registrations_restored: 0,
+        leases_restored: 0,
+        recovery_replicates: 0,
+        recovery_messages: 0,
+        anti_entropy_fixes: 0,
+        converged: false,
+        pre_delivered: 0,
+        pre_attempted: 0,
+        post_delivered: 0,
+        post_attempted: 0,
+        tallies: Vec::new(),
+        latencies: Vec::new(),
+    };
+
+    // Warm-up traffic grows the victim's WAL past the bare build state.
+    churn_moves(&mut msys, &mut rng, cfg.crash_point);
+
+    // Fixed endpoint pairs, measured identically before and after.
+    let mut endpoints: Vec<Key> = msys.sys.mobile.keys().collect();
+    endpoints.sort_unstable();
+    let mut pairs: Vec<(Key, Key)> = Vec::with_capacity(cfg.route_pairs);
+    while pairs.len() < cfg.route_pairs && endpoints.len() >= 2 {
+        let src = endpoints[rng.index(endpoints.len())];
+        let target = endpoints[rng.index(endpoints.len())];
+        if src != target {
+            pairs.push((src, target));
+        }
+    }
+    (out.pre_delivered, out.pre_attempted) = measure_pairs(&mut msys, &pairs);
+
+    out.victim_shard = msys.sys.stationary.node(victim).map(|n| n.store.len()).unwrap_or(0);
+
+    // Crash; heartbeats harden suspicion into a verdict, then the
+    // funeral heals the overlay around the corpse.
+    msys.fail_silently(victim);
+    let mut confirmed = false;
+    for r in 0..cfg.detection_rounds {
+        let newly = msys.heartbeat_round();
+        out.detection_rounds_used = r + 1;
+        msys.sys.tick(1);
+        if newly.contains(&victim) {
+            msys.confirm_and_heal(victim).expect("victim is known");
+            confirmed = true;
+            break;
+        }
+    }
+    if !confirmed {
+        out.forced_confirm = true;
+        msys.confirm_and_heal(victim).expect("victim is known");
+    }
+
+    // Downtime: the world keeps moving while the victim's disk does not.
+    churn_moves(&mut msys, &mut rng, cfg.downtime_moves);
+    msys.sys.tick(1);
+
+    // Recovery, metered: the restart itself plus the anti-entropy pass
+    // that reconciles whatever the disk missed.
+    let counts_before: Vec<u64> = ALL_KINDS.iter().map(|&k| msys.sys.meter.count(k)).collect();
+    match cfg.mode {
+        RestartMode::WalReplay => {
+            let report = msys.crash_restart(victim).expect("victim restarts");
+            assert!(report.restored, "a confirmed corpse must restart");
+            if let Some(replay) = &report.replay {
+                out.wal_snapshot_records = replay.snapshot_records as u64;
+                out.wal_log_records = replay.log_records as u64;
+            }
+            out.records_recovered = report.records_recovered;
+            out.records_skipped = report.records_skipped;
+            out.registrations_restored = report.registrations_restored;
+            out.leases_restored = report.leases_restored;
+        }
+        RestartMode::Republish => {
+            let report = msys.republish_restart(victim).expect("victim rejoins");
+            assert!(report.reversed, "a confirmed corpse must rejoin");
+            out.registrations_restored = report.registrations_restored;
+        }
+    }
+    out.anti_entropy_fixes = msys.sys.anti_entropy_locations().expect("reconciliation succeeds");
+    let counts_after: Vec<u64> = ALL_KINDS.iter().map(|&k| msys.sys.meter.count(k)).collect();
+    out.recovery_messages =
+        counts_after.iter().zip(&counts_before).map(|(after, before)| after - before).sum();
+    let replicate_idx =
+        ALL_KINDS.iter().position(|&k| k == MessageKind::Replicate).expect("Replicate is metered");
+    out.recovery_replicates = counts_after[replicate_idx] - counts_before[replicate_idx];
+
+    // Convergence: a second pass must find nothing left to ship.
+    out.converged = msys.sys.anti_entropy_locations().expect("second pass succeeds") == 0;
+
+    (out.post_delivered, out.post_attempted) = measure_pairs(&mut msys, &pairs);
+
+    out.tallies =
+        ALL_KINDS.iter().map(|&k| (k, msys.sys.meter.count(k), msys.sys.meter.cost(k))).collect();
+    out.latencies = msys.obs().latency_snapshots();
+    if cfg.mode == RestartMode::WalReplay && cfg.wal_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_replay_beats_republication_on_the_replicate_bill() {
+        let republish = run_durability(&DurabilityConfig::standard(8, RestartMode::Republish));
+        let replay = run_durability(&DurabilityConfig::standard(8, RestartMode::WalReplay));
+        assert!(republish.victim_shard > 0, "victim must hold records: {republish:?}");
+        assert_eq!(replay.victim, republish.victim, "same seed, same victim");
+        assert_eq!(republish.records_recovered, 0, "the baseline comes back empty");
+        assert!(replay.records_recovered > 0, "the WAL restart comes back full");
+        assert!(
+            replay.recovery_replicates < republish.recovery_replicates,
+            "log replay ({} Replicates) must beat republication ({})",
+            replay.recovery_replicates,
+            republish.recovery_replicates
+        );
+        assert!(republish.converged, "baseline converges: {republish:?}");
+        assert!(replay.converged, "WAL restart converges: {replay:?}");
+    }
+
+    #[test]
+    fn replayed_state_comes_off_disk() {
+        let out = run_durability(&DurabilityConfig::standard(31, RestartMode::WalReplay));
+        assert!(
+            out.wal_snapshot_records + out.wal_log_records > 0,
+            "the replay must read something: {out:?}"
+        );
+        assert_eq!(
+            out.records_recovered + out.records_skipped,
+            out.victim_shard,
+            "every crash-time record is accounted for: {out:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_twice_is_identical_including_the_disk_round_trip() {
+        let cfg = DurabilityConfig::standard(9, RestartMode::WalReplay);
+        assert_eq!(run_durability(&cfg), run_durability(&cfg));
+    }
+
+    #[test]
+    fn snapshot_interval_does_not_change_what_recovers() {
+        let mut never = DurabilityConfig::standard(12, RestartMode::WalReplay);
+        never.snapshot_every = 0;
+        let mut often = DurabilityConfig::standard(12, RestartMode::WalReplay);
+        often.snapshot_every = 4;
+        let a = run_durability(&never);
+        let b = run_durability(&often);
+        assert_eq!(a.records_recovered, b.records_recovered);
+        assert_eq!(a.recovery_replicates, b.recovery_replicates);
+        assert!(b.wal_snapshot_records > 0, "a tight interval actually snapshots: {b:?}");
+        assert_eq!(a.wal_snapshot_records, 0, "interval 0 never snapshots: {a:?}");
+    }
+}

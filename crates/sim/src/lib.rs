@@ -22,6 +22,7 @@
 pub mod baseline_type_a;
 pub mod baseline_type_b;
 pub mod churn;
+pub mod durability;
 pub mod engine;
 pub mod experiments;
 pub mod messaging;
@@ -37,6 +38,7 @@ pub mod workload;
 pub use baseline_type_a::TypeASystem;
 pub use baseline_type_b::TypeBSystem;
 pub use churn::{ChurnAction, ChurnModel};
+pub use durability::{run_durability, DurabilityConfig, DurabilityOutcome, RestartMode};
 pub use engine::EventQueue;
 pub use experiments::Scale;
 pub use messaging::{MessagingBristleSystem, MessagingError, MessagingRouteReport, RejoinRecord};

@@ -19,10 +19,13 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
+use bristle_core::durable::WalRecord;
 use bristle_core::heal::DeathReport;
 use bristle_core::location::LocationRecord;
 use bristle_core::naming::Mobility;
 use bristle_core::registry::Registrant;
+use bristle_core::rejoin::RejoinReport;
+use bristle_core::restart::RestartReport;
 use bristle_core::system::BristleSystem;
 use bristle_core::time::SimTime;
 use bristle_netsim::graph::RouterId;
@@ -335,6 +338,9 @@ impl NodeEnv for SystemEnv<'_> {
         let now = self.sys.clock.now();
         let ttl = self.sys.config().lease_ttl;
         self.sys.leases.grant(asker, subject, now, ttl);
+        self.sys
+            .stores
+            .apply(asker, WalRecord::LeaseGrant { subject: subject.0, expires: now.plus(ttl).0 });
         if let Ok(node) = self.sys.mobile.node_mut(asker) {
             if let Some(pair) = node.entry_mut(subject) {
                 pair.addr = Some(addr.to_net());
@@ -346,6 +352,10 @@ impl NodeEnv for SystemEnv<'_> {
         let now = self.sys.clock.now();
         let ttl = self.sys.config().lease_ttl;
         self.sys.leases.grant(receiver, subject, now, ttl);
+        self.sys.stores.apply(
+            receiver,
+            WalRecord::LeaseGrant { subject: subject.0, expires: now.plus(ttl).0 },
+        );
         if let Ok(node) = self.sys.mobile.node_mut(receiver) {
             if let Some(pair) = node.entry_mut(subject) {
                 pair.addr = Some(addr.to_net());
@@ -355,12 +365,16 @@ impl NodeEnv for SystemEnv<'_> {
 
     fn apply_register(&mut self, target: Key, who: Key, capacity: u32) {
         self.sys.registry.register(Registrant::new(who, capacity), target);
+        self.sys.stores.apply(who, WalRecord::Register { target: target.0, capacity });
     }
 
     fn commit_register(&mut self, who: Key, target: Key) {
         let now = self.sys.clock.now();
         let ttl = self.sys.config().lease_ttl;
         self.sys.leases.grant(who, target, now, ttl);
+        self.sys
+            .stores
+            .apply(who, WalRecord::LeaseGrant { subject: target.0, expires: now.plus(ttl).0 });
     }
 
     fn apply_publish(&mut self, holder: Key, subject: Key, addr: WireAddr, seq: u64) {
@@ -376,16 +390,9 @@ impl NodeEnv for SystemEnv<'_> {
             published_at: self.sys.clock.now(),
             ttl: self.sys.config().location_ttl,
         };
-        if let Ok(node) = self.sys.stationary.node_mut(holder) {
-            let keep = node
-                .store
-                .get(&subject)
-                .map(|r| (r.incarnation, r.seq) <= (incarnation, seq))
-                .unwrap_or(true);
-            if keep {
-                node.store.insert(subject, record);
-            }
-        }
+        // Centralized with the function-call path: same conflict rule,
+        // same durable-store mirror (no-op if the holder is gone).
+        let _ = self.sys.install_record(holder, record);
     }
 
     fn emit(&mut self, event: ObsEvent) {
@@ -555,6 +562,48 @@ impl MessagingBristleSystem {
         self.remember_addr(key);
         self.machines.remove(&key);
         self.sys.leave_node(key).map_err(|_| MessagingError::UnknownNode(key))
+    }
+
+    /// Restarts a crashed, buried node from its durable store — distinct
+    /// from both [`Self::leave`] (gone for good) and the rejoin path
+    /// (which resurrects an *empty* node that re-learns its state from
+    /// the overlay). The node must have been confirmed dead
+    /// ([`Self::confirm_and_heal`]); its store — re-opened from disk
+    /// when WAL-backed — supplies the recovered shard, and a brand-new
+    /// machine is started at the restored incarnation (nothing of the
+    /// old process survives but the disk).
+    pub fn crash_restart(&mut self, key: Key) -> Result<RestartReport, MessagingError> {
+        let report =
+            self.sys.restart_node_from_store(key).map_err(|_| MessagingError::UnknownNode(key))?;
+        if report.restored {
+            self.failed.remove(&key);
+            self.tombstones.remove(&key);
+            self.wrongly_buried.remove(&key);
+            self.machines.remove(&key);
+            let machine = machine_entry(&mut self.machines, key, self.policy, self.failure_policy);
+            machine.restore_incarnation(report.incarnation);
+        }
+        Ok(report)
+    }
+
+    /// Restarts a crashed, buried node with a *blank* disk — the
+    /// republication baseline for [`Self::crash_restart`]. The node's
+    /// durable store is discarded and it comes back empty via the rejoin
+    /// path, re-learning its state from the overlay (anti-entropy refills
+    /// a stationary shard one `Replicate` per record). A fresh machine is
+    /// started at the rejoined incarnation, exactly as in a WAL restart.
+    pub fn republish_restart(&mut self, key: Key) -> Result<RejoinReport, MessagingError> {
+        self.sys.stores.forget(key);
+        let report = self.sys.rejoin_node(key, 1).map_err(|_| MessagingError::UnknownNode(key))?;
+        if report.reversed {
+            self.failed.remove(&key);
+            self.tombstones.remove(&key);
+            self.wrongly_buried.remove(&key);
+            self.machines.remove(&key);
+            let machine = machine_entry(&mut self.machines, key, self.policy, self.failure_policy);
+            machine.restore_incarnation(report.incarnation);
+        }
+        Ok(report)
     }
 
     fn fail_now(&mut self, key: Key) {

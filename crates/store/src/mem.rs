@@ -1,0 +1,55 @@
+//! The in-memory backend: today's behavior, zero cost, nothing durable.
+
+use crate::record::WalRecord;
+use crate::state::DurableState;
+use crate::StateStore;
+
+/// A [`StateStore`] that folds records straight into memory. This is
+/// the default backend every node gets; it adds no I/O and survives
+/// nothing — exactly the pre-store behavior.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    state: DurableState,
+}
+
+impl MemBackend {
+    /// An empty in-memory store.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// A store pre-seeded with `state` (used when rebasing a node onto
+    /// a different backend).
+    pub fn with_state(state: DurableState) -> MemBackend {
+        MemBackend { state }
+    }
+}
+
+impl StateStore for MemBackend {
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+
+    fn apply(&mut self, rec: &WalRecord) {
+        self.state.apply(rec);
+    }
+
+    fn state(&self) -> &DurableState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_folds_records() {
+        let mut b = MemBackend::new();
+        b.apply(&WalRecord::Identity { key: 1, incarnation: 2 });
+        b.apply(&WalRecord::Register { target: 3, capacity: 4 });
+        assert_eq!(b.state().identity, Some((1, 2)));
+        assert_eq!(b.state().registrations.get(&3), Some(&4));
+        assert_eq!(b.kind(), "mem");
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`netsim`] — the physical network simulator (transit-stub, Dijkstra).
 //! * [`proto`] — sans-I/O wire protocol, state machines, fault-injecting
 //!   transport.
+//! * [`store`] — pluggable durable state: WAL + snapshot backends and
+//!   the crash-restart replay path.
 //! * [`sim`] — experiment harness, baselines, per-figure drivers,
 //!   message-passing driver.
 //!
@@ -20,5 +22,6 @@ pub use bristle_netsim as netsim;
 pub use bristle_overlay as overlay;
 pub use bristle_proto as proto;
 pub use bristle_sim as sim;
+pub use bristle_store as store;
 
 pub use bristle_core::prelude;
