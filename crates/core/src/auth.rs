@@ -1,0 +1,259 @@
+//! Toy self-certifying identity and message authentication.
+//!
+//! Every related system binds overlay identity to key material (Molia's
+//! Blake3-of-pubkey node IDs, saorsa's `PeerId = hash(pubkey)`); Bristle's
+//! seed trusted every frame. This module supplies the *protocol* shape of
+//! that binding — self-certifying IDs plus a deterministic MAC over the
+//! frames that carry authority (location records, `Alive` refutations,
+//! funeral withdrawals, lease grants) — with arithmetic stand-ins for the
+//! cryptography so the workspace stays offline and dependency-free.
+//!
+//! The fiction, stated plainly (and again in DESIGN.md's threat model):
+//!
+//! * The "hash" [`AuthDomain::hash_id`] is an *invertible* 64-bit mixer.
+//!   Real deployments would use a real hash; here invertibility is what
+//!   lets pre-assigned overlay keys retroactively satisfy
+//!   `hash_id(pubkey) == key` without changing key assignment (and hence
+//!   without perturbing any seeded run). The modeled adversary is
+//!   *protocol-level*: it forges, replays, floods and eclipses, but does
+//!   not invert the hash or steal another node's signing secret.
+//! * The "MAC" [`AuthDomain::sign`] mixes a per-node secret with a frame
+//!   digest. Unforgeability holds only against the modeled adversary.
+//!
+//! An [`AuthDomain`] is the shared oracle of one deployment: honest nodes
+//! reach it through their environment, which also models "the signature
+//! travels with the record" — a relay re-seals a record *as its subject*,
+//! standing in for forwarding the subject's original signature bytes.
+
+use bristle_overlay::key::Key;
+
+/// How strictly received frames are authenticated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// No checks at all — the seed behavior, byte-identical traces.
+    #[default]
+    Off,
+    /// Check every frame, meter failures, but accept and process anyway.
+    LogOnly,
+    /// Check every frame and drop failures before they touch state.
+    Enforce,
+}
+
+impl VerifyPolicy {
+    /// Short static name, for reports and CLI axes.
+    pub const fn name(self) -> &'static str {
+        match self {
+            VerifyPolicy::Off => "off",
+            VerifyPolicy::LogOnly => "log",
+            VerifyPolicy::Enforce => "enforce",
+        }
+    }
+
+    /// Parses a CLI axis value (the inverse of [`Self::name`]).
+    pub fn from_arg(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(VerifyPolicy::Off),
+            "log" | "log-only" => Some(VerifyPolicy::LogOnly),
+            "enforce" => Some(VerifyPolicy::Enforce),
+            _ => None,
+        }
+    }
+}
+
+/// The authentication trailer a wire frame carries: the signer's public
+/// key (self-certifying: it must hash to the claimed signer's overlay
+/// key) and the MAC over the frame body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireAuth {
+    /// The signing node's public key.
+    pub pubkey: u64,
+    /// MAC over the frame body under the signer's secret.
+    pub tag: u64,
+}
+
+/// Why a frame failed authentication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// An authenticated kind arrived with no trailer at all.
+    MissingTag,
+    /// The presented pubkey does not hash to the claimed signer's key.
+    IdentityMismatch,
+    /// The MAC does not verify under the claimed signer's key.
+    BadTag,
+    /// The signature is valid but the record is a replay of withdrawn
+    /// state (its subject is confirmed dead).
+    StaleRecord,
+}
+
+impl AuthError {
+    /// Short static name, for traces and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            AuthError::MissingTag => "missing_tag",
+            AuthError::IdentityMismatch => "identity_mismatch",
+            AuthError::BadTag => "bad_tag",
+            AuthError::StaleRecord => "stale_record",
+        }
+    }
+}
+
+/// splitmix64 finalizer: the module's stand-in for a hash function.
+#[inline]
+const fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Exact inverse of [`mix`] (the multiplier inverses mod 2⁶⁴).
+#[inline]
+const fn unmix(mut x: u64) -> u64 {
+    x ^= (x >> 31) ^ (x >> 62);
+    x = x.wrapping_mul(0x319642b2d24d8ec3);
+    x ^= (x >> 27) ^ (x >> 54);
+    x = x.wrapping_mul(0x96de1b173f119089);
+    x ^= (x >> 30) ^ (x >> 60);
+    x
+}
+
+/// FNV-1a over a byte slice: the frame-body digest the MAC covers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One deployment's shared key-derivation oracle, seeded so every run is
+/// deterministic. Cheap to copy (it is just the seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthDomain {
+    seed: u64,
+}
+
+impl AuthDomain {
+    /// A domain whose per-node secrets derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        AuthDomain { seed }
+    }
+
+    /// The public key whose hash is `key` — self-certification runs the
+    /// derivation forward: `hash_id(pubkey_of(key)) == key` exactly.
+    pub fn pubkey_of(key: Key) -> u64 {
+        unmix(key.0)
+    }
+
+    /// The public "hash" binding a pubkey to an overlay identity.
+    pub fn hash_id(pubkey: u64) -> Key {
+        Key(mix(pubkey))
+    }
+
+    /// The signing secret of `key` in this domain. Private: the modeled
+    /// adversary never obtains another node's secret.
+    fn secret_of(self, key: Key) -> u64 {
+        mix(key.0 ^ mix(self.seed ^ 0x5349_474e_5345_4544)) // "SIGNSEED"
+    }
+
+    /// Signs `digest` as `signer`: the trailer an authenticated frame
+    /// carries on the wire.
+    pub fn sign(self, signer: Key, digest: u64) -> WireAuth {
+        WireAuth { pubkey: Self::pubkey_of(signer), tag: mix(self.secret_of(signer) ^ digest) }
+    }
+
+    /// Checks `auth` as a signature by `signer` over `digest`:
+    /// self-certification first (the pubkey must hash to `signer`), then
+    /// the MAC.
+    pub fn verify(self, signer: Key, digest: u64, auth: WireAuth) -> Result<(), AuthError> {
+        if Self::hash_id(auth.pubkey) != signer {
+            return Err(AuthError::IdentityMismatch);
+        }
+        if auth.tag != mix(self.secret_of(signer) ^ digest) {
+            return Err(AuthError::BadTag);
+        }
+        Ok(())
+    }
+
+    /// A tag that verifies for no digest under any signer this domain
+    /// derives — what an adversary who never learned a secret produces.
+    pub fn forged(signer: Key) -> WireAuth {
+        WireAuth { pubkey: Self::pubkey_of(signer), tag: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmix_inverts_mix() {
+        for x in [0u64, 1, 42, 0xdead_beef, u64::MAX, 0x8000_0000_0000_0001] {
+            assert_eq!(unmix(mix(x)), x, "x={x:#x}");
+            assert_eq!(mix(unmix(x)), x, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn ids_are_self_certifying() {
+        for k in [Key(0), Key(7), Key(u64::MAX), Key(0x1234_5678_9abc_def0)] {
+            assert_eq!(AuthDomain::hash_id(AuthDomain::pubkey_of(k)), k);
+        }
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let d = AuthDomain::new(8);
+        let auth = d.sign(Key(99), 0xfeed);
+        assert_eq!(d.verify(Key(99), 0xfeed, auth), Ok(()));
+    }
+
+    #[test]
+    fn wrong_digest_rejected() {
+        let d = AuthDomain::new(8);
+        let auth = d.sign(Key(99), 0xfeed);
+        assert_eq!(d.verify(Key(99), 0xfeee, auth), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn wrong_signer_rejected_as_identity_mismatch() {
+        let d = AuthDomain::new(8);
+        let auth = d.sign(Key(99), 0xfeed);
+        assert_eq!(d.verify(Key(100), 0xfeed, auth), Err(AuthError::IdentityMismatch));
+    }
+
+    #[test]
+    fn stolen_pubkey_without_secret_fails_the_mac() {
+        // The pubkey derivation is public — a Sybil can always present a
+        // pubkey that certifies any identity. The MAC is the gate.
+        let d = AuthDomain::new(8);
+        let forged = AuthDomain::forged(Key(99));
+        assert_eq!(d.verify(Key(99), 0xfeed, forged), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn domains_with_different_seeds_disagree() {
+        let a = AuthDomain::new(1);
+        let b = AuthDomain::new(2);
+        let auth = a.sign(Key(5), 77);
+        assert_eq!(b.verify(Key(5), 77, auth), Err(AuthError::BadTag));
+    }
+
+    #[test]
+    fn fnv_digest_is_position_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"\0"));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [VerifyPolicy::Off, VerifyPolicy::LogOnly, VerifyPolicy::Enforce] {
+            assert_eq!(VerifyPolicy::from_arg(p.name()), Some(p));
+        }
+        assert_eq!(VerifyPolicy::from_arg("nonsense"), None);
+        assert_eq!(VerifyPolicy::default(), VerifyPolicy::Off);
+    }
+}

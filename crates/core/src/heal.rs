@@ -414,4 +414,74 @@ mod tests {
         };
         assert_eq!(run(7), run(7), "same seed, same funeral, same bill");
     }
+
+    #[test]
+    fn graveyard_prunes_corpses_past_retention() {
+        let mut cfg = BristleConfig::recommended();
+        cfg.graveyard_retention = 100;
+        let mut sys = BristleBuilder::new(5)
+            .stationary_nodes(30)
+            .mobile_nodes(8)
+            .topology(TransitStubConfig::tiny())
+            .config(cfg)
+            .build()
+            .unwrap();
+        let victim = sys.mobile_keys()[0];
+        sys.confirm_dead(victim).unwrap();
+        assert!(sys.is_confirmed_dead(victim));
+        assert_eq!(sys.graveyard_len(), 1);
+        // Inside the window the corpse is still held.
+        sys.tick(99);
+        assert_eq!(sys.graveyard_len(), 1, "retention window still open");
+        assert!(sys.is_confirmed_dead(victim));
+        // One more tick closes the window.
+        sys.tick(1);
+        assert_eq!(sys.graveyard_len(), 0, "corpse pruned at retention");
+        assert!(!sys.is_confirmed_dead(victim), "dead-set entry reclaimed too");
+    }
+
+    #[test]
+    fn retention_zero_remembers_corpses_forever() {
+        let mut cfg = BristleConfig::recommended();
+        cfg.graveyard_retention = 0;
+        let mut sys = BristleBuilder::new(6)
+            .stationary_nodes(30)
+            .mobile_nodes(8)
+            .topology(TransitStubConfig::tiny())
+            .config(cfg)
+            .build()
+            .unwrap();
+        let victim = sys.mobile_keys()[0];
+        sys.confirm_dead(victim).unwrap();
+        sys.tick(1_000_000);
+        assert_eq!(sys.graveyard_len(), 1, "0 disables pruning");
+        assert!(sys.is_confirmed_dead(victim));
+    }
+
+    #[test]
+    fn graveyard_stays_bounded_under_perpetual_churn() {
+        let mut cfg = BristleConfig::recommended();
+        cfg.graveyard_retention = 100;
+        let mut sys = BristleBuilder::new(7)
+            .stationary_nodes(40)
+            .mobile_nodes(12)
+            .topology(TransitStubConfig::tiny())
+            .config(cfg)
+            .build()
+            .unwrap();
+        // One funeral every 60 ticks: at most ceil(100/60) + 1 = 3
+        // corpses can be inside the retention window at once, no matter
+        // how long the churn runs.
+        let victims: Vec<Key> = sys.mobile_keys().to_vec();
+        let mut peak = 0usize;
+        for victim in victims {
+            sys.confirm_dead(victim).unwrap();
+            peak = peak.max(sys.graveyard_len());
+            sys.tick(60);
+            peak = peak.max(sys.graveyard_len());
+        }
+        assert!(peak <= 3, "graveyard must stay bounded, saw {peak}");
+        sys.tick(200);
+        assert_eq!(sys.graveyard_len(), 0, "quiescence drains the graveyard");
+    }
 }

@@ -56,6 +56,7 @@
 
 pub mod advertise;
 pub mod analysis;
+pub mod auth;
 pub mod config;
 pub mod durable;
 pub mod error;
@@ -76,6 +77,7 @@ pub mod time;
 pub mod upkeep;
 
 pub use advertise::{plan_advertisement, AdvertiseStep, DEFAULT_UNIT_COST};
+pub use auth::{AuthDomain, AuthError, VerifyPolicy, WireAuth};
 pub use config::{BindingMode, BristleConfig, NamingPolicy};
 pub use durable::StoreHub;
 pub use error::{BristleError, Result};

@@ -37,7 +37,7 @@ use crate::lease::LeaseTable;
 use crate::location::LocationRecord;
 use crate::naming::{Mobility, NamingScheme};
 use crate::registry::{Registrant, Registry};
-use crate::time::Clock;
+use crate::time::{Clock, SimTime};
 
 /// Static facts about one Bristle node.
 #[derive(Debug, Clone, Copy)]
@@ -101,6 +101,10 @@ pub struct BristleSystem {
     /// Corpse state for nodes in `dead`, kept so a wrongful funeral can
     /// be reversed by [`crate::rejoin`] without re-admitting from scratch.
     pub(crate) graveyard: HashMap<Key, NodeInfo>,
+    /// Burial times for graveyard entries, so [`Self::tick`] can prune
+    /// corpses older than [`BristleConfig::graveyard_retention`] and
+    /// long-running churn does not grow the graveyard without bound.
+    pub(crate) buried_at: HashMap<Key, SimTime>,
     /// Per-node durable-state stores: every repository mutation is
     /// mirrored here (see [`crate::durable`]). In-memory by default;
     /// attach a WAL backend to make a node crash-restartable.
@@ -203,6 +207,7 @@ impl BristleBuilder {
             leases: LeaseTable::new(),
             dead: HashSet::new(),
             graveyard: HashMap::new(),
+            buried_at: HashMap::new(),
             stores: StoreHub::new(),
         };
 
@@ -259,12 +264,20 @@ impl BristleSystem {
     /// Records corpse state so a wrongful funeral can later be reversed
     /// by [`crate::rejoin`].
     pub(crate) fn remember_corpse(&mut self, key: Key, info: NodeInfo) {
+        self.buried_at.insert(key, self.clock.now());
         self.graveyard.insert(key, info);
     }
 
     /// Takes corpse state back out of the graveyard (rejoin path).
     pub(crate) fn take_corpse(&mut self, key: Key) -> Option<NodeInfo> {
+        self.buried_at.remove(&key);
         self.graveyard.remove(&key)
+    }
+
+    /// How many corpses the graveyard currently retains. Bounded under
+    /// perpetual churn by [`BristleConfig::graveyard_retention`].
+    pub fn graveyard_len(&self) -> usize {
+        self.graveyard.len()
     }
 
     /// Re-inserts a previously buried node from its corpse state — the
@@ -647,7 +660,35 @@ impl BristleSystem {
         for &(holder, subject) in &purged {
             self.stores.apply(holder, WalRecord::LeaseRevoke { subject: subject.0 });
         }
+        self.prune_graveyard();
         purged.len()
+    }
+
+    /// Reclaims graveyard entries buried longer ago than
+    /// [`BristleConfig::graveyard_retention`] (0 retains forever). A
+    /// pruned corpse can no longer rejoin through the wrongful-burial
+    /// path — it would re-admit from scratch — and its key stops
+    /// counting as confirmed-dead, which is safe because any withdrawn
+    /// record it could replay has long outlived its TTL by then.
+    fn prune_graveyard(&mut self) {
+        let retention = self.cfg.graveyard_retention;
+        if retention == 0 {
+            return;
+        }
+        let now = self.clock.now();
+        let mut expired: Vec<Key> = self
+            .buried_at
+            .iter()
+            .filter(|(_, &at)| at.plus(retention) <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        expired.sort_unstable();
+        for key in expired {
+            self.buried_at.remove(&key);
+            self.graveyard.remove(&key);
+            self.dead.remove(&key);
+            self.stores.forget(key);
+        }
     }
 
     /// Early-binding maintenance round: every mobile node republishes its

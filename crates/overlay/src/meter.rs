@@ -81,6 +81,13 @@ message_kinds! {
     /// A death verdict reversed by a fresher incarnation (counts
     /// wrongful deaths, not messages; cost is always zero).
     WrongfulDeath,
+    /// A frame that failed authentication (missing, mismatched or stale
+    /// tag) under any `VerifyPolicy` other than off (counts failures,
+    /// not messages; cost is always zero).
+    ForgedFrame,
+    /// A frame *dropped* for failing authentication under the enforcing
+    /// policy — the subset of `ForgedFrame` that never touched state.
+    AuthReject,
 }
 
 /// The meter index of a kind is its discriminant; `ALL_KINDS` is in

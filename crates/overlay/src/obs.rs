@@ -227,6 +227,18 @@ pub enum ObsEventKind {
         /// Virtual-time ticks from session start to abandonment.
         elapsed: u64,
     },
+    /// A received frame failed authentication (forged, replayed, or
+    /// unsigned where a signature was required).
+    AuthReject {
+        /// The envelope's claimed sender.
+        from: Key,
+        /// Wire-message tag name of the rejected frame.
+        tag: &'static str,
+        /// Why verification failed (static reason name).
+        reason: &'static str,
+        /// Whether the frame was dropped (enforce) or merely logged.
+        dropped: bool,
+    },
 }
 
 impl ObsEventKind {
@@ -243,6 +255,7 @@ impl ObsEventKind {
             ObsEventKind::DiscoveryStart { .. } => "discovery_start",
             ObsEventKind::DiscoveryResolved { .. } => "discovery_resolved",
             ObsEventKind::DiscoveryFailed { .. } => "discovery_failed",
+            ObsEventKind::AuthReject { .. } => "auth_reject",
         }
     }
 }

@@ -19,6 +19,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use bristle_core::auth::{AuthDomain, AuthError, VerifyPolicy};
 use bristle_core::time::SimTime;
 use bristle_netsim::graph::RouterId;
 use bristle_overlay::key::Key;
@@ -283,6 +284,25 @@ pub trait NodeEnv {
     fn emit(&mut self, event: ObsEvent) {
         let _ = event;
     }
+    /// The deployment's shared authentication oracle (default `None`:
+    /// the seed deployment — frames travel unsealed, nothing verifies,
+    /// traces stay byte-identical to pre-auth runs).
+    fn auth_domain(&self) -> Option<AuthDomain> {
+        None
+    }
+    /// How strictly this node authenticates received frames.
+    fn verify_policy(&self) -> VerifyPolicy {
+        VerifyPolicy::Off
+    }
+    /// Whether a location publication for `subject` reflects live state
+    /// rather than a replay of withdrawn records (default: always
+    /// fresh). Drivers override this to consult the graveyard: a
+    /// replayed record carries the subject's *valid* signature, so
+    /// staleness — not the MAC — is what rejects it.
+    fn publish_fresh(&self, subject: Key) -> bool {
+        let _ = subject;
+        true
+    }
 }
 
 /// A parked forward waiting on an address resolution.
@@ -473,6 +493,91 @@ impl ProtoMachine {
     }
 
     // -----------------------------------------------------------------
+    // Frame authentication
+    // -----------------------------------------------------------------
+
+    /// The identity whose authority `msg` carries, if its kind is
+    /// authenticated: location records speak for their *subject*
+    /// (relays re-seal on the subject's behalf, modelling a forwarded
+    /// signature), `Alive` refutations for the refuted node, and
+    /// registrations, their acks and death verdicts for their sender.
+    /// `None` marks an unauthenticated kind (hops, acks, discovery,
+    /// heartbeats) that never carries a trailer.
+    fn signer_of(src: Key, msg: &WireMessage) -> Option<Key> {
+        match msg {
+            WireMessage::Publish { subject, .. } | WireMessage::Update { subject, .. } => {
+                Some(*subject)
+            }
+            WireMessage::Alive { node, .. } => Some(*node),
+            WireMessage::Register { .. }
+            | WireMessage::RegisterAck { .. }
+            | WireMessage::SuspectNotify { .. } => Some(src),
+            _ => None,
+        }
+    }
+
+    /// Seals `envelope` with its signer's trailer when the deployment
+    /// authenticates (no-op otherwise, and on unauthenticated kinds).
+    /// Must run *before* the envelope is cloned into a retry session so
+    /// retransmits carry the tag too.
+    fn seal(env: &dyn NodeEnv, envelope: &mut Envelope) {
+        let Some(domain) = env.auth_domain() else { return };
+        if let Some(signer) = Self::signer_of(envelope.src, &envelope.msg) {
+            envelope.auth = Some(domain.sign(signer, envelope.msg.auth_digest()));
+        }
+    }
+
+    /// Verifies a received frame's trailer: self-certification and the
+    /// MAC for authenticated kinds, plus the replay check on location
+    /// publications (a withdrawn record's signature is still valid —
+    /// only freshness rejects it).
+    fn check_frame(env: &dyn NodeEnv, envelope: &Envelope) -> Result<(), AuthError> {
+        let Some(signer) = Self::signer_of(envelope.src, &envelope.msg) else {
+            return Ok(());
+        };
+        let Some(domain) = env.auth_domain() else { return Ok(()) };
+        let Some(auth) = envelope.auth else { return Err(AuthError::MissingTag) };
+        domain.verify(signer, envelope.msg.auth_digest(), auth)?;
+        if let WireMessage::Publish { subject, .. } = envelope.msg {
+            if !env.publish_fresh(subject) {
+                return Err(AuthError::StaleRecord);
+            }
+        }
+        Ok(())
+    }
+
+    /// The receive-side authentication gate. Returns `false` when the
+    /// frame must be dropped before touching any state (enforcing
+    /// policy only); failures are metered as [`MessageKind::ForgedFrame`]
+    /// (plus [`MessageKind::AuthReject`] when dropped) and emitted to
+    /// the flight recorder either way.
+    fn admit_frame(&self, now: SimTime, env: &mut dyn NodeEnv, envelope: &Envelope) -> bool {
+        let policy = env.verify_policy();
+        if policy == VerifyPolicy::Off {
+            return true;
+        }
+        let Err(reason) = Self::check_frame(env, envelope) else { return true };
+        env.bump(MessageKind::ForgedFrame);
+        let dropped = policy == VerifyPolicy::Enforce;
+        env.emit(ObsEvent {
+            at: now.0,
+            trace: envelope.trace_id,
+            node: self.key,
+            kind: ObsEventKind::AuthReject {
+                from: envelope.src,
+                tag: envelope.msg.tag_name(),
+                reason: reason.name(),
+                dropped,
+            },
+        });
+        if dropped {
+            env.bump(MessageKind::AuthReject);
+            return false;
+        }
+        true
+    }
+
+    // -----------------------------------------------------------------
     // Operation entry points
     // -----------------------------------------------------------------
 
@@ -513,16 +618,16 @@ impl ProtoMachine {
             let to_addr = env.current_addr(child);
             let cost = env.distance(self.my_router(env), to_addr.router_id());
             env.meter(MessageKind::Update, cost);
-            let outgoing = Outgoing {
-                to_addr,
-                env: Envelope {
-                    src: self.key,
-                    dst: child,
-                    msg_id,
-                    trace_id: trace,
-                    msg: WireMessage::Update { subject, addr, seq },
-                },
+            let mut envelope = Envelope {
+                src: self.key,
+                dst: child,
+                msg_id,
+                trace_id: trace,
+                msg: WireMessage::Update { subject, addr, seq },
+                auth: None,
             };
+            Self::seal(env, &mut envelope);
+            let outgoing = Outgoing { to_addr, env: envelope };
             out.outgoing.push(outgoing.clone());
             self.updates.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: child });
             out.timers.push(Timer {
@@ -548,16 +653,16 @@ impl ProtoMachine {
         let to_addr = env.current_addr(target);
         let cost = env.distance(self.my_router(env), to_addr.router_id());
         env.meter(MessageKind::Register, cost);
-        let outgoing = Outgoing {
-            to_addr,
-            env: Envelope {
-                src: self.key,
-                dst: target,
-                msg_id,
-                trace_id: trace,
-                msg: WireMessage::Register { target, capacity },
-            },
+        let mut envelope = Envelope {
+            src: self.key,
+            dst: target,
+            msg_id,
+            trace_id: trace,
+            msg: WireMessage::Register { target, capacity },
+            auth: None,
         };
+        Self::seal(env, &mut envelope);
+        let outgoing = Outgoing { to_addr, env: envelope };
         out.outgoing.push(outgoing.clone());
         self.registers.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: target });
         out.timers.push(Timer {
@@ -584,10 +689,10 @@ impl ProtoMachine {
         let to_addr = env.current_addr(to);
         let cost = env.distance(self.my_router(env), to_addr.router_id());
         env.meter(kind, cost);
-        out.outgoing.push(Outgoing {
-            to_addr,
-            env: Envelope { src: self.key, dst: to, msg_id, trace_id: trace, msg },
-        });
+        let mut envelope =
+            Envelope { src: self.key, dst: to, msg_id, trace_id: trace, msg, auth: None };
+        Self::seal(env, &mut envelope);
+        out.outgoing.push(Outgoing { to_addr, env: envelope });
         self.observe_sends(now, env, &out);
         out
     }
@@ -623,6 +728,7 @@ impl ProtoMachine {
                 msg_id,
                 trace_id: 0,
                 msg: WireMessage::Heartbeat { seq, incarnation: self.incarnation },
+                auth: None,
             },
         });
     }
@@ -644,16 +750,16 @@ impl ProtoMachine {
         let to_addr = env.current_addr(to);
         let msg_id = self.fresh_msg_id();
         let incarnation = self.detector.incarnation_of(suspect).unwrap_or(0);
-        out.outgoing.push(Outgoing {
-            to_addr,
-            env: Envelope {
-                src: self.key,
-                dst: to,
-                msg_id,
-                trace_id: 0,
-                msg: WireMessage::SuspectNotify { suspect, incarnation },
-            },
-        });
+        let mut envelope = Envelope {
+            src: self.key,
+            dst: to,
+            msg_id,
+            trace_id: 0,
+            msg: WireMessage::SuspectNotify { suspect, incarnation },
+            auth: None,
+        };
+        Self::seal(env, &mut envelope);
+        out.outgoing.push(Outgoing { to_addr, env: envelope });
         self.observe_sends(now, env, &out);
         out
     }
@@ -695,7 +801,14 @@ impl ProtoMachine {
     /// Feeds one event (delivery or timer) through the machine.
     pub fn poll(&mut self, now: SimTime, event: Event, env: &mut dyn NodeEnv) -> Output {
         let out = match event {
-            Event::Deliver(envelope) => self.on_deliver(now, env, envelope),
+            Event::Deliver(envelope) => {
+                if self.admit_frame(now, env, &envelope) {
+                    self.on_deliver(now, env, envelope)
+                } else {
+                    // Rejected frame: no ack, no dedup entry, no state.
+                    Output::none()
+                }
+            }
             Event::Timer(kind) => self.on_timer(now, env, kind),
         };
         self.observe_sends(now, env, &out);
@@ -774,6 +887,7 @@ impl ProtoMachine {
                     route_id: parked.route_id,
                     target: parked.target,
                 },
+                auth: None,
             },
         };
         out.outgoing.push(outgoing.clone());
@@ -865,6 +979,7 @@ impl ProtoMachine {
                         session: sid,
                         probe: None,
                     },
+                    auth: None,
                 },
             });
         }
@@ -905,6 +1020,7 @@ impl ProtoMachine {
                                 session: sid,
                                 probe: None,
                             },
+                            auth: None,
                         },
                     });
                     return;
@@ -935,6 +1051,7 @@ impl ProtoMachine {
                                     session: sid,
                                     probe: Some(self.key),
                                 },
+                                auth: None,
                             },
                         });
                     }
@@ -974,6 +1091,7 @@ impl ProtoMachine {
                                     session: sid,
                                     probe: Some(terminus),
                                 },
+                                auth: None,
                             },
                         });
                     }
@@ -992,6 +1110,7 @@ impl ProtoMachine {
                                 msg_id,
                                 trace_id: trace,
                                 msg: WireMessage::ProbeMiss { subject, asker, session: sid },
+                                auth: None,
                             },
                         });
                     }
@@ -1023,6 +1142,7 @@ impl ProtoMachine {
                 msg_id,
                 trace_id: trace,
                 msg: WireMessage::DiscoveryReply { subject, session: sid, addr },
+                auth: None,
             },
         });
     }
@@ -1094,6 +1214,7 @@ impl ProtoMachine {
                         msg_id: ack_id,
                         trace_id: trace,
                         msg: WireMessage::HopAck { acked: msg_id },
+                        auth: None,
                     },
                 });
                 if !dup {
@@ -1135,16 +1256,16 @@ impl ProtoMachine {
                 }
                 let ack_to = env.current_addr(src);
                 let ack_id = self.fresh_msg_id();
-                out.outgoing.push(Outgoing {
-                    to_addr: ack_to,
-                    env: Envelope {
-                        src: self.key,
-                        dst: src,
-                        msg_id: ack_id,
-                        trace_id: trace,
-                        msg: WireMessage::RegisterAck { acked: msg_id },
-                    },
-                });
+                let mut ack = Envelope {
+                    src: self.key,
+                    dst: src,
+                    msg_id: ack_id,
+                    trace_id: trace,
+                    msg: WireMessage::RegisterAck { acked: msg_id },
+                    auth: None,
+                };
+                Self::seal(env, &mut ack);
+                out.outgoing.push(Outgoing { to_addr: ack_to, env: ack });
             }
             WireMessage::RegisterAck { acked } => {
                 if let Some(s) = self.registers.remove(&acked) {
@@ -1172,6 +1293,7 @@ impl ProtoMachine {
                         msg_id: ack_id,
                         trace_id: trace,
                         msg: WireMessage::UpdateAck { acked: msg_id },
+                        auth: None,
                     },
                 });
             }
@@ -1218,16 +1340,17 @@ impl ProtoMachine {
                     // traffic.
                     WireMessage::HeartbeatAck { seq, incarnation: self.incarnation }
                 };
-                out.outgoing.push(Outgoing {
-                    to_addr: ack_to,
-                    env: Envelope {
-                        src: self.key,
-                        dst: src,
-                        msg_id: ack_id,
-                        trace_id: trace,
-                        msg: reply,
-                    },
-                });
+                let mut reply = Envelope {
+                    src: self.key,
+                    dst: src,
+                    msg_id: ack_id,
+                    trace_id: trace,
+                    msg: reply,
+                    auth: None,
+                };
+                // The zombie-path obituary is a verdict and must verify.
+                Self::seal(env, &mut reply);
+                out.outgoing.push(Outgoing { to_addr: ack_to, env: reply });
             }
             WireMessage::HeartbeatAck { seq, incarnation } => {
                 self.digest_alive(env, src, incarnation, &mut out);
@@ -1250,19 +1373,16 @@ impl ProtoMachine {
                         kind: ObsEventKind::Refute { incarnation: self.incarnation },
                     });
                     let reply_id = self.fresh_msg_id();
-                    out.outgoing.push(Outgoing {
-                        to_addr: env.current_addr(src),
-                        env: Envelope {
-                            src: self.key,
-                            dst: src,
-                            msg_id: reply_id,
-                            trace_id: trace,
-                            msg: WireMessage::Alive {
-                                node: self.key,
-                                incarnation: self.incarnation,
-                            },
-                        },
-                    });
+                    let mut refutation = Envelope {
+                        src: self.key,
+                        dst: src,
+                        msg_id: reply_id,
+                        trace_id: trace,
+                        msg: WireMessage::Alive { node: self.key, incarnation: self.incarnation },
+                        auth: None,
+                    };
+                    Self::seal(env, &mut refutation);
+                    out.outgoing.push(Outgoing { to_addr: env.current_addr(src), env: refutation });
                     out.completions.push(Completion::SelfRefuted {
                         accuser: src,
                         incarnation: self.incarnation,
@@ -1300,6 +1420,7 @@ impl ProtoMachine {
                         msg_id: ack_id,
                         trace_id: trace,
                         msg: WireMessage::RejoinAck { incarnation },
+                        auth: None,
                     },
                 });
             }
@@ -1575,6 +1696,11 @@ mod tests {
         updates: Vec<(Key, Key, u64)>,
         registered: Vec<(Key, Key, u32)>,
         committed: Vec<(Key, Key)>,
+        // Auth knobs; the defaults (None / Off / no staleness) are the
+        // seed deployment.
+        domain: Option<AuthDomain>,
+        vpolicy: VerifyPolicy,
+        stale_subjects: HashSet<Key>,
     }
 
     impl MockEnv {
@@ -1640,6 +1766,15 @@ mod tests {
         fn commit_register(&mut self, who: Key, target: Key) {
             self.committed.push((who, target));
         }
+        fn auth_domain(&self) -> Option<AuthDomain> {
+            self.domain
+        }
+        fn verify_policy(&self) -> VerifyPolicy {
+            self.vpolicy
+        }
+        fn publish_fresh(&self, subject: Key) -> bool {
+            !self.stale_subjects.contains(&subject)
+        }
     }
 
     const A: Key = Key(10);
@@ -1671,6 +1806,7 @@ mod tests {
             msg_id: 0,
             trace_id: 0,
             msg: WireMessage::HopAck { acked: hop_id },
+            auth: None,
         };
         m.poll(t(10), Event::Deliver(ack), &mut env);
         assert_eq!(m.inflight(), 0);
@@ -1720,6 +1856,7 @@ mod tests {
             msg_id: 7,
             trace_id: 0,
             msg: WireMessage::RouteHop { origin: A, route_id: 3, target: B },
+            auth: None,
         };
         let out1 = m.poll(t(0), Event::Deliver(hop.clone()), &mut env);
         assert_eq!(out1.completions, vec![Completion::Delivered { origin: A, route_id: 3 }]);
@@ -1759,6 +1896,7 @@ mod tests {
             msg_id: 0,
             trace_id: 0,
             msg: WireMessage::DiscoveryReply { subject: M, session: sid, addr: Some(m_addr) },
+            auth: None,
         };
         let out = m.poll(t(50), Event::Deliver(reply), &mut env);
         assert!(out.completions.contains(&Completion::Resolved { subject: M }));
@@ -1843,6 +1981,7 @@ mod tests {
             msg_id: 0,
             trace_id: 0,
             msg: WireMessage::Discovery { subject: M, asker: A, session: 9, probe: None },
+            auth: None,
         };
         let out = m1.poll(t(0), Event::Deliver(q), &mut env);
         assert_eq!(out.outgoing.len(), 1);
@@ -1879,6 +2018,7 @@ mod tests {
             msg_id: 0,
             trace_id: 0,
             msg: WireMessage::Discovery { subject: M, asker: A, session: 4, probe: None },
+            auth: None,
         };
         let out = m1.poll(t(0), Event::Deliver(q), &mut env);
         assert_eq!(out.outgoing.len(), 1);
@@ -2007,6 +2147,7 @@ mod tests {
                 session: sid,
                 addr: Some(env.current_addr(M)),
             },
+            auth: None,
         };
         let out = m.poll(t(1000), Event::Deliver(reply), &mut env);
         let id2 = out.outgoing[0].env.msg_id;
@@ -2047,6 +2188,7 @@ mod tests {
                 session: sid,
                 addr: Some(env.current_addr(M)),
             },
+            auth: None,
         };
         let out = m.poll(t(10), Event::Deliver(reply), &mut env);
         assert_eq!(out.outgoing.len(), 2, "both parked forwards resume");
@@ -2219,6 +2361,7 @@ mod tests {
             msg_id: 50,
             trace_id: 0,
             msg: WireMessage::Alive { node: M, incarnation: 2 },
+            auth: None,
         };
         a.poll(t(0), Event::Deliver(alive), &mut env);
         let notice = herald.notify_suspect(t(1), &mut env, A, M).outgoing[0].env.clone();
@@ -2233,8 +2376,145 @@ mod tests {
             msg_id: 51,
             trace_id: 0,
             msg: WireMessage::Alive { node: M, incarnation: 2 },
+            auth: None,
         };
         let out = a.poll(t(2), Event::Deliver(stale_alive), &mut env);
         assert!(out.completions.is_empty());
+    }
+
+    // -----------------------------------------------------------------
+    // Frame authentication
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn sealed_register_round_trip_verifies_under_enforcement() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(M, 3, 9).mobile(M);
+        env.domain = Some(AuthDomain::new(8));
+        env.vpolicy = VerifyPolicy::Enforce;
+        let mut who = ProtoMachine::new(A, policy());
+        let out = who.start_register(t(0), &mut env, M, 12);
+        let reg = out.outgoing[0].env.clone();
+        assert!(reg.auth.is_some(), "the register travels sealed");
+
+        let mut target = ProtoMachine::new(M, policy());
+        let r = target.poll(t(1), Event::Deliver(reg), &mut env);
+        assert_eq!(env.registered, vec![(M, A, 12)]);
+        assert!(r.outgoing[0].env.auth.is_some(), "the ack travels sealed too");
+        let out = who.poll(t(2), Event::Deliver(r.outgoing[0].env.clone()), &mut env);
+        assert_eq!(out.completions, vec![Completion::Registered { target: M }]);
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 0);
+    }
+
+    #[test]
+    fn forged_alive_dropped_under_enforcement_but_digested_log_only() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        env.domain = Some(AuthDomain::new(8));
+        env.vpolicy = VerifyPolicy::Enforce;
+        let mut a = ProtoMachine::new(A, policy());
+        a.monitor(M);
+        // An adversary refutes on M's behalf: the pubkey certifies M but
+        // the tag was minted without M's secret.
+        let forged = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 9,
+            trace_id: 0,
+            msg: WireMessage::Alive { node: M, incarnation: 7 },
+            auth: Some(AuthDomain::forged(M)),
+        };
+        let out = a.poll(t(0), Event::Deliver(forged.clone()), &mut env);
+        assert!(out.completions.is_empty() && out.outgoing.is_empty());
+        assert_eq!(a.peer_incarnation(M), Some(0), "forged evidence never digested");
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 1);
+        assert_eq!(env.meter.count(MessageKind::AuthReject), 1);
+
+        env.vpolicy = VerifyPolicy::LogOnly;
+        a.poll(t(1), Event::Deliver(forged), &mut env);
+        assert_eq!(a.peer_incarnation(M), Some(7), "log-only meters but still digests");
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 2);
+        assert_eq!(env.meter.count(MessageKind::AuthReject), 1, "nothing more dropped");
+    }
+
+    #[test]
+    fn unsigned_verdict_rejected_when_enforcing() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        env.domain = Some(AuthDomain::new(8));
+        env.vpolicy = VerifyPolicy::Enforce;
+        let mut a = ProtoMachine::new(A, policy());
+        a.monitor(M);
+        let bare = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 4,
+            trace_id: 0,
+            msg: WireMessage::SuspectNotify { suspect: M, incarnation: 0 },
+            auth: None,
+        };
+        let out = a.poll(t(0), Event::Deliver(bare), &mut env);
+        assert!(out.completions.is_empty());
+        assert_eq!(a.liveness(M), Some(Liveness::Fresh), "untagged verdict ignored");
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 1);
+        assert_eq!(env.meter.count(MessageKind::AuthReject), 1);
+    }
+
+    #[test]
+    fn replayed_publish_with_valid_signature_rejected_as_stale() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(M, 3, 9).mobile(M);
+        let domain = AuthDomain::new(8);
+        env.domain = Some(domain);
+        env.vpolicy = VerifyPolicy::Enforce;
+        env.stale_subjects.insert(M);
+        let mut holder = ProtoMachine::new(A, policy());
+        // The signature is genuinely M's — replayed from before the
+        // withdrawal — so only the freshness check can reject it.
+        let msg = WireMessage::Publish {
+            subject: M,
+            addr: WireAddr { host: 3, router: 9, epoch: 0 },
+            seq: 1,
+        };
+        let auth = Some(domain.sign(M, msg.auth_digest()));
+        let replay = Envelope { src: M, dst: A, msg_id: 5, trace_id: 0, msg, auth };
+        holder.poll(t(0), Event::Deliver(replay.clone()), &mut env);
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 1);
+        assert_eq!(env.meter.count(MessageKind::AuthReject), 1);
+
+        // The same frame for a live subject sails through.
+        env.stale_subjects.clear();
+        holder.poll(t(1), Event::Deliver(replay), &mut env);
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 1, "fresh record accepted");
+    }
+
+    /// The PR-5 wrongful-death handshake, replayed end to end with
+    /// enforcement on: every authority-bearing frame travels sealed and
+    /// the honest exchange never trips the gate.
+    #[test]
+    fn refutation_round_trip_survives_enforcement() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5).with_node(M, 3, 9);
+        env.domain = Some(AuthDomain::new(8));
+        env.vpolicy = VerifyPolicy::Enforce;
+        let mut a = ProtoMachine::new(A, policy());
+        let mut b = ProtoMachine::new(B, policy());
+        let mut herald = ProtoMachine::new(M, policy());
+        a.monitor(B);
+        b.monitor(A);
+
+        let notice = herald.notify_suspect(t(0), &mut env, A, B).outgoing[0].env.clone();
+        assert!(notice.auth.is_some(), "verdicts travel sealed");
+        a.poll(t(0), Event::Deliver(notice), &mut env);
+        assert_eq!(a.liveness(B), Some(Liveness::Dead));
+
+        let probe = b.start_heartbeats(t(10), &mut env).outgoing[0].env.clone();
+        assert!(probe.auth.is_none(), "heartbeats are unauthenticated kinds");
+        let obituary = a.poll(t(11), Event::Deliver(probe), &mut env).outgoing[0].env.clone();
+        assert!(obituary.auth.is_some(), "the zombie-path obituary is sealed");
+        let refutation = b.poll(t(12), Event::Deliver(obituary), &mut env).outgoing[0].env.clone();
+        assert!(refutation.auth.is_some(), "the Alive refutation is sealed");
+        let out = a.poll(t(13), Event::Deliver(refutation), &mut env);
+        assert_eq!(
+            out.completions,
+            vec![Completion::PeerRefuted { peer: B, incarnation: 1, was_dead: true }]
+        );
+        assert_eq!(a.liveness(B), Some(Liveness::Fresh));
+        assert_eq!(env.meter.count(MessageKind::ForgedFrame), 0, "honest traffic never rejected");
     }
 }

@@ -357,6 +357,7 @@ mod tests {
             msg_id: id,
             trace_id: 0,
             msg: WireMessage::Refresh { key: Key(1) },
+            auth: None,
         }
     }
 

@@ -8,6 +8,8 @@
 //! container does not already ship. Decoding is total — every byte string
 //! either round-trips or yields a [`WireError`], never a panic.
 
+use bristle_core::auth::fnv1a64;
+pub use bristle_core::auth::WireAuth;
 use bristle_netsim::attach::{Attachment, HostId};
 use bristle_netsim::graph::RouterId;
 use bristle_overlay::addr::NetAddr;
@@ -252,6 +254,75 @@ impl WireMessage {
             WireMessage::RejoinAck { .. } => "RejoinAck",
         }
     }
+
+    /// Writes the tagged message body — the bytes shared by the codec and
+    /// the authentication digest.
+    fn write_body(&self, w: &mut Writer) {
+        w.u8(self.tag());
+        match self {
+            WireMessage::RouteHop { origin, route_id, target } => {
+                w.key(*origin);
+                w.u64(*route_id);
+                w.key(*target);
+            }
+            WireMessage::HopAck { acked }
+            | WireMessage::RegisterAck { acked }
+            | WireMessage::UpdateAck { acked } => w.u64(*acked),
+            WireMessage::Discovery { subject, asker, session, probe } => {
+                w.key(*subject);
+                w.key(*asker);
+                w.u64(*session);
+                w.opt_key(*probe);
+            }
+            WireMessage::DiscoveryReply { subject, session, addr } => {
+                w.key(*subject);
+                w.u64(*session);
+                w.opt_addr(*addr);
+            }
+            WireMessage::ProbeMiss { subject, asker, session } => {
+                w.key(*subject);
+                w.key(*asker);
+                w.u64(*session);
+            }
+            WireMessage::Register { target, capacity } => {
+                w.key(*target);
+                w.u32(*capacity);
+            }
+            WireMessage::Update { subject, addr, seq }
+            | WireMessage::Publish { subject, addr, seq } => {
+                w.key(*subject);
+                w.addr(*addr);
+                w.u64(*seq);
+            }
+            WireMessage::JoinProbe { key }
+            | WireMessage::Leave { key }
+            | WireMessage::Refresh { key } => w.key(*key),
+            WireMessage::Heartbeat { seq, incarnation }
+            | WireMessage::HeartbeatAck { seq, incarnation } => {
+                w.u64(*seq);
+                w.u64(*incarnation);
+            }
+            WireMessage::SuspectNotify { suspect, incarnation }
+            | WireMessage::Alive { node: suspect, incarnation } => {
+                w.key(*suspect);
+                w.u64(*incarnation);
+            }
+            WireMessage::Rejoin { incarnation } | WireMessage::RejoinAck { incarnation } => {
+                w.u64(*incarnation)
+            }
+        }
+    }
+
+    /// Digest of the tagged message body, the value an authentication tag
+    /// signs. Deliberately excludes the envelope header (src/dst/msg_id/
+    /// trace_id) so a relayed frame — an `Alive` forwarded on a corpse's
+    /// behalf, a record pushed replica-to-replica — keeps its original
+    /// signer's valid signature.
+    pub fn auth_digest(&self) -> u64 {
+        let mut w = Writer(Vec::with_capacity(40));
+        self.write_body(&mut w);
+        fnv1a64(&w.0)
+    }
 }
 
 /// A message addressed between two overlay nodes.
@@ -272,6 +343,11 @@ pub struct Envelope {
     pub trace_id: u64,
     /// The payload.
     pub msg: WireMessage,
+    /// Authentication trailer: the signer's pubkey and a MAC over the
+    /// message body (see [`WireMessage::auth_digest`]). `None` on
+    /// unauthenticated kinds and on every frame of a pre-auth deployment,
+    /// which keeps the seed wire format a strict prefix of this one.
+    pub auth: Option<WireAuth>,
 }
 
 /// Codec failure: the byte string is not a well-formed envelope.
@@ -390,65 +466,21 @@ impl<'a> Reader<'a> {
 }
 
 impl Envelope {
-    /// Serializes the envelope: `src, dst, msg_id, trace_id` then a
-    /// tagged message.
+    /// Serializes the envelope: `src, dst, msg_id, trace_id`, a tagged
+    /// message, then the optional authentication trailer.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer(Vec::with_capacity(64));
         w.key(self.src);
         w.key(self.dst);
         w.u64(self.msg_id);
         w.u64(self.trace_id);
-        w.u8(self.msg.tag());
-        match &self.msg {
-            WireMessage::RouteHop { origin, route_id, target } => {
-                w.key(*origin);
-                w.u64(*route_id);
-                w.key(*target);
-            }
-            WireMessage::HopAck { acked }
-            | WireMessage::RegisterAck { acked }
-            | WireMessage::UpdateAck { acked } => w.u64(*acked),
-            WireMessage::Discovery { subject, asker, session, probe } => {
-                w.key(*subject);
-                w.key(*asker);
-                w.u64(*session);
-                w.opt_key(*probe);
-            }
-            WireMessage::DiscoveryReply { subject, session, addr } => {
-                w.key(*subject);
-                w.u64(*session);
-                w.opt_addr(*addr);
-            }
-            WireMessage::ProbeMiss { subject, asker, session } => {
-                w.key(*subject);
-                w.key(*asker);
-                w.u64(*session);
-            }
-            WireMessage::Register { target, capacity } => {
-                w.key(*target);
-                w.u32(*capacity);
-            }
-            WireMessage::Update { subject, addr, seq }
-            | WireMessage::Publish { subject, addr, seq } => {
-                w.key(*subject);
-                w.addr(*addr);
-                w.u64(*seq);
-            }
-            WireMessage::JoinProbe { key }
-            | WireMessage::Leave { key }
-            | WireMessage::Refresh { key } => w.key(*key),
-            WireMessage::Heartbeat { seq, incarnation }
-            | WireMessage::HeartbeatAck { seq, incarnation } => {
-                w.u64(*seq);
-                w.u64(*incarnation);
-            }
-            WireMessage::SuspectNotify { suspect, incarnation }
-            | WireMessage::Alive { node: suspect, incarnation } => {
-                w.key(*suspect);
-                w.u64(*incarnation);
-            }
-            WireMessage::Rejoin { incarnation } | WireMessage::RejoinAck { incarnation } => {
-                w.u64(*incarnation)
+        self.msg.write_body(&mut w);
+        match self.auth {
+            None => w.u8(0),
+            Some(a) => {
+                w.u8(1);
+                w.u64(a.pubkey);
+                w.u64(a.tag);
             }
         }
         w.0
@@ -493,10 +525,15 @@ impl Envelope {
             18 => WireMessage::RejoinAck { incarnation: r.u64()? },
             t => return Err(WireError::BadTag(t)),
         };
+        let auth = match r.u8()? {
+            0 => None,
+            1 => Some(WireAuth { pubkey: r.u64()?, tag: r.u64()? }),
+            b => return Err(WireError::BadOption(b)),
+        };
         if r.pos != bytes.len() {
             return Err(WireError::TrailingBytes(bytes.len() - r.pos));
         }
-        Ok(Envelope { src, dst, msg_id, trace_id, msg })
+        Ok(Envelope { src, dst, msg_id, trace_id, msg, auth })
     }
 }
 
@@ -553,16 +590,28 @@ mod tests {
     /// encode → decode → re-encode reproduces the original bytes exactly.
     /// Future wire changes cannot silently skew one direction of the codec
     /// without failing this test.
+    /// Every variant with and without an authentication trailer — the
+    /// exhaustive inputs the codec tests run over.
+    fn every_envelope() -> Vec<Envelope> {
+        let mut out = Vec::new();
+        for (i, msg) in every_message().into_iter().enumerate() {
+            for auth in [None, Some(WireAuth { pubkey: 0xabc ^ i as u64, tag: 77 + i as u64 })] {
+                out.push(Envelope {
+                    src: Key(300 + i as u64),
+                    dst: Key(400),
+                    msg_id: i as u64,
+                    trace_id: 9,
+                    msg: msg.clone(),
+                    auth,
+                });
+            }
+        }
+        out
+    }
+
     #[test]
     fn every_variant_reencodes_byte_identically() {
-        for (i, msg) in every_message().into_iter().enumerate() {
-            let env = Envelope {
-                src: Key(300 + i as u64),
-                dst: Key(400),
-                msg_id: i as u64,
-                trace_id: 9,
-                msg,
-            };
+        for (i, env) in every_envelope().into_iter().enumerate() {
             let bytes = env.encode();
             let back = Envelope::decode(&bytes).expect("decodes");
             assert_eq!(back.encode(), bytes, "variant {i} re-encode differs");
@@ -571,14 +620,7 @@ mod tests {
 
     #[test]
     fn every_variant_round_trips() {
-        for (i, msg) in every_message().into_iter().enumerate() {
-            let env = Envelope {
-                src: Key(100 + i as u64),
-                dst: Key(200),
-                msg_id: i as u64,
-                trace_id: 8,
-                msg,
-            };
+        for (i, env) in every_envelope().into_iter().enumerate() {
             let bytes = env.encode();
             let back = Envelope::decode(&bytes).expect("decodes");
             assert_eq!(back, env, "variant {i}");
@@ -594,10 +636,12 @@ mod tests {
         assert_eq!(seen.len(), 19);
     }
 
+    /// Truncating an authenticated *or* unauthenticated frame at every
+    /// possible length is a clean `Truncated` error — in particular a
+    /// trailer cut mid-tag never passes as unauthenticated.
     #[test]
     fn truncation_at_every_length_is_an_error_not_a_panic() {
-        for msg in every_message() {
-            let env = Envelope { src: Key(1), dst: Key(2), msg_id: 3, trace_id: 4, msg };
+        for env in every_envelope() {
             let bytes = env.encode();
             for cut in 0..bytes.len() {
                 assert_eq!(Envelope::decode(&bytes[..cut]), Err(WireError::Truncated), "cut {cut}");
@@ -613,6 +657,7 @@ mod tests {
             msg_id: 3,
             trace_id: 4,
             msg: WireMessage::Leave { key: Key(4) },
+            auth: None,
         };
         let mut bytes = env.encode();
         bytes.push(0xff);
@@ -627,6 +672,7 @@ mod tests {
             msg_id: 3,
             trace_id: 4,
             msg: WireMessage::Leave { key: Key(4) },
+            auth: None,
         };
         let mut bytes = env.encode();
         bytes[32] = 200; // tag byte follows src+dst+msg_id+trace_id
@@ -641,10 +687,53 @@ mod tests {
             msg_id: 3,
             trace_id: 4,
             msg: WireMessage::DiscoveryReply { subject: Key(5), session: 6, addr: None },
+            auth: None,
         };
         let mut bytes = env.encode();
-        *bytes.last_mut().unwrap() = 7; // option prefix is the final byte
+        // Layout: 32-byte header, tag, subject (8), session (8), addr
+        // option, auth option. Corrupt each option prefix in turn.
+        let addr_opt = 32 + 1 + 8 + 8;
+        bytes[addr_opt] = 7;
         assert_eq!(Envelope::decode(&bytes), Err(WireError::BadOption(7)));
+        bytes[addr_opt] = 0;
+        *bytes.last_mut().unwrap() = 9; // auth option prefix is the final byte
+        assert_eq!(Envelope::decode(&bytes), Err(WireError::BadOption(9)));
+    }
+
+    /// The digest signs the message body only: relabeling the envelope
+    /// (src/dst/msg_id/trace_id) keeps the digest — and hence a relayed
+    /// frame's signature — intact, while any body change breaks it.
+    #[test]
+    fn auth_digest_covers_exactly_the_body() {
+        let msg = WireMessage::Alive { node: Key(25), incarnation: 4 };
+        let relabeled = msg.clone();
+        assert_eq!(msg.auth_digest(), relabeled.auth_digest());
+        let other = WireMessage::Alive { node: Key(25), incarnation: 5 };
+        assert_ne!(msg.auth_digest(), other.auth_digest());
+        // Same field bytes under a different tag must not collide either.
+        let suspect = WireMessage::SuspectNotify { suspect: Key(25), incarnation: 4 };
+        assert_ne!(msg.auth_digest(), suspect.auth_digest());
+    }
+
+    /// The trailer is self-delimiting: an authenticated frame decodes to
+    /// the same message as its unauthenticated twin plus the trailer.
+    #[test]
+    fn auth_trailer_is_a_strict_suffix() {
+        for msg in every_message() {
+            let plain = Envelope {
+                src: Key(1),
+                dst: Key(2),
+                msg_id: 3,
+                trace_id: 4,
+                msg: msg.clone(),
+                auth: None,
+            };
+            let sealed = Envelope { auth: Some(WireAuth { pubkey: 10, tag: 20 }), ..plain.clone() };
+            let pb = plain.encode();
+            let sb = sealed.encode();
+            assert_eq!(sb.len(), pb.len() + 16, "trailer adds exactly pubkey+tag");
+            assert_eq!(&sb[..pb.len() - 1], &pb[..pb.len() - 1], "shared prefix");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod baseline_type_a;
 pub mod baseline_type_b;
 pub mod churn;
@@ -35,6 +36,7 @@ pub mod runreport;
 pub mod scenario;
 pub mod workload;
 
+pub use adversary::{run_attack, AttackConfig, AttackFamily, AttackOutcome, ALL_FAMILIES};
 pub use baseline_type_a::TypeASystem;
 pub use baseline_type_b::TypeBSystem;
 pub use churn::{ChurnAction, ChurnModel};

@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
+use bristle_core::auth::{AuthDomain, VerifyPolicy};
 use bristle_core::durable::WalRecord;
 use bristle_core::heal::DeathReport;
 use bristle_core::location::LocationRecord;
@@ -39,7 +40,7 @@ use bristle_proto::machine::{
     Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind,
 };
 use bristle_proto::transport::{Delivery, FaultConfig, LinkFilter, SimTransport, Transport};
-use bristle_proto::wire::WireAddr;
+use bristle_proto::wire::{Envelope, WireAddr};
 
 use crate::engine::EventQueue;
 
@@ -247,6 +248,19 @@ struct SystemEnv<'a> {
     tombstones: &'a HashMap<Key, WireAddr>,
     /// Destination for machine-emitted structured events.
     obs: &'a mut ObsCollector,
+    /// The run's authentication configuration (defaults are the seed
+    /// deployment: unsealed frames, nothing verified).
+    auth: AuthConfig,
+}
+
+/// Authentication configuration of one messaging run, shared by every
+/// node's environment.
+#[derive(Debug, Clone, Copy, Default)]
+struct AuthConfig {
+    /// The deployment's key-derivation oracle (`None` = pre-auth seed).
+    domain: Option<AuthDomain>,
+    /// How strictly received frames are checked.
+    policy: VerifyPolicy,
 }
 
 /// Where mail for a node nobody ever knew goes: a syntactically valid
@@ -398,6 +412,21 @@ impl NodeEnv for SystemEnv<'_> {
     fn emit(&mut self, event: ObsEvent) {
         self.obs.observe(event);
     }
+
+    fn auth_domain(&self) -> Option<AuthDomain> {
+        self.auth.domain
+    }
+
+    fn verify_policy(&self) -> VerifyPolicy {
+        self.auth.policy
+    }
+
+    fn publish_fresh(&self, subject: Key) -> bool {
+        // A replayed publication carries its subject's *valid* signature
+        // — staleness is the only thing that can reject it. Withdrawn
+        // means the subject's funeral is confirmed system-wide.
+        !self.sys.is_confirmed_dead(subject)
+    }
 }
 
 /// A [`BristleSystem`] driven entirely by messages over a
@@ -424,6 +453,8 @@ pub struct MessagingBristleSystem {
     rejoin_log: Vec<RejoinRecord>,
     /// Flight recorder and latency histograms for this run.
     obs: ObsCollector,
+    /// Authentication configuration shared by every node's environment.
+    auth: AuthConfig,
 }
 
 impl MessagingBristleSystem {
@@ -456,7 +487,59 @@ impl MessagingBristleSystem {
             wrongly_buried: BTreeMap::new(),
             rejoin_log: Vec::new(),
             obs: ObsCollector::default(),
+            auth: AuthConfig::default(),
         }
+    }
+
+    /// Turns on frame authentication: honest machines seal every
+    /// authority-bearing frame under the domain derived from `seed`.
+    /// Verification strictness is set separately with
+    /// [`Self::set_verify_policy`] — sealing without verification is
+    /// exactly the log-only migration posture.
+    pub fn enable_auth(&mut self, seed: u64) {
+        self.auth.domain = Some(AuthDomain::new(seed));
+    }
+
+    /// Sets how strictly received frames are authenticated. Meaningful
+    /// once [`Self::enable_auth`] has established a domain; without one
+    /// every kind is treated as unauthenticated and nothing is checked.
+    pub fn set_verify_policy(&mut self, policy: VerifyPolicy) {
+        self.auth.policy = policy;
+    }
+
+    /// The deployment's authentication domain, if auth is enabled. The
+    /// adversary driver uses this to mint *identity-certifying* (but
+    /// MAC-invalid) trailers and to replay genuinely signed frames.
+    pub fn auth_domain(&self) -> Option<AuthDomain> {
+        self.auth.domain
+    }
+
+    /// Injects an adversary-crafted frame into the transport as if some
+    /// node at `from_router` had sent it: same link latencies, faults
+    /// and delivery scheduling as honest traffic. The adversary is a
+    /// protocol-level attacker — it can put any bytes on the wire, but
+    /// the honest receive path (and its [`VerifyPolicy`]) decides what
+    /// those bytes do.
+    pub fn inject_frame(&mut self, from_router: RouterId, to_addr: WireAddr, env: Envelope) {
+        let now = self.queue.now();
+        let to_router = to_addr.router_id();
+        for d in self.transport.send(now, from_router, to_router, env) {
+            self.queue.schedule_at(d.at, MsgEvent::Deliver(d));
+        }
+    }
+
+    /// Drains every event the injected frames (and any reactions they
+    /// provoke) schedule, then reports how many events ran. The
+    /// adversary driver calls this after a volley of [`Self::inject_frame`]s.
+    pub fn settle_injected(&mut self) -> u64 {
+        let mut events = 0u64;
+        while self.step() {
+            events += 1;
+            if events > MAX_EVENTS_PER_OP {
+                break;
+            }
+        }
+        events
     }
 
     /// Overrides the failure-detection policy used by every machine
@@ -701,6 +784,7 @@ impl MessagingBristleSystem {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
+                    auth: self.auth,
                 };
                 machine.start_heartbeats(now, &mut env)
             };
@@ -758,6 +842,7 @@ impl MessagingBristleSystem {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
+                    auth: self.auth,
                 };
                 machine.notify_suspect(now, &mut env, f, f)
             };
@@ -786,6 +871,7 @@ impl MessagingBristleSystem {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
+                    auth: self.auth,
                 };
                 machine.start_rejoin(now, &mut env, sponsor)
             };
@@ -887,6 +973,7 @@ impl MessagingBristleSystem {
                         sys: &mut self.sys,
                         tombstones: &self.tombstones,
                         obs: &mut self.obs,
+                        auth: self.auth,
                     };
                     machine.notify_suspect(now, &mut env, peer, key)
                 };
@@ -923,8 +1010,12 @@ impl MessagingBristleSystem {
         let now = self.queue.now();
         let (route_id, out) = {
             let machine = machine_entry(&mut self.machines, src, self.policy, self.failure_policy);
-            let mut env =
-                SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones, obs: &mut self.obs };
+            let mut env = SystemEnv {
+                sys: &mut self.sys,
+                tombstones: &self.tombstones,
+                obs: &mut self.obs,
+                auth: self.auth,
+            };
             machine.start_route(now, &mut env, target)
         };
         self.dispatch(src, out);
@@ -979,6 +1070,7 @@ impl MessagingBristleSystem {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
+                    auth: self.auth,
                 };
                 machine.start_update(now, &mut env, key, addr, info.seq, &children)
             };
@@ -1034,8 +1126,12 @@ impl MessagingBristleSystem {
         let now = self.queue.now();
         let out = {
             let machine = machine_entry(&mut self.machines, who, self.policy, self.failure_policy);
-            let mut env =
-                SystemEnv { sys: &mut self.sys, tombstones: &self.tombstones, obs: &mut self.obs };
+            let mut env = SystemEnv {
+                sys: &mut self.sys,
+                tombstones: &self.tombstones,
+                obs: &mut self.obs,
+                auth: self.auth,
+            };
             machine.start_register(now, &mut env, target, info.capacity)
         };
         self.dispatch(who, out);
@@ -1114,6 +1210,7 @@ impl MessagingBristleSystem {
                             sys: &mut self.sys,
                             tombstones: &self.tombstones,
                             obs: &mut self.obs,
+                            auth: self.auth,
                         };
                         machine.poll(now, Event::Deliver(d.env), &mut env)
                     };
@@ -1127,6 +1224,7 @@ impl MessagingBristleSystem {
                             sys: &mut self.sys,
                             tombstones: &self.tombstones,
                             obs: &mut self.obs,
+                            auth: self.auth,
                         };
                         machine.poll(now, Event::Timer(kind), &mut env)
                     };

@@ -30,9 +30,11 @@
 //!   `(snapshot, empty log)` encodes the same state the pair
 //!   `(old snapshot, full log)` did.
 
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{ErrorKind, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 use crate::record::WalRecord;
 use crate::state::DurableState;
@@ -47,6 +49,81 @@ pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BRSNP1\0\0";
 /// bytes; the cap keeps a corrupted length field from provoking a huge
 /// allocation.
 const MAX_PAYLOAD: u32 = 1 << 16;
+
+/// Directories currently locked by backends in *this* process. The
+/// on-disk `wal.lock` file carries only a PID, so same-process
+/// double-opens need their own ledger (both would present the same,
+/// very-much-alive PID).
+fn open_dirs() -> &'static Mutex<HashSet<PathBuf>> {
+    static OPEN_DIRS: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    OPEN_DIRS.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Whether `pid` names a live process. Uses `/proc` where it exists;
+/// elsewhere every foreign lock looks stale, which errs toward
+/// recoverability (the in-process ledger still catches same-process
+/// double-opens, the common corruption source).
+fn pid_alive(pid: u32) -> bool {
+    Path::new("/proc").join(pid.to_string()).exists()
+}
+
+/// Takes the exclusive open lock on `dir`, or explains who holds it.
+///
+/// Two cooperating layers: `wal.lock` (created exclusively, holding the
+/// owner's PID) fences other processes, and the in-process ledger
+/// fences a second open in this one. A lock file whose PID is no
+/// longer running is a crash leftover and is broken silently — crash
+/// recovery must not require manual cleanup.
+fn acquire_dir_lock(dir: &Path) -> std::io::Result<PathBuf> {
+    let canonical = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+    let lock_path = dir.join("wal.lock");
+    {
+        let held = open_dirs().lock().expect("lock ledger poisoned");
+        if held.contains(&canonical) {
+            return Err(std::io::Error::new(
+                ErrorKind::AddrInUse,
+                format!("{} is already open in this process", dir.display()),
+            ));
+        }
+    }
+    for attempt in 0..2 {
+        match OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+            Ok(mut f) => {
+                f.write_all(std::process::id().to_string().as_bytes())?;
+                open_dirs().lock().expect("lock ledger poisoned").insert(canonical);
+                return Ok(lock_path);
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists && attempt == 0 => {
+                let holder = std::fs::read_to_string(&lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    // A live foreign process holds it: refuse.
+                    Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                        return Err(std::io::Error::new(
+                            ErrorKind::AddrInUse,
+                            format!("{} is locked by live pid {pid}", dir.display()),
+                        ));
+                    }
+                    // Dead owner, our own stale leftover, or garbage
+                    // contents: break the lock and retry once.
+                    _ => {
+                        std::fs::remove_file(&lock_path)?;
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("second create_new attempt either succeeds or errors")
+}
+
+/// Releases the lock taken by [`acquire_dir_lock`].
+fn release_dir_lock(dir: &Path, lock_path: &Path) {
+    let canonical = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+    open_dirs().lock().expect("lock ledger poisoned").remove(&canonical);
+    let _ = std::fs::remove_file(lock_path);
+}
 
 /// FNV-1a, 32-bit: tiny, dependency-free, and plenty to catch torn
 /// writes and bit rot (this is corruption *detection*, not security).
@@ -88,6 +165,15 @@ pub struct WalBackend {
     /// trait is infallible (the in-memory fold must advance regardless),
     /// so disk trouble is latched here instead of panicking.
     io_error: Option<String>,
+    /// Path of the `wal.lock` file held for this directory; released
+    /// (ledger entry and file) on drop.
+    lock_path: PathBuf,
+}
+
+impl Drop for WalBackend {
+    fn drop(&mut self) {
+        release_dir_lock(&self.dir, &self.lock_path);
+    }
 }
 
 /// Encodes one frame.
@@ -165,6 +251,26 @@ impl WalBackend {
     pub fn open(dir: impl Into<PathBuf>, snapshot_every: u64) -> std::io::Result<WalBackend> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        // Exclusive-open fence: a second live opener — same process or
+        // another — gets `AddrInUse` instead of a shared append handle
+        // silently interleaving frames.
+        let lock_path = acquire_dir_lock(&dir)?;
+        match Self::open_locked(&dir, snapshot_every, lock_path.clone()) {
+            Ok(backend) => Ok(backend),
+            Err(e) => {
+                release_dir_lock(&dir, &lock_path);
+                Err(e)
+            }
+        }
+    }
+
+    /// The body of [`Self::open`], run while holding the dir lock.
+    fn open_locked(
+        dir: &Path,
+        snapshot_every: u64,
+        lock_path: PathBuf,
+    ) -> std::io::Result<WalBackend> {
+        let dir = dir.to_path_buf();
         let mut state = DurableState::new();
         let mut replay = ReplayReport::default();
 
@@ -206,7 +312,16 @@ impl WalBackend {
 
         let mut log = OpenOptions::new().append(true).open(&log_path)?;
         log.seek(SeekFrom::End(0))?;
-        Ok(WalBackend { dir, state, log, log_frames, snapshot_every, replay, io_error: None })
+        Ok(WalBackend {
+            dir,
+            state,
+            log,
+            log_frames,
+            snapshot_every,
+            replay,
+            io_error: None,
+            lock_path,
+        })
     }
 
     /// The directory this backend persists into.
@@ -583,5 +698,55 @@ mod tests {
             "01000000",
         );
         assert_eq!(hex, golden, "snapshot encoding drifted from the golden bytes");
+    }
+
+    #[test]
+    fn double_open_fails_fast_until_the_first_is_dropped() {
+        let dir = scratch("double-open");
+        let first = WalBackend::open(&dir, 0).unwrap();
+        let second = WalBackend::open(&dir, 0);
+        assert!(second.is_err(), "second live open must be refused");
+        assert_eq!(second.unwrap_err().kind(), ErrorKind::AddrInUse);
+        drop(first);
+        // Dropping the first releases the lock: the directory opens again.
+        let third = WalBackend::open(&dir, 0).expect("open succeeds after release");
+        drop(third);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_broken_silently() {
+        let dir = scratch("stale-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crash leftover: a lock file naming a PID that cannot be
+        // running (PIDs this large are rejected by the kernel).
+        std::fs::write(dir.join("wal.lock"), "4194305").unwrap();
+        let b = WalBackend::open(&dir, 0).expect("stale lock must not require manual cleanup");
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_lock_contents_are_treated_as_stale() {
+        let dir = scratch("garbage-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("wal.lock"), "not-a-pid").unwrap();
+        let b = WalBackend::open(&dir, 0).expect("unreadable lock is a crash artifact");
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_open_releases_the_lock() {
+        let dir = scratch("failed-open-release");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A corrupt snapshot makes open fail *after* the lock is taken.
+        std::fs::write(dir.join("snapshot.bin"), b"WRONGMAGIC").unwrap();
+        assert!(WalBackend::open(&dir, 0).is_err(), "corrupt snapshot is a hard error");
+        // The failure must not leave the directory wedged.
+        std::fs::remove_file(dir.join("snapshot.bin")).unwrap();
+        let b = WalBackend::open(&dir, 0).expect("lock released by the failed open");
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -176,9 +176,99 @@ fn assert_replay_beats_republication(seed: u64) {
     assert!(replay.converged, "seed {seed}: WAL restart never converged: {replay:?}");
 }
 
+/// A node that sleeps through every lease it held must come back
+/// *clean*: no resurrected leases, no registrations to targets that
+/// died during the outage — and it must be able to re-acquire both
+/// through the normal protocol afterwards.
+fn assert_expired_leases_do_not_resurrect(seed: u64) {
+    let dir = scratch("expired-leases", seed);
+    let sys = BristleBuilder::new(seed)
+        .stationary_nodes(40)
+        .mobile_nodes(16)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig::recommended())
+        .build()
+        .expect("system builds");
+    let lease_ttl = sys.config().lease_ttl;
+    let mut msys = MessagingBristleSystem::new(sys, FaultConfig::perfect(), seed);
+
+    // The victim registers with two live targets, holding a lease on
+    // each; one target will die during the victim's outage.
+    let mobiles: Vec<Key> = msys.sys.mobile_keys().to_vec();
+    let (victim, target, doomed) = (mobiles[0], mobiles[1], mobiles[2]);
+    msys.sys.stores.attach_wal(victim, WalBackend::open(&dir, 8).expect("WAL opens"));
+    msys.register(victim, target).expect("registration completes");
+    msys.register(victim, doomed).expect("registration completes");
+    assert!(msys.sys.leases.is_fresh(victim, target, msys.sys.clock.now()));
+    assert!(msys.sys.leases.is_fresh(victim, doomed, msys.sys.clock.now()));
+
+    // Crash, bury, and let the whole outage outlive every lease.
+    msys.seed_monitors();
+    msys.fail_silently(victim);
+    let mut confirmed = false;
+    for _ in 0..8 {
+        if msys.heartbeat_round().contains(&victim) {
+            confirmed = true;
+            break;
+        }
+        msys.sys.tick(1);
+    }
+    assert!(confirmed, "seed {seed}: the crash was never detected");
+    msys.confirm_and_heal(victim).expect("victim is known");
+    // One of the victim's targets dies while the victim is down.
+    msys.fail_silently(doomed);
+    msys.confirm_and_heal(doomed).expect("doomed target is known");
+    msys.sys.tick(lease_ttl + 1);
+
+    let report = msys.crash_restart(victim).expect("victim restarts");
+    assert!(report.restored, "seed {seed}: a confirmed corpse must restart");
+    // (a) Clean restart: every persisted lease lapsed during the
+    // outage, so none may resume *off disk*.
+    assert_eq!(report.leases_restored, 0, "seed {seed}: expired leases resurrected: {report:?}");
+    // (b) No phantom state toward the target that died during the
+    // outage: its registration edge is dropped as stale and no lease
+    // on it can be re-acquired (there is nobody left to grant one).
+    assert!(report.registrations_stale >= 1, "seed {seed}: dead-target edge kept: {report:?}");
+    assert!(
+        !msys.sys.registry.registrants_of(doomed).iter().any(|r| r.key == victim),
+        "seed {seed}: phantom registration to a dead target"
+    );
+    assert!(
+        !msys.sys.leases.is_fresh(victim, doomed, msys.sys.clock.now()),
+        "seed {seed}: a lease on a dead target came back fresh"
+    );
+    // (c) Toward the live target everything re-acquires through the
+    // normal protocol: the registration edge is re-established from
+    // the persisted set, and the restart's LDT re-advertisement grants
+    // a *fresh* lease (normal update-path acquisition, not a disk
+    // resumption — (a) proved the disk contributed none).
+    assert!(
+        msys.sys.registry.registrants_of(target).iter().any(|r| r.key == victim),
+        "seed {seed}: live-target registration must survive the restart"
+    );
+    assert!(
+        msys.sys.leases.is_fresh(victim, target, msys.sys.clock.now()),
+        "seed {seed}: the victim could not re-acquire a lease after restart"
+    );
+    // And an explicit re-registration still works end to end.
+    msys.register(victim, target).expect("re-registration completes");
+    assert!(msys.sys.leases.is_fresh(victim, target, msys.sys.clock.now()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn crash_restarted_primary_recovers_its_shard_seed_a() {
     assert_shard_recovers(CI_SEEDS[0]);
+}
+
+#[test]
+fn restart_with_every_lease_expired_is_clean_seed_a() {
+    assert_expired_leases_do_not_resurrect(CI_SEEDS[0]);
+}
+
+#[test]
+fn restart_with_every_lease_expired_is_clean_seed_b() {
+    assert_expired_leases_do_not_resurrect(CI_SEEDS[1]);
 }
 
 #[test]

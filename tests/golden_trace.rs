@@ -82,6 +82,9 @@ fn fmt_event(e: &ObsEvent) -> String {
         ObsEventKind::DiscoveryFailed { subject, elapsed } => {
             format!("discovery_failed subject={subject} elapsed={elapsed}")
         }
+        ObsEventKind::AuthReject { from, tag, reason, dropped } => {
+            format!("auth_reject from={from} tag={tag} reason={reason} dropped={dropped}")
+        }
     };
     format!("at={} trace={:016x} node={} {}", e.at, e.trace, e.node, kind)
 }
