@@ -56,6 +56,7 @@
 
 pub mod advertise;
 pub mod analysis;
+pub mod arena;
 pub mod auth;
 pub mod config;
 pub mod durable;
@@ -77,6 +78,7 @@ pub mod time;
 pub mod upkeep;
 
 pub use advertise::{plan_advertisement, AdvertiseStep, DEFAULT_UNIT_COST};
+pub use arena::{KeyInterner, NodeArena, NodeIdx};
 pub use auth::{AuthDomain, AuthError, VerifyPolicy, WireAuth};
 pub use config::{BindingMode, BristleConfig, NamingPolicy};
 pub use durable::StoreHub;

@@ -5,9 +5,9 @@
 //! it must inform when it moves — the membership of Y's LDT. With the
 //! HS-P2P replicating a node's state to O(log N) peers, |R(Y)| = O(log N).
 
-use std::collections::HashMap;
-
 use bristle_overlay::key::Key;
+
+use crate::arena::KeyInterner;
 
 /// One registered interested party: who, and how able.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,9 +27,16 @@ impl Registrant {
 
 /// The system-wide registration state: for each target node, who has
 /// registered interest in its movement.
+///
+/// Internally targets are interned to dense indices and registrant
+/// lists live in a flat `Vec` — the per-target lookup on the LDT hot
+/// path is one hash (the interner boundary) plus an array index. The
+/// public API stays `Key`-based.
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
-    interests: HashMap<Key, Vec<Registrant>>,
+    targets: KeyInterner,
+    lists: Vec<Vec<Registrant>>,
+    nonempty: usize,
 }
 
 impl Registry {
@@ -41,13 +48,20 @@ impl Registry {
     /// Registers `who` to `target` (idempotent; re-registration updates
     /// the reported capacity). Returns `true` if this was a new interest.
     pub fn register(&mut self, who: Registrant, target: Key) -> bool {
-        let list = self.interests.entry(target).or_default();
+        let idx = self.targets.intern(target).index();
+        if idx >= self.lists.len() {
+            self.lists.resize_with(idx + 1, Vec::new);
+        }
+        let list = &mut self.lists[idx];
         match list.iter_mut().find(|r| r.key == who.key) {
             Some(existing) => {
                 existing.capacity = who.capacity;
                 false
             }
             None => {
+                if list.is_empty() {
+                    self.nonempty += 1;
+                }
                 list.push(who);
                 true
             }
@@ -56,14 +70,15 @@ impl Registry {
 
     /// Removes `who`'s interest in `target`.
     pub fn deregister(&mut self, who: Key, target: Key) -> bool {
-        let Some(list) = self.interests.get_mut(&target) else {
+        let Some(list) = self.targets.get(target).and_then(|i| self.lists.get_mut(i.index()))
+        else {
             return false;
         };
         let before = list.len();
         list.retain(|r| r.key != who);
         let removed = list.len() < before;
-        if list.is_empty() {
-            self.interests.remove(&target);
+        if removed && list.is_empty() {
+            self.nonempty -= 1;
         }
         removed
     }
@@ -71,38 +86,58 @@ impl Registry {
     /// Removes `who` from every target's registrant list (the node left).
     pub fn remove_everywhere(&mut self, who: Key) -> usize {
         let mut removed = 0;
-        self.interests.retain(|_, list| {
+        for list in &mut self.lists {
             let before = list.len();
             list.retain(|r| r.key != who);
             removed += before - list.len();
-            !list.is_empty()
-        });
+            if before > 0 && list.is_empty() {
+                self.nonempty -= 1;
+            }
+        }
         removed
     }
 
     /// Drops all interests *in* `target` (the target left).
     pub fn drop_target(&mut self, target: Key) -> usize {
-        self.interests.remove(&target).map(|l| l.len()).unwrap_or(0)
+        let Some(list) = self.targets.get(target).and_then(|i| self.lists.get_mut(i.index()))
+        else {
+            return 0;
+        };
+        let dropped = list.len();
+        if dropped > 0 {
+            self.nonempty -= 1;
+        }
+        list.clear();
+        dropped
     }
 
     /// The registrants R(target), in registration order.
     pub fn registrants_of(&self, target: Key) -> &[Registrant] {
-        self.interests.get(&target).map(Vec::as_slice).unwrap_or(&[])
+        self.targets
+            .get(target)
+            .and_then(|i| self.lists.get(i.index()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of targets with at least one registrant.
     pub fn target_count(&self) -> usize {
-        self.interests.len()
+        self.nonempty
     }
 
     /// Total registrations across all targets.
     pub fn total_registrations(&self) -> usize {
-        self.interests.values().map(Vec::len).sum()
+        self.lists.iter().map(Vec::len).sum()
     }
 
-    /// Iterates `(target, registrants)` pairs.
+    /// Iterates `(target, registrants)` pairs with at least one
+    /// registrant, in target-intern (first-registration) order.
     pub fn iter(&self) -> impl Iterator<Item = (Key, &[Registrant])> + '_ {
-        self.interests.iter().map(|(&k, v)| (k, v.as_slice()))
+        self.lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, l)| (self.targets.key_of(crate::arena::NodeIdx(i as u32)), l.as_slice()))
     }
 }
 

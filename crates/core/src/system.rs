@@ -29,6 +29,7 @@ use bristle_overlay::key::Key;
 use bristle_overlay::meter::{MessageKind, Meter};
 use bristle_overlay::ring::RingDht;
 
+use crate::arena::{KeyInterner, NodeArena, NodeIdx};
 use crate::config::{BristleConfig, NamingPolicy};
 use crate::durable::{self, StoreHub, WalRecord};
 use crate::error::{BristleError, Result};
@@ -88,7 +89,12 @@ pub struct BristleSystem {
     pub stationary: RingDht<LocationRecord>,
     /// The mobile layer: the application HS-P2P over all nodes.
     pub mobile: RingDht<Vec<u8>>,
-    info: HashMap<Key, NodeInfo>,
+    /// Key → dense-index bijection. Append-only: buried and departed
+    /// nodes keep their [`NodeIdx`] so indices stay stable across churn.
+    interner: KeyInterner,
+    /// Per-node hot state, flat-indexed by [`NodeIdx`]. Live nodes only;
+    /// a vacant slot means the node left or died.
+    info: NodeArena<NodeInfo>,
     stationary_keys: Vec<Key>,
     mobile_keys: Vec<Key>,
     /// Registration state R(·) (§2.3.1).
@@ -120,6 +126,7 @@ pub struct BristleBuilder {
     n_stationary: usize,
     n_mobile: usize,
     distance_cache_rows: usize,
+    workers: usize,
 }
 
 impl BristleBuilder {
@@ -133,6 +140,7 @@ impl BristleBuilder {
             n_stationary: 64,
             n_mobile: 0,
             distance_cache_rows: 4096,
+            workers: 1,
         }
     }
 
@@ -163,6 +171,14 @@ impl BristleBuilder {
     /// Bounds the distance-oracle memory (rows of cached Dijkstra output).
     pub fn distance_cache_rows(mut self, rows: usize) -> Self {
         self.distance_cache_rows = rows;
+        self
+    }
+
+    /// Shards the initial table wiring across this many threads
+    /// (see [`BristleSystem::rewire_with_workers`]; results are
+    /// bit-identical at any worker count).
+    pub fn build_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 
@@ -200,7 +216,8 @@ impl BristleBuilder {
             stub_routers,
             stationary: RingDht::new(ring.clone()),
             mobile: RingDht::new(ring),
-            info: HashMap::new(),
+            interner: KeyInterner::new(),
+            info: NodeArena::new(),
             stationary_keys: Vec::new(),
             mobile_keys: Vec::new(),
             registry: Registry::new(),
@@ -217,7 +234,7 @@ impl BristleBuilder {
         for _ in 0..self.n_mobile {
             sys.admit(Mobility::Mobile)?;
         }
-        sys.rewire();
+        sys.rewire_with_workers(self.workers);
         sys.sync_registrations();
         sys.publish_all_locations()?;
         Ok(sys)
@@ -233,11 +250,36 @@ impl BristleSystem {
     pub(crate) fn new_key(&mut self, mobility: Mobility) -> Result<Key> {
         for _ in 0..1024 {
             let k = self.naming.assign(mobility, &mut self.rng);
-            if !self.info.contains_key(&k) {
+            // Collides only with *live* nodes: a departed node's key may
+            // be re-drawn (its interned index is simply reoccupied).
+            if !self.contains_node(k) {
                 return Ok(k);
             }
         }
         Err(BristleError::KeySpaceExhausted)
+    }
+
+    /// The dense index for `key`, interning it on first sight.
+    #[inline]
+    pub(crate) fn idx(&mut self, key: Key) -> NodeIdx {
+        self.interner.intern(key)
+    }
+
+    /// The info slot for a key that must name a live node.
+    ///
+    /// # Panics
+    /// Panics if `key` is unknown or not live — callers on hot paths use
+    /// this where the old code indexed `info[&key]`.
+    #[inline]
+    pub(crate) fn info_unchecked(&self, key: Key) -> &NodeInfo {
+        let idx = self.interner.get(key).expect("known node");
+        self.info.get(idx).expect("live node")
+    }
+
+    /// Whether `key` names a live node.
+    #[inline]
+    pub fn contains_node(&self, key: Key) -> bool {
+        self.interner.get(key).is_some_and(|i| self.info.contains(i))
     }
 
     /// Creates a node body (host + key + capacity) and inserts it into the
@@ -248,7 +290,8 @@ impl BristleSystem {
         let host = self.attachments.attach_new(router);
         let (lo, hi) = self.cfg.capacity_range;
         let capacity = self.rng.range_inclusive(lo as u64, hi as u64) as u32;
-        self.info.insert(key, NodeInfo { host, mobility, capacity, incarnation: 0, seq: 0 });
+        let idx = self.idx(key);
+        self.info.insert(idx, NodeInfo { host, mobility, capacity, incarnation: 0, seq: 0 });
         self.stores.apply(key, WalRecord::Identity { key: key.0, incarnation: 0 });
         self.mobile.insert(key, host, capacity)?;
         match mobility {
@@ -285,7 +328,8 @@ impl BristleSystem {
     /// still attached (abrupt failure never detaches it), so only the
     /// membership structures are restored; the caller rebuilds wiring.
     pub(crate) fn readmit(&mut self, key: Key, info: NodeInfo) -> Result<()> {
-        self.info.insert(key, info);
+        let idx = self.idx(key);
+        self.info.insert(idx, info);
         self.stores.apply(key, WalRecord::Identity { key: key.0, incarnation: info.incarnation });
         self.mobile.insert(key, info.host, info.capacity)?;
         match info.mobility {
@@ -300,9 +344,25 @@ impl BristleSystem {
 
     /// Rebuilds every routing table in both layers (steady-state wiring).
     pub fn rewire(&mut self) {
+        self.rewire_with_workers(1);
+    }
+
+    /// [`BristleSystem::rewire`] with the per-layer table builds sharded
+    /// across `workers` scoped threads. Produces bit-identical tables to
+    /// the sequential path at any worker count: the RNG split happens
+    /// once up front exactly as in `rewire`, and
+    /// [`RingDht::build_all_tables_parallel`] guarantees order-independent
+    /// results (falling back to sequential for RNG-consuming selection
+    /// policies).
+    pub fn rewire_with_workers(&mut self, workers: usize) {
         let mut rng = self.rng.split(3);
-        self.stationary.build_all_tables(&self.attachments, &self.dcache, &mut rng);
-        self.mobile.build_all_tables(&self.attachments, &self.dcache, &mut rng);
+        self.stationary.build_all_tables_parallel(
+            &self.attachments,
+            &self.dcache,
+            &mut rng,
+            workers,
+        );
+        self.mobile.build_all_tables_parallel(&self.attachments, &self.dcache, &mut rng, workers);
     }
 
     /// Rebuilds the registration state from the mobile layer's reverse
@@ -325,7 +385,7 @@ impl BristleSystem {
                 continue;
             }
             for &holder in holders {
-                let cap = self.info[&holder].capacity;
+                let cap = self.info_unchecked(holder).capacity;
                 self.registry.register(Registrant::new(holder, cap), subject);
                 self.meter.bump(MessageKind::Register, 1);
             }
@@ -398,12 +458,26 @@ impl BristleSystem {
 
     /// Static facts about a node.
     pub fn node_info(&self, key: Key) -> Result<&NodeInfo> {
-        self.info.get(&key).ok_or(BristleError::UnknownNode(key))
+        self.interner.get(key).and_then(|i| self.info.get(i)).ok_or(BristleError::UnknownNode(key))
     }
 
     /// Whether `key` names a mobile node.
     pub fn is_mobile(&self, key: Key) -> bool {
-        self.info.get(&key).is_some_and(|i| i.mobility == Mobility::Mobile)
+        self.interner
+            .get(key)
+            .and_then(|i| self.info.get(i))
+            .is_some_and(|i| i.mobility == Mobility::Mobile)
+    }
+
+    /// The key ⇄ dense-index bijection. Read-only; useful for sharing
+    /// per-node state with measurement threads.
+    pub fn interner(&self) -> &KeyInterner {
+        &self.interner
+    }
+
+    /// The flat per-node info arena, indexed by [`NodeIdx`].
+    pub fn info_arena(&self) -> &NodeArena<NodeInfo> {
+        &self.info
     }
 
     /// The distance oracle over the physical topology.
@@ -458,7 +532,7 @@ impl BristleSystem {
             }
             // Stationary nodes never move, so their cached address router
             // is their actual router.
-            let r = self.attachments.router(self.info[&e.key].host);
+            let r = self.attachments.router(self.info_unchecked(e.key).host);
             let d = self.dcache.distance(from_router, r);
             if best.map(|(b, _)| d < b).unwrap_or(true) {
                 best = Some((d, e.key));
@@ -489,7 +563,7 @@ impl BristleSystem {
         let entry = self.entry_stationary_for(key)?;
         // First hop: the mobile node hands the record to its entry point.
         let from_router = self.attachments.router(info.host);
-        let entry_router = self.attachments.router(self.info[&entry].host);
+        let entry_router = self.attachments.router(self.info_unchecked(entry).host);
         self.meter.record(MessageKind::Publish, self.dcache.distance(from_router, entry_router));
         let mut hops = 1;
         let set = self.stationary.publish(
@@ -570,7 +644,7 @@ impl BristleSystem {
             .registrants_of(key)
             .iter()
             .copied()
-            .filter(|r| self.info.contains_key(&r.key))
+            .filter(|r| self.contains_node(r.key))
             .collect();
         let used = |k: Key| self.mobile.node(k).map(|n| n.used).unwrap_or(0);
         Ok(Ldt::build(root, &registrants, used, self.cfg.unit_cost))
@@ -626,7 +700,8 @@ impl BristleSystem {
                 self.attachments.move_host_random(info.host, &self.stub_routers, &mut rng).router
             }
         };
-        self.info.get_mut(&key).expect("known").seq += 1;
+        let idx = self.interner.get(key).expect("known");
+        self.info.get_mut(idx).expect("live").seq += 1;
         let publish_hops = self.publish_location(key)?;
         let (ldt, updates_sent, update_cost) = self.advertise_update(key)?;
         Ok(MoveReport { new_router, publish_hops, ldt, updates_sent, update_cost })
@@ -642,9 +717,12 @@ impl BristleSystem {
         self.mobile_keys.retain(|&k| k != key);
     }
 
-    /// Forgets a node's info record (leave/fail bookkeeping).
+    /// Forgets a node's info record (leave/fail bookkeeping). The key's
+    /// interned index survives — arena slots are vacated, never reused.
     pub(crate) fn forget(&mut self, key: Key) {
-        self.info.remove(&key);
+        if let Some(idx) = self.interner.get(key) {
+            self.info.remove(idx);
+        }
     }
 
     /// Sets a node's present workload `Used_i` (consumed capacity units).
@@ -716,6 +794,26 @@ mod tests {
             .topology(TransitStubConfig::tiny())
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn sharded_rewire_matches_sequential_rewire() {
+        let mut seq = small_system(48, 24, 5);
+        let mut par = small_system(48, 24, 5);
+        seq.rewire();
+        par.rewire_with_workers(4);
+        for key in seq.stationary.keys().collect::<Vec<_>>() {
+            let a = seq.stationary.node(key).unwrap();
+            let b = par.stationary.node(key).unwrap();
+            assert_eq!(a.entries, b.entries, "stationary entries diverged at {key}");
+            assert_eq!(a.leaf_keys, b.leaf_keys, "stationary leaves diverged at {key}");
+        }
+        for key in seq.mobile.keys().collect::<Vec<_>>() {
+            let a = seq.mobile.node(key).unwrap();
+            let b = par.mobile.node(key).unwrap();
+            assert_eq!(a.entries, b.entries, "mobile entries diverged at {key}");
+            assert_eq!(a.leaf_keys, b.leaf_keys, "mobile leaves diverged at {key}");
+        }
     }
 
     #[test]

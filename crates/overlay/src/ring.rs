@@ -326,6 +326,68 @@ impl<V> RingDht<V> {
         }
     }
 
+    /// [`RingDht::build_all_tables`] sharded across `workers` scoped
+    /// threads, with results guaranteed identical to the sequential
+    /// build.
+    ///
+    /// The argument is simple: [`RingDht::compute_tables`] reads only
+    /// ring *structure* (keys, hosts) — never another node's installed
+    /// entries — so per-node builds are independent and installation
+    /// order is irrelevant. Workers take stable contiguous key shards
+    /// (ring order), compute read-only, and the results are installed
+    /// after every worker joins. The one wrinkle is the RNG:
+    /// [`NeighborSelection::Random`] draws once per finger slot, making
+    /// results depend on build *order*, so that policy falls back to the
+    /// sequential path (`First`/`Proximity` never touch the RNG, which
+    /// is also why the per-worker throwaway RNG below is sound).
+    pub fn build_all_tables_parallel(
+        &mut self,
+        attachments: &AttachmentMap,
+        dcache: &DistanceCache,
+        rng: &mut Pcg64,
+        workers: usize,
+    ) where
+        V: Send + Sync,
+    {
+        let workers = workers.max(1).min(self.nodes.len().max(1));
+        if workers == 1 || matches!(self.cfg.selection, NeighborSelection::Random) {
+            self.build_all_tables(attachments, dcache, rng);
+            return;
+        }
+        let keys: Vec<Key> = self.keys().collect();
+        let chunk = keys.len().div_ceil(workers);
+        type Built = Vec<(Key, Vec<StatePair>, Vec<Key>)>;
+        let computed: Vec<Built> = std::thread::scope(|s| {
+            let this = &*self;
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .map(|shard| {
+                    s.spawn(move || {
+                        // Never drawn from: selection is First/Proximity here.
+                        let mut dead_rng = Pcg64::seed_from_u64(0);
+                        shard
+                            .iter()
+                            .map(|&k| {
+                                let (entries, leaves) = this
+                                    .compute_tables(k, attachments, dcache, &mut dead_rng)
+                                    .expect("known key");
+                                (k, entries, leaves)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("table worker panicked")).collect()
+        });
+        for shard in computed {
+            for (k, entries, leaf_keys) in shard {
+                let node = self.nodes.get_mut(&k.0).expect("known key");
+                node.entries = entries;
+                node.leaf_keys = leaf_keys;
+            }
+        }
+    }
+
     /// The next hop from `cur` toward `target`, or `None` when `cur` is the
     /// owner of `target`.
     ///
@@ -619,6 +681,30 @@ mod tests {
         let first =
             avg_dist(RingConfig { selection: NeighborSelection::First, ..RingConfig::tornado() });
         assert!(prox < first, "proximity {prox} must beat first {first}");
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_exactly() {
+        // Proximity and First shard across workers; Random exercises the
+        // sequential fallback (its per-slot RNG draws are order-dependent).
+        for (cfg, label) in [
+            (RingConfig::tornado(), "proximity"),
+            (RingConfig::chord(), "first"),
+            (RingConfig::tornado_no_locality(), "random"),
+        ] {
+            let (mut seq, attachments, dcache) = setup(96, 7, cfg.clone());
+            let (mut par, attachments2, dcache2) = setup(96, 7, cfg);
+            let mut rng_a = Pcg64::seed_from_u64(31);
+            let mut rng_b = Pcg64::seed_from_u64(31);
+            seq.build_all_tables(&attachments, &dcache, &mut rng_a);
+            par.build_all_tables_parallel(&attachments2, &dcache2, &mut rng_b, 4);
+            for key in seq.keys().collect::<Vec<_>>() {
+                let a = seq.node(key).unwrap();
+                let b = par.node(key).unwrap();
+                assert_eq!(a.entries, b.entries, "{label}: entries diverged at {key}");
+                assert_eq!(a.leaf_keys, b.leaf_keys, "{label}: leaves diverged at {key}");
+            }
+        }
     }
 
     #[test]

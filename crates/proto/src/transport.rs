@@ -323,12 +323,17 @@ impl Transport for SimTransport {
         let base = self.dcache.distance(from, to) + self.faults.min_latency;
         let arrival = now.plus(base + jitter);
         record.arrivals.push(arrival);
-        let mut deliveries = vec![Delivery { at: arrival, to_router: to, env: env.clone() }];
+        // N arrivals cost N−1 clones: the last delivery takes `env` by
+        // move, so the common single-arrival case never clones at all.
+        let mut deliveries = Vec::with_capacity(1 + duplicated as usize);
         if duplicated {
             record.fate = Fate::Duplicated;
             let dup_arrival = now.plus(base + dup_jitter);
             record.arrivals.push(dup_arrival);
+            deliveries.push(Delivery { at: arrival, to_router: to, env: env.clone() });
             deliveries.push(Delivery { at: dup_arrival, to_router: to, env });
+        } else {
+            deliveries.push(Delivery { at: arrival, to_router: to, env });
         }
         self.trace.push(record);
         deliveries
@@ -427,6 +432,17 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert_eq!(d[0].env, d[1].env);
         assert_eq!(t.trace()[0].fate, Fate::Duplicated);
+    }
+
+    #[test]
+    fn single_delivery_carries_the_sent_envelope_unchanged() {
+        // The single-arrival path moves the envelope instead of cloning;
+        // the delivered bytes must still be exactly what was sent.
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 3);
+        let sent = envelope(77);
+        let d = t.send(SimTime(0), RouterId(0), RouterId(1), sent.clone());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].env, sent);
     }
 
     #[test]

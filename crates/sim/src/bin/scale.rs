@@ -1,0 +1,116 @@
+//! Scale sweep: route hops, LDT depth, state size, and engine-queue
+//! throughput as N grows by decades.
+//!
+//! Flags: `--smoke` (N = 1e3 only), `--stretch` (adds N = 1e6),
+//! `--workers <k>` (wiring/sampling threads; never changes results),
+//! `--json <path>` (machine-readable `bristle-run-report/v1`).
+//!
+//! The JSON report carries only deterministic quantities — identical
+//! bytes at any worker count. Wall-clock and events/sec go to stdout.
+
+use bristle_sim::report::{f2, f3, Table};
+use bristle_sim::runreport::{json_arg, Json, RunReport};
+use bristle_sim::scale::{growth_fits, queue_bench, run_cell, to_table, ScaleCell, ScaleConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = json_arg(args.iter().cloned());
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let stretch = args.iter().any(|a| a == "--stretch");
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    let seed = 8;
+    let mut cfg = if smoke {
+        ScaleConfig::smoke(seed, workers)
+    } else {
+        ScaleConfig::standard(seed, workers)
+    };
+    if stretch {
+        cfg = cfg.with_stretch();
+    }
+    eprintln!(
+        "scale: N = {:?}, {} route samples, {} LDT samples, {} workers, seed {}",
+        cfg.populations, cfg.route_samples, cfg.ldt_samples, cfg.workers, seed
+    );
+
+    let mut report = RunReport::new("scale", seed);
+    let mut cells: Vec<ScaleCell> = Vec::new();
+    let mut timing =
+        Table::new("Wall-clock (informational, not committed)", &["N", "build s", "routes/s"]);
+    for &n in &cfg.populations {
+        let (cell, t) = run_cell(&cfg, n);
+        timing.row(vec![n.to_string(), f2(t.build_secs), f2(t.routes_per_sec)]);
+        report.push_cell(
+            Json::obj([
+                ("n", Json::U64(cell.n as u64)),
+                ("stationary", Json::U64(cell.stationary as u64)),
+                ("mobile", Json::U64(cell.mobile as u64)),
+                ("route_samples", Json::U64(cell.route_samples as u64)),
+                ("ldt_samples", Json::U64(cell.ldt_samples as u64)),
+            ]),
+            &[],
+            &[],
+            Json::obj([
+                ("hops_mean", Json::F64(cell.hops_mean())),
+                ("hops_max", Json::U64(cell.hops_max as u64)),
+                ("ldt_depth_mean", Json::F64(cell.depth_mean())),
+                ("ldt_size_mean", Json::F64(cell.size_mean())),
+                ("table_rows", Json::U64(cell.table_rows)),
+                ("rows_per_node", Json::F64(cell.rows_per_node())),
+            ]),
+        );
+        cells.push(cell);
+    }
+
+    to_table(&cells).print();
+    timing.print();
+
+    let (hop_fit, depth_fit) = growth_fits(&cells);
+    println!(
+        "fit: hops ≈ {}·log2 N + {} (R² {}) — consistent with O(log N) iff slope small & stable",
+        f3(hop_fit.slope),
+        f3(hop_fit.intercept),
+        f3(hop_fit.r2)
+    );
+    println!(
+        "fit: LDT depth ≈ {}·log2 log2 N + {} (R² {})",
+        f3(depth_fit.slope),
+        f3(depth_fit.intercept),
+        f3(depth_fit.r2)
+    );
+    report.push_cell(
+        Json::obj([("cell", Json::Str("growth_fits".into()))]),
+        &[],
+        &[],
+        Json::obj([
+            ("hops_vs_log2n_slope", Json::F64(hop_fit.slope)),
+            ("hops_vs_log2n_intercept", Json::F64(hop_fit.intercept)),
+            ("hops_vs_log2n_r2", Json::F64(hop_fit.r2)),
+            ("depth_vs_loglog2n_slope", Json::F64(depth_fit.slope)),
+            ("depth_vs_loglog2n_intercept", Json::F64(depth_fit.intercept)),
+            ("depth_vs_loglog2n_r2", Json::F64(depth_fit.r2)),
+        ]),
+    );
+
+    // Engine-queue throughput (hold model) at steady size 1e4 — the
+    // calendar queue must beat the binary heap by ≥ 5×. Stdout only:
+    // wall-clock numbers never enter the committed report.
+    let b = queue_bench(10_000, 400_000, seed);
+    println!(
+        "queue hold-model @ N=10000: bucket {} ev/s, heap {} ev/s, speedup {}x ({})",
+        f2(b.bucket_events_per_sec),
+        f2(b.heap_events_per_sec),
+        f2(b.speedup()),
+        if b.speedup() >= 5.0 { "SPEEDUP_OK >=5x" } else { "below 5x target" }
+    );
+
+    if let Some(path) = json_path {
+        report.write_to(&path).expect("run report written");
+        eprintln!("run report: {}", path.display());
+    }
+}

@@ -1,15 +1,33 @@
 //! Discrete-event simulation engine.
 //!
-//! A minimal but complete priority-queue scheduler over virtual time:
-//! events fire in timestamp order (FIFO among equal timestamps), handlers
-//! may schedule further events, and the run can be bounded by time and/or
-//! event count. Dynamic scenarios (Table 1: movement, churn, failures,
-//! lease expiry) are driven through this engine.
+//! A minimal but complete scheduler over virtual time: events fire in
+//! timestamp order (FIFO among equal timestamps), handlers may schedule
+//! further events, and the run can be bounded by time and/or event
+//! count. Dynamic scenarios (Table 1: movement, churn, failures, lease
+//! expiry) are driven through this engine.
+//!
+//! [`EventQueue`] is a **calendar (bucket) queue**: a fixed wheel of
+//! [`WHEEL_SLOTS`] per-tick buckets covering the window
+//! `[base, base + WHEEL_SLOTS)`, with a `BTreeMap` overflow for events
+//! beyond it. Scheduling into the window and popping are O(1) amortized
+//! — no heap sift — and a batch of same-timestamp events drains from
+//! one bucket allocation-free. When the wheel empties, the window
+//! re-bases onto the earliest overflow time and migrates that span's
+//! deques wholesale. Because a bucket maps to exactly one tick (direct
+//! indexing, no modulo collisions) and migration only happens into an
+//! empty wheel, every bucket's push order is sequence order, so the
+//! `(time, seq)` FIFO contract is identical to a binary heap's — the
+//! reference implementation survives as [`BinaryHeapQueue`] and a
+//! differential test holds the two to identical pop sequences.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use bristle_core::time::SimTime;
+
+/// Width of the calendar wheel: how many consecutive ticks the O(1)
+/// window covers. Events farther out wait in the overflow tree.
+pub const WHEEL_SLOTS: usize = 1024;
 
 /// A scheduled entry: time, tie-breaking sequence number, payload.
 struct Scheduled<E> {
@@ -59,18 +77,151 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(seen[2], (SimTime(5), "later"));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Per-tick buckets for times in `[base, base + WHEEL_SLOTS)`;
+    /// bucket `i` holds exactly the events at time `base + i`, in
+    /// schedule (sequence) order.
+    wheel: Vec<VecDeque<E>>,
+    /// Time of bucket 0. Invariant: `base <= now` between calls — the
+    /// window only re-bases inside [`Self::pop`], which immediately
+    /// advances `now` to the new base.
+    base: u64,
+    /// First wheel bucket that may be non-empty; buckets before it are
+    /// empty. Scheduling into an earlier bucket rewinds it.
+    cursor: usize,
+    /// Events at times `>= base + WHEEL_SLOTS`, keyed by time; each
+    /// deque is in sequence order.
+    overflow: BTreeMap<u64, VecDeque<E>>,
+    pending: usize,
     next_seq: u64,
     now: SimTime,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        let mut wheel = Vec::with_capacity(WHEEL_SLOTS);
+        wheel.resize_with(WHEEL_SLOTS, VecDeque::new);
+        EventQueue {
+            wheel,
+            base: 0,
+            cursor: 0,
+            overflow: BTreeMap::new(),
+            pending: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 }
 
 impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.next_seq += 1;
+        self.pending += 1;
+        let offset = at.0 - self.base; // at >= now >= base
+        if offset < WHEEL_SLOTS as u64 {
+            let slot = offset as usize;
+            self.wheel[slot].push_back(event);
+            if slot < self.cursor {
+                self.cursor = slot;
+            }
+        } else {
+            self.overflow.entry(at.0).or_default().push_back(event);
+        }
+    }
+
+    /// Schedules `event` `delay` ticks after the current time.
+    pub fn schedule_in(&mut self, delay: u64, event: E) {
+        self.schedule_at(self.now.plus(delay), event);
+    }
+
+    /// The time of the earliest pending event, without popping it or
+    /// advancing the clock. (`&mut` only to memoize the bucket scan.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while self.cursor < WHEEL_SLOTS && self.wheel[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        if self.cursor < WHEEL_SLOTS {
+            // Overflow times are all >= base + WHEEL_SLOTS, so a
+            // non-empty wheel always holds the minimum.
+            return Some(SimTime(self.base + self.cursor as u64));
+        }
+        self.overflow.keys().next().map(|&t| SimTime(t))
+    }
+
+    /// Pops the earliest event, advancing the queue's clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            while self.cursor < WHEEL_SLOTS && self.wheel[self.cursor].is_empty() {
+                self.cursor += 1;
+            }
+            if self.cursor < WHEEL_SLOTS {
+                let t = SimTime(self.base + self.cursor as u64);
+                let event = self.wheel[self.cursor].pop_front().expect("cursor on live bucket");
+                self.pending -= 1;
+                self.now = t;
+                return Some((t, event));
+            }
+            // Wheel drained: re-base the window on the earliest overflow
+            // time and migrate its span in, deque by deque (no per-event
+            // work). The next iteration pops at the new base, so the
+            // `base <= now` invariant is restored before control returns.
+            let &t0 = self.overflow.keys().next()?;
+            self.base = t0;
+            self.cursor = 0;
+            let tail = self.overflow.split_off(&t0.saturating_add(WHEEL_SLOTS as u64));
+            let migrate = std::mem::replace(&mut self.overflow, tail);
+            for (t, dq) in migrate {
+                let slot = (t - t0) as usize;
+                debug_assert!(slot < WHEEL_SLOTS && self.wheel[slot].is_empty());
+                self.wheel[slot] = dq;
+            }
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+/// The original binary-heap future-event list, kept as the reference
+/// model for the calendar queue: same API, same `(time, seq)` FIFO
+/// contract, O(log n) per operation. The differential test in
+/// `tests/queue_differential.rs` holds [`EventQueue`] to this
+/// implementation's exact pop order; the `scale` bin uses it as the
+/// events/sec baseline.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
+    fn default() -> Self {
+        BinaryHeapQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+}
+
+impl<E> BinaryHeapQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         Self::default()
@@ -97,6 +248,11 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now.plus(delay), event);
     }
 
+    /// The time of the earliest pending event, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
     /// Pops the earliest event, advancing the queue's clock to it.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|Reverse(s)| {
@@ -119,6 +275,10 @@ impl<E> EventQueue<E> {
 /// Runs the queue until it empties, `horizon` passes, or `max_events`
 /// fire. The handler receives the current time and event and may push
 /// follow-ups through the queue it is handed. Returns events processed.
+///
+/// An event beyond the horizon **stays queued** (and the clock stays
+/// put): a later `run` with a larger horizon picks it up exactly where
+/// it was scheduled.
 pub fn run<E>(
     queue: &mut EventQueue<E>,
     horizon: SimTime,
@@ -127,13 +287,11 @@ pub fn run<E>(
 ) -> u64 {
     let mut processed = 0u64;
     while processed < max_events {
-        // Peek via pop-or-restore would need an extra move; we pop and
-        // check the horizon afterwards since handlers only see in-horizon
-        // events.
-        let Some((t, e)) = queue.pop() else { break };
-        if t > horizon {
-            break;
+        match queue.peek_time() {
+            Some(t) if t <= horizon => {}
+            _ => break,
         }
+        let Some((t, e)) = queue.pop() else { break };
         handler(queue, t, e);
         processed += 1;
     }
@@ -186,6 +344,58 @@ mod tests {
     }
 
     #[test]
+    fn events_beyond_the_wheel_overflow_and_return() {
+        let mut q = EventQueue::new();
+        let far = WHEEL_SLOTS as u64 * 3 + 17;
+        q.schedule_at(SimTime(far), "far");
+        q.schedule_at(SimTime(2), "near");
+        q.schedule_at(SimTime(far), "far2");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap(), (SimTime(2), "near"));
+        assert_eq!(q.pop().unwrap(), (SimTime(far), "far"), "re-based onto the overflow");
+        assert_eq!(q.pop().unwrap(), (SimTime(far), "far2"), "FIFO survives migration");
+        assert!(q.is_empty());
+        // The window followed the pops: scheduling just after `far` is
+        // an O(1) wheel insert and still pops correctly.
+        q.schedule_at(SimTime(far + 5), "tail");
+        assert_eq!(q.pop().unwrap(), (SimTime(far + 5), "tail"));
+    }
+
+    #[test]
+    fn fifo_across_wheel_and_overflow_boundary() {
+        let mut q = EventQueue::new();
+        let t = WHEEL_SLOTS as u64 + 100; // starts in overflow
+        for i in 0..5 {
+            q.schedule_at(SimTime(t), i);
+        }
+        // Drain a nearer event so the wheel re-bases onto `t`...
+        q.schedule_at(SimTime(1), 100);
+        assert_eq!(q.pop().unwrap().1, 100);
+        // ...then schedule more at the same time, now inside the wheel.
+        assert_eq!(q.pop().unwrap(), (SimTime(t), 0));
+        for i in 5..8 {
+            q.schedule_at(SimTime(t), i);
+        }
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![1, 2, 3, 4, 5, 6, 7], "earlier seqs pop first");
+    }
+
+    #[test]
+    fn peek_time_does_not_advance_the_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime(42)));
+        assert_eq!(q.now(), SimTime::ZERO, "peek must not move now");
+        assert_eq!(q.len(), 1, "peek must not pop");
+        // Scheduling earlier than a previous peek's scan still works.
+        q.schedule_at(SimTime(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.pop().unwrap().0, SimTime(3));
+        assert_eq!(q.pop().unwrap().0, SimTime(42));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
     fn run_honors_horizon() {
         let mut q = EventQueue::new();
         for t in [1u64, 2, 3, 50, 60] {
@@ -195,6 +405,24 @@ mod tests {
         let n = run(&mut q, SimTime(10), u64::MAX, |_, _, e| seen.push(e));
         assert_eq!(n, 3);
         assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn horizon_break_leaves_future_events_queued() {
+        // Regression: the old loop popped the first past-horizon event
+        // before checking, silently dropping it (and advancing the
+        // clock). Both events must survive and fire on a later run.
+        let mut q = EventQueue::new();
+        for t in [1u64, 2, 3, 50, 60] {
+            q.schedule_at(SimTime(t), t);
+        }
+        run(&mut q, SimTime(10), u64::MAX, |_, _, _| {});
+        assert_eq!(q.len(), 2, "past-horizon events stay queued");
+        assert_eq!(q.now(), SimTime(3), "clock stops at the last in-horizon event");
+        let mut later = Vec::new();
+        let n = run(&mut q, SimTime(100), u64::MAX, |_, t, e| later.push((t, e)));
+        assert_eq!(n, 2);
+        assert_eq!(later, vec![(SimTime(50), 50), (SimTime(60), 60)]);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod partition;
 pub mod report;
 pub mod resilience;
 pub mod runreport;
+pub mod scale;
 pub mod scenario;
 pub mod workload;
 

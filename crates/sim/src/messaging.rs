@@ -19,6 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
+use bristle_core::arena::{KeyInterner, NodeArena};
 use bristle_core::auth::{AuthDomain, VerifyPolicy};
 use bristle_core::durable::WalRecord;
 use bristle_core::heal::DeathReport;
@@ -270,18 +271,23 @@ const DEAD_LETTER_ADDR: WireAddr = WireAddr { host: u32::MAX, router: 0, epoch: 
 
 /// Fetches (or creates, under the session's policies) the machine for
 /// `node`. A free function so call sites can keep borrowing the driver's
-/// other fields disjointly.
-fn machine_entry(
-    machines: &mut HashMap<Key, ProtoMachine>,
+/// other fields disjointly. `ids` is the driver's own interner: machines
+/// live in a flat arena indexed by it, so the steady-state lookup on the
+/// delivery hot path is one hash plus an array index.
+fn machine_entry<'m>(
+    ids: &mut KeyInterner,
+    machines: &'m mut NodeArena<ProtoMachine>,
     node: Key,
     policy: RetryPolicy,
     fpolicy: FailurePolicy,
-) -> &mut ProtoMachine {
-    machines.entry(node).or_insert_with(|| {
+) -> &'m mut ProtoMachine {
+    let idx = ids.intern(node);
+    if !machines.contains(idx) {
         let mut m = ProtoMachine::new(node, policy);
         m.set_failure_policy(fpolicy);
-        m
-    })
+        machines.insert(idx, m);
+    }
+    machines.get_mut(idx).expect("just ensured")
 }
 
 impl NodeEnv for SystemEnv<'_> {
@@ -435,7 +441,10 @@ pub struct MessagingBristleSystem {
     /// The shared system state (routing tables, leases, meter, clock).
     pub sys: BristleSystem,
     transport: SimTransport,
-    machines: HashMap<Key, ProtoMachine>,
+    /// Driver-side key interner; machine lookups go through it once and
+    /// then index the flat arena below.
+    ids: KeyInterner,
+    machines: NodeArena<ProtoMachine>,
     queue: EventQueue<MsgEvent>,
     policy: RetryPolicy,
     failure_policy: FailurePolicy,
@@ -477,7 +486,8 @@ impl MessagingBristleSystem {
         MessagingBristleSystem {
             sys,
             transport,
-            machines: HashMap::new(),
+            ids: KeyInterner::new(),
+            machines: NodeArena::new(),
             queue: EventQueue::new(),
             policy,
             failure_policy: FailurePolicy::default(),
@@ -546,9 +556,33 @@ impl MessagingBristleSystem {
     /// (existing machines are rebuilt around it, monitored sets intact).
     pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
         self.failure_policy = policy;
-        for machine in self.machines.values_mut() {
+        for (_, machine) in self.machines.iter_mut() {
             machine.set_failure_policy(policy);
         }
+    }
+
+    /// The machine for `key`, if one is running.
+    fn machine_of(&self, key: Key) -> Option<&ProtoMachine> {
+        self.ids.get(key).and_then(|i| self.machines.get(i))
+    }
+
+    /// Whether a machine is running for `key`.
+    fn has_machine(&self, key: Key) -> bool {
+        self.machine_of(key).is_some()
+    }
+
+    /// Retires `key`'s machine (its interned index survives).
+    fn remove_machine(&mut self, key: Key) {
+        if let Some(i) = self.ids.get(key) {
+            self.machines.remove(i);
+        }
+    }
+
+    /// Keys of all running machines, sorted.
+    fn machine_keys_sorted(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self.machines.iter().map(|(i, _)| self.ids.key_of(i)).collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// The transport (for its trace).
@@ -643,7 +677,7 @@ impl MessagingBristleSystem {
     /// the system-level leave protocol runs.
     pub fn leave(&mut self, key: Key) -> Result<(), MessagingError> {
         self.remember_addr(key);
-        self.machines.remove(&key);
+        self.remove_machine(key);
         self.sys.leave_node(key).map_err(|_| MessagingError::UnknownNode(key))
     }
 
@@ -662,8 +696,14 @@ impl MessagingBristleSystem {
             self.failed.remove(&key);
             self.tombstones.remove(&key);
             self.wrongly_buried.remove(&key);
-            self.machines.remove(&key);
-            let machine = machine_entry(&mut self.machines, key, self.policy, self.failure_policy);
+            self.remove_machine(key);
+            let machine = machine_entry(
+                &mut self.ids,
+                &mut self.machines,
+                key,
+                self.policy,
+                self.failure_policy,
+            );
             machine.restore_incarnation(report.incarnation);
         }
         Ok(report)
@@ -682,8 +722,14 @@ impl MessagingBristleSystem {
             self.failed.remove(&key);
             self.tombstones.remove(&key);
             self.wrongly_buried.remove(&key);
-            self.machines.remove(&key);
-            let machine = machine_entry(&mut self.machines, key, self.policy, self.failure_policy);
+            self.remove_machine(key);
+            let machine = machine_entry(
+                &mut self.ids,
+                &mut self.machines,
+                key,
+                self.policy,
+                self.failure_policy,
+            );
             machine.restore_incarnation(report.incarnation);
         }
         Ok(report)
@@ -695,7 +741,7 @@ impl MessagingBristleSystem {
         }
         self.remember_addr(key);
         self.failed.insert(key);
-        self.machines.remove(&key);
+        self.remove_machine(key);
     }
 
     /// Snapshots `key`'s current wire address into the tombstone book so
@@ -756,8 +802,13 @@ impl MessagingBristleSystem {
             }
         }
         for (watcher, peers) in wanted {
-            let machine =
-                machine_entry(&mut self.machines, watcher, self.policy, self.failure_policy);
+            let machine = machine_entry(
+                &mut self.ids,
+                &mut self.machines,
+                watcher,
+                self.policy,
+                self.failure_policy,
+            );
             machine.retain_monitored(|k| peers.contains(&k));
             for &p in &peers {
                 machine.monitor(p);
@@ -774,12 +825,13 @@ impl MessagingBristleSystem {
     /// either heals on the next ack or hardens into confirmation.
     pub fn heartbeat_round(&mut self) -> Vec<Key> {
         self.seed_monitors();
-        let mut watchers: Vec<Key> = self.machines.keys().copied().collect();
-        watchers.sort_unstable();
+        let watchers = self.machine_keys_sorted();
         for w in watchers {
             let now = self.queue.now();
             let out = {
-                let Some(machine) = self.machines.get_mut(&w) else { continue };
+                let Some(machine) = self.ids.get(w).and_then(|i| self.machines.get_mut(i)) else {
+                    continue;
+                };
                 let mut env = SystemEnv {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
@@ -837,7 +889,10 @@ impl MessagingBristleSystem {
             sponsors.insert(f, announcer);
             let now = self.queue.now();
             let out = {
-                let Some(machine) = self.machines.get_mut(&announcer) else { continue };
+                let Some(machine) = self.ids.get(announcer).and_then(|i| self.machines.get_mut(i))
+                else {
+                    continue;
+                };
                 let mut env = SystemEnv {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
@@ -857,7 +912,7 @@ impl MessagingBristleSystem {
         // rejoin.
         for &f in &buried {
             let Some(&sponsor) = sponsors.get(&f) else { continue };
-            let refuted = match (self.machines.get(&f), self.wrongly_buried.get(&f)) {
+            let refuted = match (self.machine_of(f), self.wrongly_buried.get(&f)) {
                 (Some(m), Some(b)) => m.incarnation() > b.incarnation,
                 _ => false,
             };
@@ -866,7 +921,9 @@ impl MessagingBristleSystem {
             }
             let now = self.queue.now();
             let out = {
-                let Some(machine) = self.machines.get_mut(&f) else { continue };
+                let Some(machine) = self.ids.get(f).and_then(|i| self.machines.get_mut(i)) else {
+                    continue;
+                };
                 let mut env = SystemEnv {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
@@ -919,16 +976,14 @@ impl MessagingBristleSystem {
                 && self.sys.node_info(*k).is_ok()
                 && !self.failed.contains(k)
                 && !self.wrongly_buried.contains_key(k)
-                && self.machines.contains_key(k)
+                && self.has_machine(*k)
         };
         if let Some(b) = self.wrongly_buried.get(&buried) {
             if let Some(&a) = b.announcers.iter().find(|k| live(k)) {
                 return Some(a);
             }
         }
-        let mut keys: Vec<Key> = self.machines.keys().copied().filter(|k| live(k)).collect();
-        keys.sort_unstable();
-        keys.first().copied()
+        self.machine_keys_sorted().into_iter().find(|k| live(k))
     }
 
     /// Acts on a confirmed death: spreads the verdict to watchers that
@@ -945,9 +1000,8 @@ impl MessagingBristleSystem {
         // crashed. Its machine stays alive so it can eventually receive
         // its obituary and refute the verdict; the driver remembers the
         // burial so [`Self::rejoin_sweep`] can reverse it.
-        let wrongful = !self.failed.contains(&key)
-            && self.sys.node_info(key).is_ok()
-            && self.machines.contains_key(&key);
+        let wrongful =
+            !self.failed.contains(&key) && self.sys.node_info(key).is_ok() && self.has_machine(key);
         if wrongful {
             self.remember_addr(key);
         } else {
@@ -955,7 +1009,8 @@ impl MessagingBristleSystem {
         }
         let mut believers = Vec::new();
         let mut unconvinced = Vec::new();
-        for (&w, m) in &self.machines {
+        for (i, m) in self.machines.iter() {
+            let w = self.ids.key_of(i);
             match m.liveness(key) {
                 Some(bristle_proto::failure::Liveness::Dead) => believers.push(w),
                 Some(_) => unconvinced.push(w),
@@ -968,7 +1023,10 @@ impl MessagingBristleSystem {
             for &peer in &unconvinced {
                 let now = self.queue.now();
                 let out = {
-                    let Some(machine) = self.machines.get_mut(&herald) else { break };
+                    let Some(machine) = self.ids.get(herald).and_then(|i| self.machines.get_mut(i))
+                    else {
+                        break;
+                    };
                     let mut env = SystemEnv {
                         sys: &mut self.sys,
                         tombstones: &self.tombstones,
@@ -988,7 +1046,7 @@ impl MessagingBristleSystem {
         // echoes are not news.
         self.completions.retain(|c| !matches!(c, Completion::PeerDead { peer } if *peer == key));
         if wrongful {
-            let incarnation = self.machines.get(&key).map(|m| m.incarnation()).unwrap_or(0);
+            let incarnation = self.machine_of(key).map(|m| m.incarnation()).unwrap_or(0);
             self.wrongly_buried.insert(
                 key,
                 WrongfulBurial { incarnation, at: self.queue.now(), announcers: believers },
@@ -1009,7 +1067,13 @@ impl MessagingBristleSystem {
         }
         let now = self.queue.now();
         let (route_id, out) = {
-            let machine = machine_entry(&mut self.machines, src, self.policy, self.failure_policy);
+            let machine = machine_entry(
+                &mut self.ids,
+                &mut self.machines,
+                src,
+                self.policy,
+                self.failure_policy,
+            );
             let mut env = SystemEnv {
                 sys: &mut self.sys,
                 tombstones: &self.tombstones,
@@ -1064,8 +1128,13 @@ impl MessagingBristleSystem {
             expected += children.len();
             let now = self.queue.now();
             let out = {
-                let machine =
-                    machine_entry(&mut self.machines, parent, self.policy, self.failure_policy);
+                let machine = machine_entry(
+                    &mut self.ids,
+                    &mut self.machines,
+                    parent,
+                    self.policy,
+                    self.failure_policy,
+                );
                 let mut env = SystemEnv {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
@@ -1125,7 +1194,13 @@ impl MessagingBristleSystem {
         }
         let now = self.queue.now();
         let out = {
-            let machine = machine_entry(&mut self.machines, who, self.policy, self.failure_policy);
+            let machine = machine_entry(
+                &mut self.ids,
+                &mut self.machines,
+                who,
+                self.policy,
+                self.failure_policy,
+            );
             let mut env = SystemEnv {
                 sys: &mut self.sys,
                 tombstones: &self.tombstones,
@@ -1201,6 +1276,7 @@ impl MessagingBristleSystem {
                 if reachable {
                     let out = {
                         let machine = machine_entry(
+                            &mut self.ids,
                             &mut self.machines,
                             dst,
                             self.policy,
@@ -1218,7 +1294,7 @@ impl MessagingBristleSystem {
                 }
             }
             MsgEvent::Timer { node, kind } => {
-                if let Some(machine) = self.machines.get_mut(&node) {
+                if let Some(machine) = self.ids.get(node).and_then(|i| self.machines.get_mut(i)) {
                     let out = {
                         let mut env = SystemEnv {
                             sys: &mut self.sys,
