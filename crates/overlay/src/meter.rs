@@ -88,6 +88,13 @@ message_kinds! {
     /// A frame *dropped* for failing authentication under the enforcing
     /// policy — the subset of `ForgedFrame` that never touched state.
     AuthReject,
+    /// A retransmission of a frame the destination had already
+    /// processed — wasted work caused by a too-short retry timeout
+    /// (counts retransmits, not messages; cost is always zero).
+    SpuriousRetry,
+    /// A lookup-class frame shed at a full ingress queue under
+    /// overload (counts sheds, not messages; cost is always zero).
+    LoadShed,
 }
 
 /// The meter index of a kind is its discriminant; `ALL_KINDS` is in

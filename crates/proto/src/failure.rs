@@ -43,15 +43,34 @@ pub struct FailurePolicy {
     pub suspect_after: u32,
     /// Consecutive missed rounds before a peer is confirmed dead.
     pub dead_after: u32,
+    /// Extra missed rounds granted before condemnation while the peer's
+    /// health score is still high (it has been acking recently, so the
+    /// misses look like gray failure, not death). `0` disables the
+    /// grace entirely and restores the binary alive/dead behaviour.
+    pub grace_misses: u32,
 }
 
 impl Default for FailurePolicy {
     fn default() -> Self {
         // ack_wait matches RetryPolicy::ack_timeout so heartbeat probes
         // tolerate the same link latencies as data traffic.
-        FailurePolicy { ack_wait: 20_000, probe_attempts: 3, suspect_after: 2, dead_after: 3 }
+        FailurePolicy {
+            ack_wait: 20_000,
+            probe_attempts: 3,
+            suspect_after: 2,
+            dead_after: 3,
+            grace_misses: 0,
+        }
     }
 }
+
+/// A peer's health score starts (and is capped) here.
+pub const FULL_HEALTH: u32 = 100;
+
+/// Peers whose score has fallen below this are *degraded*: alive, but
+/// answering late or only after retransmissions. Drivers use this to
+/// prefer healthier replicas (latency-aware failover).
+pub const DEGRADED_HEALTH: u32 = 80;
 
 /// What the detector currently believes about a monitored peer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +123,16 @@ struct PeerHealth {
     /// Highest incarnation the peer has been observed at; suspicion and
     /// death are charged against this number.
     incarnation: u64,
+    /// Health score in `[0, FULL_HEALTH]`: acks raise it, retransmissions
+    /// and missed rounds bleed it. Low-but-alive peers are *degraded*
+    /// and drivers steer load away from them.
+    score: u32,
+    /// Gray-failure evidence: rounds answered only after a
+    /// retransmission. Each earns one extra missed round before
+    /// condemnation, capped at [`FailurePolicy::grace_misses`]. A peer
+    /// that was acking promptly and then crashes earned none, so its
+    /// funeral schedule is untouched.
+    grace_credit: u32,
 }
 
 impl PeerHealth {
@@ -114,6 +143,8 @@ impl PeerHealth {
             next_seq: 0,
             awaiting: None,
             incarnation: 0,
+            score: FULL_HEALTH,
+            grace_credit: 0,
         }
     }
 }
@@ -175,6 +206,21 @@ impl FailureDetector {
         self.peers.get(&peer).map(|p| p.incarnation)
     }
 
+    /// `peer`'s health score in `[0, FULL_HEALTH]`, or `None` if
+    /// unmonitored. Acks raise it, retransmissions and misses bleed it.
+    pub fn health(&self, peer: Key) -> Option<u32> {
+        self.peers.get(&peer).map(|p| p.score)
+    }
+
+    /// Whether `peer` is monitored, believed alive, and scoring below
+    /// [`DEGRADED_HEALTH`] — answering, but late or only after
+    /// retransmissions.
+    pub fn is_degraded(&self, peer: Key) -> bool {
+        self.peers
+            .get(&peer)
+            .is_some_and(|p| p.liveness != Liveness::Dead && p.score < DEGRADED_HEALTH)
+    }
+
     /// Digests evidence that `peer` is alive at `incarnation` (from a
     /// heartbeat, an ack, or an `Alive` refutation). A strictly fresher
     /// incarnation overrides any standing suspicion or death verdict and
@@ -223,10 +269,17 @@ impl FailureDetector {
             return false;
         }
         match p.awaiting {
-            Some((s, _)) if s == seq => {
+            Some((s, attempt)) if s == seq => {
                 p.awaiting = None;
                 p.missed = 0;
                 p.liveness = Liveness::Fresh;
+                p.score = (p.score + 15).min(FULL_HEALTH);
+                if attempt > 0 {
+                    // Answered, but only after a retransmission: the
+                    // signature of a slow-not-dead peer. Earn one round
+                    // of condemnation grace (bounded by policy).
+                    p.grace_credit = (p.grace_credit + 1).min(self.policy.grace_misses);
+                }
                 true
             }
             _ => false,
@@ -243,11 +296,18 @@ impl FailureDetector {
             Some((s, attempt)) if s == seq => {
                 if attempt + 1 < self.policy.probe_attempts {
                     p.awaiting = Some((seq, attempt + 1));
+                    p.score = p.score.saturating_sub(10);
                     return TimeoutVerdict::Resend { attempt: attempt + 1 };
                 }
                 p.awaiting = None;
                 p.missed += 1;
-                let transition = if p.missed >= self.policy.dead_after {
+                p.score = p.score.saturating_sub(25);
+                // Earned grace: every round this peer answered late (the
+                // gray-failure signature) buys one extra missed round
+                // before the funeral. A peer that acked promptly until it
+                // crashed earned nothing — its schedule is unchanged.
+                let dead_after = self.policy.dead_after + p.grace_credit;
+                let transition = if p.missed >= dead_after {
                     p.liveness = Liveness::Dead;
                     Some(LivenessTransition::ConfirmedDead)
                 } else if p.missed >= self.policy.suspect_after && p.liveness == Liveness::Fresh {
@@ -294,6 +354,7 @@ mod tests {
             probe_attempts: 2,
             suspect_after: 2,
             dead_after: 3,
+            grace_misses: 0,
         })
     }
 
@@ -448,6 +509,64 @@ mod tests {
         assert_eq!(d.liveness(P), Some(Liveness::Fresh));
         assert!(d.mark_dead(P, 2), "verdict at the current incarnation sticks");
         assert!(d.is_dead(P));
+    }
+
+    #[test]
+    fn health_bleeds_on_misses_and_recovers_on_acks() {
+        let mut d = det();
+        d.monitor(P);
+        assert_eq!(d.health(P), Some(FULL_HEALTH));
+        assert!(!d.is_degraded(P));
+        // One resend then a late ack: the peer looks slow, not dead.
+        let seq = d.begin_probe(P).unwrap();
+        assert_eq!(d.on_timeout(P, seq), TimeoutVerdict::Resend { attempt: 1 });
+        assert_eq!(d.health(P), Some(FULL_HEALTH - 10));
+        assert!(d.ack(P, seq, 0));
+        assert_eq!(d.health(P), Some(FULL_HEALTH), "ack restores the score (capped)");
+        // A fully missed round bleeds resend + miss penalties.
+        miss_round(&mut d);
+        assert_eq!(d.health(P), Some(FULL_HEALTH - 10 - 25));
+        assert!(d.is_degraded(P));
+    }
+
+    #[test]
+    fn grace_spares_a_recently_acking_peer_but_not_a_corpse() {
+        let policy = FailurePolicy {
+            ack_wait: 100,
+            probe_attempts: 2,
+            suspect_after: 2,
+            dead_after: 3,
+            grace_misses: 2,
+        };
+        // A gray-failing peer: acks every round, but only after a
+        // resend. Each late ack earns one round of grace (capped at
+        // `grace_misses`), so when it then goes quiet it survives
+        // `dead_after + 2` rounds instead of `dead_after`.
+        let mut slow = FailureDetector::new(policy);
+        slow.monitor(P);
+        for _ in 0..4 {
+            let seq = slow.begin_probe(P).unwrap();
+            assert!(matches!(slow.on_timeout(P, seq), TimeoutVerdict::Resend { .. }));
+            assert!(slow.ack(P, seq, 0));
+        }
+        assert_eq!(miss_round(&mut slow), None);
+        assert_eq!(miss_round(&mut slow), Some(LivenessTransition::Suspected));
+        assert_eq!(miss_round(&mut slow), None, "round 3: earned grace holds");
+        assert_eq!(miss_round(&mut slow), None, "round 4: earned grace holds");
+        assert!(slow.liveness(P) != Some(Liveness::Dead));
+        assert_eq!(miss_round(&mut slow), Some(LivenessTransition::ConfirmedDead));
+
+        // A peer that acked promptly until it crashed earned no grace:
+        // its condemnation schedule is exactly the no-grace one.
+        let mut dead = FailureDetector::new(policy);
+        dead.monitor(P);
+        for _ in 0..4 {
+            let seq = dead.begin_probe(P).unwrap();
+            assert!(dead.ack(P, seq, 0), "prompt acks earn no grace");
+        }
+        assert_eq!(miss_round(&mut dead), None);
+        assert_eq!(miss_round(&mut dead), Some(LivenessTransition::Suspected));
+        assert_eq!(miss_round(&mut dead), Some(LivenessTransition::ConfirmedDead));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 pub mod failure;
 pub mod machine;
+pub mod rto;
 pub mod transport;
 pub mod wire;
 
@@ -19,7 +20,8 @@ pub use failure::{FailureDetector, FailurePolicy, Liveness, LivenessTransition, 
 pub use machine::{
     Completion, Event, NodeEnv, Outgoing, Output, ProtoMachine, RetryPolicy, Timer, TimerKind,
 };
+pub use rto::{RtoConfig, RtoEstimator};
 pub use transport::{
-    Delivery, Fate, FaultConfig, LinkFilter, SimTransport, TraceRecord, Transport,
+    Degradation, Delivery, Fate, FaultConfig, LinkFilter, SimTransport, TraceRecord, Transport,
 };
 pub use wire::{Envelope, WireAddr, WireError, WireMessage};

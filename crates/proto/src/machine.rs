@@ -29,7 +29,23 @@ use bristle_overlay::obs::{ObsEvent, ObsEventKind};
 use crate::failure::{
     FailureDetector, FailurePolicy, Liveness, LivenessTransition, TimeoutVerdict,
 };
+use crate::rto::{RtoConfig, RtoEstimator};
 use crate::wire::{Envelope, WireAddr, WireMessage};
+
+/// Largest wait any backed-off timer may reach. Far above every sane
+/// schedule (2³² ticks), yet small enough that `base << attempt` can
+/// never overflow into a zero or absurd wait.
+const MAX_BACKOFF: u64 = 1 << 32;
+
+/// Exponential backoff `base << attempt`, saturating and clamped to
+/// [`MAX_BACKOFF`] so deep retry chains and adversarial attempt counts
+/// cannot shift the wait past any sane bound (or overflow `u64`).
+fn backoff(base: u64, attempt: u32) -> u64 {
+    match 1u64.checked_shl(attempt) {
+        Some(factor) => base.saturating_mul(factor).min(MAX_BACKOFF),
+        None => MAX_BACKOFF,
+    }
+}
 
 /// How a node retries unacknowledged sends.
 ///
@@ -327,6 +343,9 @@ struct HopSession {
     route_id: u64,
     target: Key,
     after_failure: bool,
+    /// When the first copy was sent, for RTT sampling (Karn: only
+    /// acks of attempt-0 frames are sampled).
+    sent_at: SimTime,
 }
 
 #[derive(Debug)]
@@ -346,6 +365,8 @@ struct AckSession {
     out: Outgoing,
     attempt: u32,
     peer: Key,
+    /// When the first copy was sent, for RTT sampling (Karn rule).
+    sent_at: SimTime,
 }
 
 /// One node's protocol state machine.
@@ -366,6 +387,17 @@ pub struct ProtoMachine {
     /// This node's own SWIM-style incarnation number; bumped exactly
     /// when the node learns it was suspected or declared dead.
     incarnation: u64,
+    /// `Some` switches every retry timer from the fixed [`RetryPolicy`]
+    /// waits to adaptive per-peer Jacobson/Karn RTO estimation.
+    rto: Option<RtoConfig>,
+    /// Per-peer RTT estimators (adaptive mode only).
+    estimators: HashMap<Key, RtoEstimator>,
+    /// One estimator for discovery round-trips, which span several
+    /// hops and have no single peer to attribute the latency to.
+    disc_est: Option<RtoEstimator>,
+    /// Send time of the in-flight attempt-0 heartbeat probe per peer;
+    /// cleared on retransmit so late acks are never sampled (Karn).
+    hb_sent: HashMap<Key, SimTime>,
 }
 
 impl ProtoMachine {
@@ -384,6 +416,125 @@ impl ProtoMachine {
             registers: HashMap::new(),
             detector: FailureDetector::new(FailurePolicy::default()),
             incarnation: 0,
+            rto: None,
+            estimators: HashMap::new(),
+            disc_est: None,
+            hb_sent: HashMap::new(),
+        }
+    }
+
+    /// Switches retry timers to adaptive per-peer RTO estimation
+    /// (`Some`) or back to the fixed [`RetryPolicy`] waits (`None`).
+    /// Discovery gets its own estimator seeded from the fixed
+    /// discovery timeout, since its round-trips span several hops.
+    pub fn set_adaptive_rto(&mut self, cfg: Option<RtoConfig>) {
+        self.rto = cfg;
+        self.estimators.clear();
+        self.hb_sent.clear();
+        self.disc_est =
+            cfg.map(|_| RtoEstimator::new(RtoConfig::for_discovery(self.policy.discovery_timeout)));
+    }
+
+    /// The adaptive-RTO configuration, if enabled.
+    pub fn adaptive_rto(&self) -> Option<RtoConfig> {
+        self.rto
+    }
+
+    /// The current (unjittered, un-backed-off base) RTO estimate for
+    /// `peer`, if adaptive mode has collected at least one sample.
+    pub fn rto_estimate(&self, peer: Key) -> Option<u64> {
+        self.estimators.get(&peer).filter(|e| e.samples() > 0).map(|e| e.rto())
+    }
+
+    /// The detector's health score for `peer` (100 = perfect, `None` =
+    /// unmonitored).
+    pub fn peer_health(&self, peer: Key) -> Option<u32> {
+        self.detector.health(peer)
+    }
+
+    /// Whether `peer` is monitored, not dead, and currently bleeding
+    /// health — a gray-failure signal the driver uses for latency-aware
+    /// replica failover.
+    pub fn is_peer_degraded(&self, peer: Key) -> bool {
+        self.detector.is_degraded(peer)
+    }
+
+    /// Every monitored peer currently held degraded (see
+    /// [`Self::is_peer_degraded`]).
+    pub fn degraded_peers(&self) -> Vec<Key> {
+        self.detector.monitored().into_iter().filter(|&p| self.detector.is_degraded(p)).collect()
+    }
+
+    /// The ack-retry wait for `peer`: the fixed policy timeout, or the
+    /// peer's jittered adaptive RTO.
+    fn ack_timeout_for(&mut self, peer: Key) -> u64 {
+        match self.rto {
+            None => self.policy.ack_timeout,
+            Some(cfg) => {
+                let salt = self.key.0 ^ peer.0.rotate_left(32);
+                self.estimators
+                    .entry(peer)
+                    .or_insert_with(|| RtoEstimator::new(cfg))
+                    .jittered_rto(salt)
+            }
+        }
+    }
+
+    /// The heartbeat-probe wait for `peer` (fixed mode uses the
+    /// detector's `ack_wait`; adaptive mode shares the peer's RTO
+    /// estimator with the ack path).
+    fn hb_timeout_for(&mut self, peer: Key) -> u64 {
+        match self.rto {
+            None => self.detector.policy().ack_wait,
+            Some(cfg) => {
+                let salt = self.key.0 ^ peer.0.rotate_left(32) ^ 0xB5;
+                self.estimators
+                    .entry(peer)
+                    .or_insert_with(|| RtoEstimator::new(cfg))
+                    .jittered_rto(salt)
+            }
+        }
+    }
+
+    /// The discovery-session wait: fixed, or the jittered discovery
+    /// estimator.
+    fn discovery_timeout_for(&mut self) -> u64 {
+        match self.disc_est.as_mut() {
+            None => self.policy.discovery_timeout,
+            Some(est) => est.jittered_rto(self.key.0),
+        }
+    }
+
+    /// The rearm delay for an ack-retry against `peer` at (post-bump)
+    /// attempt `next_attempt`: fixed exponential backoff, or the
+    /// peer's adaptive RTO (whose Karn backoff replaces the shift).
+    fn retry_wait(&mut self, peer: Key, next_attempt: u32) -> u64 {
+        match self.rto {
+            None => backoff(self.policy.ack_timeout, next_attempt),
+            Some(_) => {
+                self.note_rto_timeout(peer);
+                self.ack_timeout_for(peer)
+            }
+        }
+    }
+
+    /// Feeds a measured round-trip into `peer`'s estimator (adaptive
+    /// mode only; Karn's rule drops samples from retransmitted frames).
+    fn rtt_sample(&mut self, peer: Key, attempt: u32, rtt: u64) {
+        if let Some(cfg) = self.rto {
+            self.estimators
+                .entry(peer)
+                .or_insert_with(|| RtoEstimator::new(cfg))
+                .karn_sample(attempt, rtt);
+        }
+    }
+
+    /// Records a retry timeout against `peer`'s estimator, doubling its
+    /// backed-off RTO (Karn backoff; collapses on the next clean
+    /// sample).
+    fn note_rto_timeout(&mut self, peer: Key) {
+        if let Some(cfg) = self.rto {
+            self.estimators.entry(peer).or_insert_with(|| RtoEstimator::new(cfg)).on_timeout();
         }
     }
 
@@ -615,6 +766,7 @@ impl ProtoMachine {
         let trace = self.fresh_trace();
         for &child in children {
             let msg_id = self.fresh_msg_id();
+            let wait = self.ack_timeout_for(child);
             let to_addr = env.current_addr(child);
             let cost = env.distance(self.my_router(env), to_addr.router_id());
             env.meter(MessageKind::Update, cost);
@@ -629,11 +781,11 @@ impl ProtoMachine {
             Self::seal(env, &mut envelope);
             let outgoing = Outgoing { to_addr, env: envelope };
             out.outgoing.push(outgoing.clone());
-            self.updates.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: child });
-            out.timers.push(Timer {
-                at: now.plus(self.policy.ack_timeout),
-                kind: TimerKind::UpdateRetry { msg_id },
-            });
+            self.updates.insert(
+                msg_id,
+                AckSession { out: outgoing, attempt: 0, peer: child, sent_at: now },
+            );
+            out.timers.push(Timer { at: now.plus(wait), kind: TimerKind::UpdateRetry { msg_id } });
         }
         self.observe_sends(now, env, &out);
         out
@@ -664,11 +816,10 @@ impl ProtoMachine {
         Self::seal(env, &mut envelope);
         let outgoing = Outgoing { to_addr, env: envelope };
         out.outgoing.push(outgoing.clone());
-        self.registers.insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: target });
-        out.timers.push(Timer {
-            at: now.plus(self.policy.ack_timeout),
-            kind: TimerKind::RegisterRetry { msg_id },
-        });
+        self.registers
+            .insert(msg_id, AckSession { out: outgoing, attempt: 0, peer: target, sent_at: now });
+        let wait = self.ack_timeout_for(target);
+        out.timers.push(Timer { at: now.plus(wait), kind: TimerKind::RegisterRetry { msg_id } });
         self.observe_sends(now, env, &out);
         out
     }
@@ -706,8 +857,10 @@ impl ProtoMachine {
         for peer in self.detector.monitored() {
             let Some(seq) = self.detector.begin_probe(peer) else { continue };
             self.push_heartbeat(env, peer, seq, &mut out);
+            self.hb_sent.insert(peer, now);
+            let wait = self.hb_timeout_for(peer);
             out.timers.push(Timer {
-                at: now.plus(self.detector.policy().ack_wait),
+                at: now.plus(wait),
                 kind: TimerKind::HeartbeatTimeout { peer, seq },
             });
         }
@@ -901,12 +1054,11 @@ impl ProtoMachine {
                 route_id: parked.route_id,
                 target: parked.target,
                 after_failure: parked.after_failure,
+                sent_at: now,
             },
         );
-        out.timers.push(Timer {
-            at: now.plus(self.policy.ack_timeout),
-            kind: TimerKind::HopRetry { msg_id },
-        });
+        let wait = self.ack_timeout_for(next);
+        out.timers.push(Timer { at: now.plus(wait), kind: TimerKind::HopRetry { msg_id } });
     }
 
     // -----------------------------------------------------------------
@@ -940,10 +1092,9 @@ impl ProtoMachine {
             kind: ObsEventKind::DiscoveryStart { subject },
         });
         self.emit_discovery(now, env, sid, subject, trace, out);
-        out.timers.push(Timer {
-            at: now.plus(self.policy.discovery_timeout),
-            kind: TimerKind::DiscoveryRetry { session: sid },
-        });
+        let wait = self.discovery_timeout_for();
+        out.timers
+            .push(Timer { at: now.plus(wait), kind: TimerKind::DiscoveryRetry { session: sid } });
     }
 
     fn emit_discovery(
@@ -1224,7 +1375,8 @@ impl ProtoMachine {
                 }
             }
             WireMessage::HopAck { acked } => {
-                if self.hops.remove(&acked).is_some() {
+                if let Some(s) = self.hops.remove(&acked) {
+                    self.rtt_sample(s.next, s.attempt, now.since(s.sent_at));
                     env.emit(ObsEvent {
                         at: now.0,
                         trace,
@@ -1242,6 +1394,13 @@ impl ProtoMachine {
             }
             WireMessage::DiscoveryReply { subject: _, session, addr } => {
                 if let Some(s) = self.discs.remove(&session) {
+                    // Karn: only first-attempt sessions feed the
+                    // discovery estimator.
+                    if s.attempt == 0 {
+                        if let Some(est) = self.disc_est.as_mut() {
+                            est.sample(now.since(s.started));
+                        }
+                    }
                     self.finish_discovery(now, env, s, addr, &mut out);
                 }
             }
@@ -1269,6 +1428,7 @@ impl ProtoMachine {
             }
             WireMessage::RegisterAck { acked } => {
                 if let Some(s) = self.registers.remove(&acked) {
+                    self.rtt_sample(s.peer, s.attempt, now.since(s.sent_at));
                     env.emit(ObsEvent {
                         at: now.0,
                         trace,
@@ -1299,6 +1459,7 @@ impl ProtoMachine {
             }
             WireMessage::UpdateAck { acked } => {
                 if let Some(s) = self.updates.remove(&acked) {
+                    self.rtt_sample(s.peer, s.attempt, now.since(s.sent_at));
                     env.emit(ObsEvent {
                         at: now.0,
                         trace,
@@ -1354,7 +1515,14 @@ impl ProtoMachine {
             }
             WireMessage::HeartbeatAck { seq, incarnation } => {
                 self.digest_alive(env, src, incarnation, &mut out);
-                self.detector.ack(src, seq, incarnation);
+                let closed = self.detector.ack(src, seq, incarnation);
+                if let Some(sent) = self.hb_sent.remove(&src) {
+                    // The entry survives only while the attempt-0 probe
+                    // is the one in flight (Karn: retransmits clear it).
+                    if closed {
+                        self.rtt_sample(src, 0, now.since(sent));
+                    }
+                }
             }
             WireMessage::SuspectNotify { suspect, incarnation } => {
                 if suspect == self.key {
@@ -1445,34 +1613,46 @@ impl ProtoMachine {
                 self.discovery_retry(now, env, session, &mut out)
             }
             TimerKind::UpdateRetry { msg_id } => {
-                Self::ack_retry(
-                    &mut self.updates,
-                    msg_id,
-                    now,
-                    env,
-                    self.policy,
-                    MessageKind::Update,
-                    TimerKind::UpdateRetry { msg_id },
-                    self.key,
-                    "update",
-                    &mut out,
-                    |peer| Completion::UpdateFailed { child: peer },
-                );
+                if let Some((peer, next_attempt)) =
+                    self.updates.get(&msg_id).map(|s| (s.peer, s.attempt + 1))
+                {
+                    let wait = self.retry_wait(peer, next_attempt);
+                    Self::ack_retry(
+                        &mut self.updates,
+                        msg_id,
+                        now,
+                        env,
+                        self.policy.max_attempts,
+                        wait,
+                        MessageKind::Update,
+                        TimerKind::UpdateRetry { msg_id },
+                        self.key,
+                        "update",
+                        &mut out,
+                        |peer| Completion::UpdateFailed { child: peer },
+                    );
+                }
             }
             TimerKind::RegisterRetry { msg_id } => {
-                Self::ack_retry(
-                    &mut self.registers,
-                    msg_id,
-                    now,
-                    env,
-                    self.policy,
-                    MessageKind::Register,
-                    TimerKind::RegisterRetry { msg_id },
-                    self.key,
-                    "register",
-                    &mut out,
-                    |peer| Completion::RegisterFailed { target: peer },
-                );
+                if let Some((peer, next_attempt)) =
+                    self.registers.get(&msg_id).map(|s| (s.peer, s.attempt + 1))
+                {
+                    let wait = self.retry_wait(peer, next_attempt);
+                    Self::ack_retry(
+                        &mut self.registers,
+                        msg_id,
+                        now,
+                        env,
+                        self.policy.max_attempts,
+                        wait,
+                        MessageKind::Register,
+                        TimerKind::RegisterRetry { msg_id },
+                        self.key,
+                        "register",
+                        &mut out,
+                        |peer| Completion::RegisterFailed { target: peer },
+                    );
+                }
             }
             TimerKind::HeartbeatTimeout { peer, seq } => {
                 self.heartbeat_timeout(now, env, peer, seq, &mut out)
@@ -1500,9 +1680,18 @@ impl ProtoMachine {
                     kind: ObsEventKind::Timeout { what: "heartbeat", attempt },
                 });
                 self.push_heartbeat(env, peer, seq, out);
-                let backoff = self.detector.policy().ack_wait << attempt;
+                // Karn: the probe in flight is no longer attempt 0, so a
+                // late ack must not be sampled.
+                self.hb_sent.remove(&peer);
+                let wait = match self.rto {
+                    None => backoff(self.detector.policy().ack_wait, attempt),
+                    Some(_) => {
+                        self.note_rto_timeout(peer);
+                        self.hb_timeout_for(peer)
+                    }
+                };
                 out.timers.push(Timer {
-                    at: now.plus(backoff),
+                    at: now.plus(wait),
                     kind: TimerKind::HeartbeatTimeout { peer, seq },
                 });
             }
@@ -1560,8 +1749,15 @@ impl ProtoMachine {
             );
             env.meter(MessageKind::RouteHop, cost);
             out.outgoing.push(session.out.clone());
-            let backoff = self.policy.ack_timeout << session.attempt;
-            out.timers.push(Timer { at: now.plus(backoff), kind: TimerKind::HopRetry { msg_id } });
+            let next = session.next;
+            let wait = match self.rto {
+                None => backoff(self.policy.ack_timeout, attempt),
+                Some(_) => {
+                    self.note_rto_timeout(next);
+                    self.ack_timeout_for(next)
+                }
+            };
+            out.timers.push(Timer { at: now.plus(wait), kind: TimerKind::HopRetry { msg_id } });
             return;
         }
         // Retries exhausted.
@@ -1617,9 +1813,17 @@ impl ProtoMachine {
                 kind: ObsEventKind::Timeout { what: "discovery", attempt },
             });
             self.emit_discovery(now, env, sid, subject, trace, out);
-            let backoff = self.policy.discovery_timeout << attempt;
+            let fixed = self.policy.discovery_timeout;
+            let key0 = self.key.0;
+            let wait = match self.disc_est.as_mut() {
+                None => backoff(fixed, attempt),
+                Some(est) => {
+                    est.on_timeout();
+                    est.jittered_rto(key0)
+                }
+            };
             out.timers.push(Timer {
-                at: now.plus(backoff),
+                at: now.plus(wait),
                 kind: TimerKind::DiscoveryRetry { session: sid },
             });
             return;
@@ -1635,13 +1839,18 @@ impl ProtoMachine {
         self.finish_discovery(now, env, session, None, out);
     }
 
+    /// Shared Update/Register retry step. `wait` is the pre-computed
+    /// rearm delay (fixed backoff or the peer's adaptive RTO), handed
+    /// in by the caller because computing it needs `&mut self` while
+    /// this helper holds the session table.
     #[allow(clippy::too_many_arguments)]
     fn ack_retry(
         sessions: &mut HashMap<u64, AckSession>,
         msg_id: u64,
         now: SimTime,
         env: &mut dyn NodeEnv,
-        policy: RetryPolicy,
+        max_attempts: u32,
+        wait: u64,
         kind: MessageKind,
         timer_kind: TimerKind,
         node: Key,
@@ -1658,15 +1867,14 @@ impl ProtoMachine {
             node,
             kind: ObsEventKind::Timeout { what, attempt: session.attempt },
         });
-        if session.attempt < policy.max_attempts {
+        if session.attempt < max_attempts {
             let cost = env.distance(
                 env.current_addr(session.out.env.src).router_id(),
                 session.out.to_addr.router_id(),
             );
             env.meter(kind, cost);
             out.outgoing.push(session.out.clone());
-            let backoff = policy.ack_timeout << session.attempt;
-            out.timers.push(Timer { at: now.plus(backoff), kind: timer_kind });
+            out.timers.push(Timer { at: now.plus(wait), kind: timer_kind });
         } else {
             let session = sessions.remove(&msg_id).expect("session present");
             out.completions.push(fail(session.peer));
@@ -2232,6 +2440,7 @@ mod tests {
             probe_attempts: 2,
             suspect_after: 1,
             dead_after: 2,
+            grace_misses: 0,
         });
         prober.monitor(B);
 
@@ -2516,5 +2725,83 @@ mod tests {
         );
         assert_eq!(a.liveness(B), Some(Liveness::Fresh));
         assert_eq!(env.meter.count(MessageKind::ForgedFrame), 0, "honest traffic never rejected");
+    }
+
+    #[test]
+    fn backoff_shifts_saturate_and_clamp() {
+        assert_eq!(backoff(100, 0), 100);
+        assert_eq!(backoff(100, 1), 200);
+        assert_eq!(backoff(100, 3), 800);
+        assert_eq!(backoff(100, 60), MAX_BACKOFF, "deep chains hit the ceiling");
+        assert_eq!(backoff(100, 64), MAX_BACKOFF, "shift past the word width saturates");
+        assert_eq!(backoff(100, u32::MAX), MAX_BACKOFF);
+        assert_eq!(backoff(u64::MAX, 1), MAX_BACKOFF, "multiplication never overflows");
+        assert_eq!(backoff(0, 7), 0);
+    }
+
+    fn small_rto() -> RtoConfig {
+        RtoConfig { min_rto: 10, max_rto: 10_000, initial_rto: 100, jitter_frac: 0 }
+    }
+
+    #[test]
+    fn adaptive_rto_learns_from_hop_acks_and_rearms_with_the_estimate() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        env.mobile_hops.insert((A, B), B);
+        let mut m = ProtoMachine::new(A, policy());
+        m.set_adaptive_rto(Some(small_rto()));
+
+        // No samples yet: the first hop arms at the initial RTO, not
+        // the fixed policy timeout.
+        let (_, out) = m.start_route(t(0), &mut env, B);
+        assert_eq!(out.timers[0].at, t(100), "initial RTO before any sample");
+        let hop_id = out.outgoing[0].env.msg_id;
+        let ack = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 0,
+            trace_id: 0,
+            msg: WireMessage::HopAck { acked: hop_id },
+            auth: None,
+        };
+        m.poll(t(30), Event::Deliver(ack), &mut env);
+        // rtt = 30: srtt8 = 240, rttvar4 = 60, rto = 30 + 60 = 90.
+        assert_eq!(m.rto_estimate(B), Some(90));
+        let (_, out) = m.start_route(t(1000), &mut env, B);
+        assert_eq!(out.timers[0].at, t(1090), "next hop arms with the learned RTO");
+    }
+
+    #[test]
+    fn karn_backoff_doubles_the_adaptive_retry_wait() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        env.mobile_hops.insert((A, B), B);
+        let mut m = ProtoMachine::new(A, policy());
+        m.set_adaptive_rto(Some(small_rto()));
+        let (_, out) = m.start_route(t(0), &mut env, B);
+        let timer = out.timers[0].kind;
+        assert_eq!(out.timers[0].at, t(100));
+        // First timeout: retransmit, estimator backoff doubles the RTO.
+        let out = m.poll(t(100), Event::Timer(timer), &mut env);
+        assert_eq!(out.outgoing.len(), 1, "retransmission");
+        assert_eq!(out.timers[0].at, t(100 + 200), "Karn backoff doubled the wait");
+    }
+
+    #[test]
+    fn heartbeat_acks_feed_the_rto_estimator() {
+        let mut env = MockEnv::default().with_node(A, 1, 1).with_node(B, 2, 5);
+        let mut prober = ProtoMachine::new(A, policy());
+        prober.set_adaptive_rto(Some(small_rto()));
+        prober.monitor(B);
+        prober.start_heartbeats(t(0), &mut env);
+        let ack = Envelope {
+            src: B,
+            dst: A,
+            msg_id: 0,
+            trace_id: 0,
+            msg: WireMessage::HeartbeatAck { seq: 0, incarnation: 0 },
+            auth: None,
+        };
+        prober.poll(t(40), Event::Deliver(ack), &mut env);
+        // rtt = 40: srtt8 = 320, rttvar4 = 80, rto = 40 + 80 = 120.
+        assert_eq!(prober.rto_estimate(B), Some(120));
     }
 }

@@ -1,0 +1,303 @@
+//! Adaptive retransmission timeout: a Jacobson/Karn RTT estimator.
+//!
+//! The fixed [`RetryPolicy`](crate::machine::RetryPolicy) timeouts treat
+//! every peer as equally far away, so a slow-but-alive peer looks exactly
+//! like a dead one. [`RtoEstimator`] tracks one peer's round-trip time on
+//! the virtual clock with the classic TCP fixed-point recurrences
+//!
+//! ```text
+//! srtt   ← 7/8·srtt + 1/8·rtt
+//! rttvar ← 3/4·rttvar + 1/4·|srtt − rtt|
+//! rto    = clamp(srtt + 4·rttvar, min_rto, max_rto) · 2^backoff
+//! ```
+//!
+//! with the fractions carried as scaled integers (`srtt × 8`,
+//! `rttvar × 4`) so there is no floating point anywhere near protocol
+//! state. Karn's rule is enforced at the sampling API: an ack that
+//! answers a retransmitted frame is ambiguous (which copy did it
+//! answer?) and must not enter the estimator. Because a too-short RTO
+//! retransmits *every* frame before its first ack lands — starving the
+//! estimator of unambiguous samples forever — timeouts inflate the RTO
+//! with Karn's exponential backoff until one fresh attempt-zero sample
+//! gets through, which collapses the backoff again.
+//!
+//! The optional jitter is deterministic: a wrapping-multiply hash of a
+//! caller-provided salt and an internal draw counter, so two machines
+//! never synchronise their retransmissions yet the whole schedule is a
+//! pure function of the seed.
+
+/// Bounds and initial value for the adaptive retransmission timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtoConfig {
+    /// Floor for the computed RTO (virtual-clock ticks).
+    pub min_rto: u64,
+    /// Ceiling for the computed RTO, backoff included.
+    pub max_rto: u64,
+    /// RTO used before the first RTT sample arrives.
+    pub initial_rto: u64,
+    /// Jitter amplitude in 1/256ths of the computed RTO (0 = none). The
+    /// jitter is always additive, so the clamped floor still holds.
+    pub jitter_frac: u32,
+}
+
+impl Default for RtoConfig {
+    /// Matches the fixed policy's 20 000-tick ack timeout before the
+    /// first sample, with a generous adaptation range around it.
+    fn default() -> Self {
+        RtoConfig { min_rto: 2_000, max_rto: 640_000, initial_rto: 20_000, jitter_frac: 8 }
+    }
+}
+
+impl RtoConfig {
+    /// The same bounds scaled for whole-operation (multi-hop discovery)
+    /// round trips rather than single-hop acks.
+    pub fn for_discovery(initial: u64) -> Self {
+        RtoConfig { min_rto: 10_000, max_rto: 1_600_000, initial_rto: initial, jitter_frac: 8 }
+    }
+}
+
+/// Per-peer Jacobson/Karn RTT estimator (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtoEstimator {
+    cfg: RtoConfig,
+    /// Smoothed RTT × 8; meaningless until `samples > 0`.
+    srtt8: u64,
+    /// RTT variance × 4; meaningless until `samples > 0`.
+    rttvar4: u64,
+    /// Unambiguous samples folded in so far.
+    samples: u64,
+    /// Karn backoff: doublings applied after timeouts, cleared by the
+    /// next fresh sample.
+    backoff: u32,
+    /// Jitter draw counter (advances once per [`jittered_rto`] call).
+    ///
+    /// [`jittered_rto`]: RtoEstimator::jittered_rto
+    draws: u64,
+}
+
+/// Backoff doublings are capped here; `max_rto` clamps the result anyway,
+/// so deeper shifts could only overflow, never wait longer.
+const MAX_BACKOFF_SHIFT: u32 = 16;
+
+impl RtoEstimator {
+    /// A fresh estimator with no samples: `rto()` is `initial_rto`.
+    pub fn new(cfg: RtoConfig) -> Self {
+        RtoEstimator { cfg, srtt8: 0, rttvar4: 0, samples: 0, backoff: 0, draws: 0 }
+    }
+
+    /// Folds one *unambiguous* RTT sample in and collapses any Karn
+    /// backoff. Callers must respect Karn's rule — see [`karn_sample`].
+    ///
+    /// [`karn_sample`]: RtoEstimator::karn_sample
+    pub fn sample(&mut self, rtt: u64) {
+        if self.samples == 0 {
+            // First sample: srtt = rtt, rttvar = rtt / 2 (RFC 6298 §2.2).
+            self.srtt8 = rtt.saturating_mul(8);
+            self.rttvar4 = rtt.saturating_mul(2);
+        } else {
+            let err = (self.srtt8 / 8).abs_diff(rtt);
+            // rttvar ← 3/4·rttvar + 1/4·err, carried as rttvar × 4.
+            self.rttvar4 = self.rttvar4 - self.rttvar4 / 4 + err;
+            // srtt ← 7/8·srtt + 1/8·rtt, carried as srtt × 8.
+            self.srtt8 = self.srtt8 - self.srtt8 / 8 + rtt;
+        }
+        self.samples += 1;
+        self.backoff = 0;
+    }
+
+    /// Karn's rule at the API: folds the sample in only when the frame
+    /// was never retransmitted (`attempt == 0`). Returns whether the
+    /// sample was taken.
+    pub fn karn_sample(&mut self, attempt: u32, rtt: u64) -> bool {
+        if attempt == 0 {
+            self.sample(rtt);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A timer fired without the awaited ack: double the RTO (Karn
+    /// backoff) until a fresh sample collapses it.
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(MAX_BACKOFF_SHIFT);
+    }
+
+    /// Unambiguous samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The smoothed RTT, once at least one sample has arrived.
+    pub fn srtt(&self) -> Option<u64> {
+        (self.samples > 0).then_some(self.srtt8 / 8)
+    }
+
+    /// The current retransmission timeout:
+    /// `clamp(srtt + 4·rttvar, min, max) · 2^backoff`, clamped again so
+    /// backoff never escapes `max_rto`.
+    pub fn rto(&self) -> u64 {
+        let raw = if self.samples == 0 {
+            self.cfg.initial_rto
+        } else {
+            (self.srtt8 / 8).saturating_add(self.rttvar4)
+        };
+        let base = raw.clamp(self.cfg.min_rto, self.cfg.max_rto);
+        match base.checked_shl(self.backoff) {
+            Some(shifted) if self.backoff < 64 => shifted.min(self.cfg.max_rto),
+            _ => self.cfg.max_rto,
+        }
+    }
+
+    /// [`rto`](RtoEstimator::rto) plus deterministic additive jitter in
+    /// `[0, rto · jitter_frac / 256]`, hashed from `salt` and an
+    /// internal draw counter (no RNG; reproducible per seed).
+    pub fn jittered_rto(&mut self, salt: u64) -> u64 {
+        let rto = self.rto();
+        if self.cfg.jitter_frac == 0 {
+            return rto;
+        }
+        let h = splitmix(salt ^ self.draws.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.draws += 1;
+        let span = rto / 256 * self.cfg.jitter_frac as u64;
+        if span == 0 {
+            rto
+        } else {
+            rto.saturating_add(h % (span + 1)).min(self.cfg.max_rto)
+        }
+    }
+}
+
+/// SplitMix64 finaliser: the standard avalanche for turning a counter
+/// into well-mixed bits without carrying RNG state.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(min: u64, max: u64, initial: u64) -> RtoConfig {
+        RtoConfig { min_rto: min, max_rto: max, initial_rto: initial, jitter_frac: 0 }
+    }
+
+    #[test]
+    fn first_sample_seeds_srtt_and_rttvar() {
+        let mut e = RtoEstimator::new(cfg(1, 1_000_000, 20_000));
+        assert_eq!(e.rto(), 20_000, "initial RTO before any sample");
+        e.sample(1_000);
+        assert_eq!(e.srtt(), Some(1_000));
+        // rto = srtt + 4·rttvar = 1000 + 4·500 = 3000.
+        assert_eq!(e.rto(), 3_000);
+    }
+
+    #[test]
+    fn converges_to_a_steady_rtt() {
+        let mut e = RtoEstimator::new(cfg(1, 1_000_000, 20_000));
+        for _ in 0..64 {
+            e.sample(5_000);
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((4_900..=5_000).contains(&srtt), "srtt {srtt} should sit at the sample value");
+        // Constant samples drive the variance toward zero, so the RTO
+        // collapses toward srtt.
+        assert!(e.rto() < 5_500, "rto {} should tighten around a stable RTT", e.rto());
+    }
+
+    #[test]
+    fn tracks_a_step_up_in_rtt() {
+        let mut e = RtoEstimator::new(cfg(1, 1_000_000, 20_000));
+        for _ in 0..16 {
+            e.sample(2_000);
+        }
+        // The link degrades 4x; within a handful of samples the RTO must
+        // cover the new RTT.
+        for _ in 0..8 {
+            e.sample(8_000);
+        }
+        assert!(e.rto() > 8_000, "rto {} must exceed the degraded RTT", e.rto());
+    }
+
+    #[test]
+    fn karn_rule_skips_retransmitted_samples() {
+        let mut e = RtoEstimator::new(cfg(1, 1_000_000, 20_000));
+        assert!(e.karn_sample(0, 1_000), "attempt-zero sample is unambiguous");
+        let before = (e.srtt(), e.samples());
+        assert!(!e.karn_sample(1, 900_000), "retransmitted sample is ambiguous");
+        assert!(!e.karn_sample(3, 5), "any nonzero attempt is ambiguous");
+        assert_eq!((e.srtt(), e.samples()), before, "ambiguous samples must not move the estimate");
+    }
+
+    #[test]
+    fn clamps_at_both_bounds() {
+        let mut low = RtoEstimator::new(cfg(5_000, 100_000, 20_000));
+        for _ in 0..32 {
+            low.sample(10); // srtt + 4·rttvar far below the floor
+        }
+        assert_eq!(low.rto(), 5_000, "floor clamp");
+
+        let mut high = RtoEstimator::new(cfg(5_000, 100_000, 20_000));
+        high.sample(90_000_000);
+        assert_eq!(high.rto(), 100_000, "ceiling clamp");
+
+        let initial = RtoEstimator::new(cfg(5_000, 100_000, 1));
+        assert_eq!(initial.rto(), 5_000, "initial RTO is clamped too");
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_and_a_sample_collapses_it() {
+        let mut e = RtoEstimator::new(cfg(1, 1_000_000, 20_000));
+        e.sample(1_000); // rto = 3000
+        e.on_timeout();
+        assert_eq!(e.rto(), 6_000, "one timeout doubles");
+        e.on_timeout();
+        assert_eq!(e.rto(), 12_000, "two timeouts quadruple");
+        e.sample(1_000);
+        assert!(e.rto() < 6_000, "a fresh unambiguous sample collapses the backoff");
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_ceiling() {
+        let mut e = RtoEstimator::new(cfg(1, 50_000, 20_000));
+        e.sample(1_000);
+        for _ in 0..100 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), 50_000, "deep backoff pins to max_rto, no overflow");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_additive() {
+        let mk = || {
+            let mut e = RtoEstimator::new(RtoConfig {
+                min_rto: 1,
+                max_rto: 1_000_000,
+                initial_rto: 20_000,
+                jitter_frac: 16,
+            });
+            e.sample(1_000);
+            e
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let draws_a: Vec<u64> = (0..8).map(|_| a.jittered_rto(0xABCD)).collect();
+        let draws_b: Vec<u64> = (0..8).map(|_| b.jittered_rto(0xABCD)).collect();
+        assert_eq!(draws_a, draws_b, "same salt, same draw index ⇒ same jitter");
+        let rto = a.rto();
+        let span = rto / 256 * 16;
+        for d in &draws_a {
+            assert!((rto..=rto + span).contains(d), "jitter additive and bounded: {d} vs {rto}");
+        }
+        assert!(draws_a.windows(2).any(|w| w[0] != w[1]), "successive draws differ");
+    }
+
+    #[test]
+    fn zero_jitter_frac_is_exact() {
+        let mut e = RtoEstimator::new(cfg(1, 1_000_000, 20_000));
+        e.sample(1_000);
+        assert_eq!(e.jittered_rto(99), e.rto());
+    }
+}

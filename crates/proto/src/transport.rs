@@ -9,7 +9,7 @@
 //! outages) from a seeded [`Pcg64`], so every run with the same seed and
 //! fault schedule produces a byte-identical delivery trace.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use bristle_core::time::SimTime;
@@ -86,6 +86,109 @@ fn clamp_probability(p: f64) -> f64 {
     } else {
         p.clamp(0.0, 1.0)
     }
+}
+
+/// A fail-slow degradation script: the gray-failure counterpart to the
+/// binary outages in [`LinkFilter`]. A degraded node or link stays up —
+/// traffic still flows — but slower and lossier, which is exactly the
+/// regime binary failure detectors handle worst.
+///
+/// Attached to a node (all its traffic, both directions) or to a
+/// directed link (that direction only, for asymmetric degradation) via
+/// [`SimTransport::degrade_node`] / [`SimTransport::degrade_link`], and
+/// lifted with the matching `heal_*` calls. Extra-loss decisions draw
+/// from a side hash stream, never from the transport's main RNG, so the
+/// default (undegraded) delivery trace stays byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degradation {
+    /// Latency multiplier in percent: 100 = unchanged, 300 = 3×.
+    pub slowdown_pct: u32,
+    /// Extra drop probability applied on top of the configured
+    /// [`FaultConfig::drop_probability`].
+    pub extra_loss: f64,
+    /// Peak extra latency the ramp climbs to (0 = no ramp).
+    pub ramp_peak: u64,
+    /// Ticks the ramp takes to climb linearly from 0 to `ramp_peak`
+    /// after the degradation is applied; 0 jumps straight to the peak.
+    pub ramp_len: u64,
+}
+
+impl Default for Degradation {
+    fn default() -> Self {
+        Degradation { slowdown_pct: 100, extra_loss: 0.0, ramp_peak: 0, ramp_len: 0 }
+    }
+}
+
+impl Degradation {
+    /// No degradation at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A pure multiplicative slowdown (`pct` = 100 leaves latency
+    /// unchanged; values below 100 are treated as 100 — degradations
+    /// never speed a link up).
+    pub fn slowdown(pct: u32) -> Self {
+        Degradation { slowdown_pct: pct.max(100), ..Self::default() }
+    }
+
+    /// Pure extra loss on top of the configured drop probability.
+    pub fn lossy(extra_loss: f64) -> Self {
+        Degradation { extra_loss: clamp_probability(extra_loss), ..Self::default() }
+    }
+
+    /// A latency ramp climbing linearly to `peak` extra ticks over
+    /// `len` ticks (a node slowly drowning rather than stepping down).
+    pub fn ramp(peak: u64, len: u64) -> Self {
+        Degradation { ramp_peak: peak, ramp_len: len, ..Self::default() }
+    }
+
+    /// The same script with `extra_loss` added (builder-style).
+    pub fn with_loss(mut self, extra_loss: f64) -> Self {
+        self.extra_loss = clamp_probability(extra_loss);
+        self
+    }
+
+    /// Whether the script degrades nothing.
+    pub fn is_none(&self) -> bool {
+        self.slowdown_pct <= 100 && self.extra_loss == 0.0 && self.ramp_peak == 0
+    }
+
+    /// The pointwise-worst combination of two scripts (a send crossing
+    /// a degraded link between two degraded nodes suffers the worst of
+    /// each effect, not their product — gray failures overlap, they
+    /// don't compound multiplicatively in this model).
+    fn combine(a: Degradation, b: Degradation) -> Degradation {
+        Degradation {
+            slowdown_pct: a.slowdown_pct.max(b.slowdown_pct),
+            extra_loss: if a.extra_loss >= b.extra_loss { a.extra_loss } else { b.extra_loss },
+            ramp_peak: a.ramp_peak.max(b.ramp_peak),
+            ramp_len: a.ramp_len.max(b.ramp_len),
+        }
+    }
+
+    /// Extra latency the script adds to `base` at `elapsed` ticks after
+    /// it was applied.
+    fn added_latency(&self, base: u64, elapsed: u64) -> u64 {
+        let slow = base * u64::from(self.slowdown_pct.max(100)) / 100 - base;
+        let ramp = if self.ramp_peak == 0 {
+            0
+        } else if self.ramp_len == 0 || elapsed >= self.ramp_len {
+            self.ramp_peak
+        } else {
+            self.ramp_peak * elapsed / self.ramp_len
+        };
+        slow + ramp
+    }
+}
+
+/// SplitMix64 finalizer — the side hash stream degradation loss draws
+/// from, so the main RNG's fixed per-send draw order is untouched.
+fn stir(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Deterministic link/partition outages consulted before every send.
@@ -225,6 +328,17 @@ pub struct SimTransport {
     filter: LinkFilter,
     rng: Pcg64,
     trace: Vec<TraceRecord>,
+    /// Per-node fail-slow scripts with their application time (for
+    /// ramps); a degraded node affects every send it originates or
+    /// receives.
+    node_degrade: BTreeMap<RouterId, (Degradation, SimTime)>,
+    /// Per-directed-link scripts — `(from, to)` only, so loss and
+    /// slowdown can be asymmetric.
+    link_degrade: BTreeMap<(RouterId, RouterId), (Degradation, SimTime)>,
+    /// Seed of the side hash stream for extra-loss decisions.
+    degrade_salt: u64,
+    /// Draws taken from the side stream so far.
+    degrade_draws: u64,
 }
 
 impl SimTransport {
@@ -237,12 +351,73 @@ impl SimTransport {
             filter: LinkFilter::default(),
             rng: Pcg64::seed_from_u64(seed),
             trace: Vec::new(),
+            node_degrade: BTreeMap::new(),
+            link_degrade: BTreeMap::new(),
+            degrade_salt: stir(seed ^ 0xD09E),
+            degrade_draws: 0,
         }
     }
 
     /// Replaces the outage schedule.
     pub fn set_filter(&mut self, filter: LinkFilter) {
         self.filter = filter;
+    }
+
+    /// Applies (or replaces) a fail-slow script on `router` from `at`
+    /// on; both directions of all its traffic are affected.
+    pub fn degrade_node(&mut self, router: RouterId, d: Degradation, at: SimTime) {
+        if d.is_none() {
+            self.node_degrade.remove(&router);
+        } else {
+            self.node_degrade.insert(router, (d, at));
+        }
+    }
+
+    /// Applies (or replaces) a fail-slow script on the directed
+    /// `from → to` link from `at` on; the reverse direction is
+    /// untouched (asymmetric degradation).
+    pub fn degrade_link(&mut self, from: RouterId, to: RouterId, d: Degradation, at: SimTime) {
+        if d.is_none() {
+            self.link_degrade.remove(&(from, to));
+        } else {
+            self.link_degrade.insert((from, to), (d, at));
+        }
+    }
+
+    /// Lifts `router`'s fail-slow script.
+    pub fn heal_node(&mut self, router: RouterId) {
+        self.node_degrade.remove(&router);
+    }
+
+    /// Lifts the directed `from → to` link's fail-slow script.
+    pub fn heal_link(&mut self, from: RouterId, to: RouterId) {
+        self.link_degrade.remove(&(from, to));
+    }
+
+    /// Lifts every fail-slow script at once.
+    pub fn clear_degradations(&mut self) {
+        self.node_degrade.clear();
+        self.link_degrade.clear();
+    }
+
+    /// The worst-of combination of the scripts touching a `from → to`
+    /// send, with the earliest application time (for ramps).
+    fn active_degradation(&self, from: RouterId, to: RouterId) -> Option<(Degradation, SimTime)> {
+        let mut acc: Option<(Degradation, SimTime)> = None;
+        let sources = [
+            self.node_degrade.get(&from),
+            self.node_degrade.get(&to),
+            self.link_degrade.get(&(from, to)),
+        ];
+        for &(d, at) in sources.into_iter().flatten() {
+            acc = Some(match acc {
+                None => (d, at),
+                Some((worst, since)) => {
+                    (Degradation::combine(worst, d), if at.0 < since.0 { at } else { since })
+                }
+            });
+        }
+        acc
     }
 
     /// Current fault configuration.
@@ -320,7 +495,31 @@ impl Transport for SimTransport {
             return Vec::new();
         }
 
-        let base = self.dcache.distance(from, to) + self.faults.min_latency;
+        // Fail-slow scripts apply after the fixed draws above, and their
+        // loss decision comes from the side hash stream: a run with no
+        // degradations consumes exactly the same main-RNG draws as
+        // before the feature existed, keeping default traces
+        // byte-identical.
+        let mut extra_latency = 0;
+        if let Some((degrade, since)) = self.active_degradation(from, to) {
+            if degrade.extra_loss > 0.0 {
+                self.degrade_draws += 1;
+                let roll = stir(self.degrade_salt ^ self.degrade_draws);
+                let unit = (roll >> 11) as f64 / (1u64 << 53) as f64;
+                if unit < degrade.extra_loss {
+                    record.fate = Fate::Dropped;
+                    self.trace.push(record);
+                    return Vec::new();
+                }
+            }
+            let base = self.dcache.distance(from, to) + self.faults.min_latency;
+            // A script scheduled for the future ramps from its start,
+            // not from the first send that sees it.
+            let elapsed = now.0.saturating_sub(since.0);
+            extra_latency = degrade.added_latency(base, elapsed);
+        }
+
+        let base = self.dcache.distance(from, to) + self.faults.min_latency + extra_latency;
         let arrival = now.plus(base + jitter);
         record.arrivals.push(arrival);
         // N arrivals cost N−1 clones: the last delivery takes `env` by
@@ -551,6 +750,83 @@ mod tests {
         );
         assert_eq!(t.trace()[0].fate, Fate::Blocked);
         assert_eq!(t.trace()[1].fate, Fate::Delivered);
+    }
+
+    #[test]
+    fn degraded_node_slows_its_traffic_only() {
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 5);
+        t.degrade_node(RouterId(1), Degradation::slowdown(300), SimTime(0));
+        // 0 → 1: base 3 + 1, tripled by the slowdown.
+        let d = t.send(SimTime(0), RouterId(0), RouterId(1), envelope(0));
+        assert_eq!(d[0].at, SimTime(12), "3× the base 4-tick latency");
+        // 0 → 2 transits router 1 physically, but degradation models the
+        // *endpoint* failing slow, so pass-through traffic is untouched.
+        let d = t.send(SimTime(0), RouterId(0), RouterId(2), envelope(1));
+        assert_eq!(d[0].at, SimTime(7), "6 + min latency, undegraded");
+        t.heal_node(RouterId(1));
+        let d = t.send(SimTime(10), RouterId(0), RouterId(1), envelope(2));
+        assert_eq!(d[0].at, SimTime(14), "healed back to base latency");
+    }
+
+    #[test]
+    fn asymmetric_link_loss_drops_one_direction_only() {
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 5);
+        t.degrade_link(RouterId(0), RouterId(1), Degradation::lossy(1.0), SimTime(0));
+        assert!(t.send(SimTime(0), RouterId(0), RouterId(1), envelope(0)).is_empty());
+        assert_eq!(t.trace()[0].fate, Fate::Dropped);
+        assert_eq!(
+            t.send(SimTime(0), RouterId(1), RouterId(0), envelope(1)).len(),
+            1,
+            "the reverse direction stays healthy"
+        );
+    }
+
+    #[test]
+    fn latency_ramp_climbs_from_the_application_time() {
+        let mut t = SimTransport::new(line_cache(3), FaultConfig::perfect(), 5);
+        t.degrade_node(RouterId(1), Degradation::ramp(100, 100), SimTime(0));
+        let d = t.send(SimTime(0), RouterId(0), RouterId(1), envelope(0));
+        assert_eq!(d[0].at, SimTime(4), "ramp starts at zero extra");
+        let d = t.send(SimTime(50), RouterId(0), RouterId(1), envelope(1));
+        assert_eq!(d[0].at, SimTime(50 + 4 + 50), "halfway up the ramp");
+        let d = t.send(SimTime(500), RouterId(0), RouterId(1), envelope(2));
+        assert_eq!(d[0].at, SimTime(500 + 4 + 100), "saturated at the peak");
+    }
+
+    #[test]
+    fn degradation_loss_never_disturbs_the_main_rng() {
+        // Two identically seeded lossy transports; one also has a
+        // degraded (extra-lossy) node. Sends not touching that node
+        // must have byte-identical outcomes, because degradation loss
+        // draws from a side hash stream, not the main RNG.
+        let faults = FaultConfig {
+            drop_probability: 0.3,
+            duplicate_probability: 0.1,
+            jitter: 9,
+            ..FaultConfig::default()
+        };
+        let mut clean = SimTransport::new(line_cache(3), faults.clone(), 99);
+        let mut degraded = SimTransport::new(line_cache(3), faults, 99);
+        degraded.degrade_node(RouterId(1), Degradation::lossy(0.5), SimTime(0));
+        for i in 0..100 {
+            clean.send(SimTime(i), RouterId(0), RouterId(2), envelope(i));
+            degraded.send(SimTime(i), RouterId(0), RouterId(2), envelope(i));
+            clean.send(SimTime(i), RouterId(0), RouterId(1), envelope(1000 + i));
+            degraded.send(SimTime(i), RouterId(0), RouterId(1), envelope(1000 + i));
+        }
+        let bystanders = |t: &SimTransport| {
+            t.trace().iter().filter(|r| r.to == RouterId(2)).cloned().collect::<Vec<_>>()
+        };
+        let (a, b) = (bystanders(&clean), bystanders(&degraded));
+        assert_eq!(a.len(), 100);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.fate, &x.arrivals), (y.fate, &y.arrivals), "bystander send diverged");
+        }
+        // And the degraded node really did lose extra traffic.
+        let losses = |t: &SimTransport| {
+            t.trace().iter().filter(|r| r.to == RouterId(1) && r.fate == Fate::Dropped).count()
+        };
+        assert!(losses(&degraded) > losses(&clean), "extra loss applied");
     }
 
     #[test]

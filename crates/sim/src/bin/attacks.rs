@@ -7,22 +7,22 @@
 //! machine-readable run report.
 use bristle_core::auth::VerifyPolicy;
 use bristle_sim::adversary::{run_attack, AttackConfig, ALL_FAMILIES};
+use bristle_sim::cli::SweepArgs;
 use bristle_sim::experiments::Scale;
 use bristle_sim::report::{pct, Table};
-use bristle_sim::runreport::{json_arg, Json, RunReport};
+use bristle_sim::runreport::{Json, RunReport};
 
 const POLICIES: [VerifyPolicy; 3] =
     [VerifyPolicy::Off, VerifyPolicy::LogOnly, VerifyPolicy::Enforce];
 
 fn main() {
-    let scale = Scale::from_args(std::env::args().skip(1));
-    let json_path = json_arg(std::env::args().skip(1));
-    let (stationary, mobile) = match scale {
+    let args = SweepArgs::parse();
+    let (stationary, mobile) = match args.scale {
         Scale::Quick => (40usize, 16usize),
         Scale::Paper => (90, 40),
     };
     eprintln!("attacks: {stationary}+{mobile} nodes per cell");
-    let mut report = RunReport::new("attacks", 8);
+    let mut report = RunReport::new("attacks", args.seed);
 
     let mut table = Table::new(
         "Adversarial overlay — attack success and honest delivery, by family × verify policy",
@@ -43,7 +43,7 @@ fn main() {
     for family in ALL_FAMILIES {
         let mut off_pre_delivered = None;
         for policy in POLICIES {
-            let mut cfg = AttackConfig::standard(8, family, policy);
+            let mut cfg = AttackConfig::standard(args.seed, family, policy);
             cfg.stationary = stationary;
             cfg.mobile = mobile;
             let out = run_attack(&cfg);
@@ -103,7 +103,7 @@ fn main() {
         "enforcement costs honest pre-attack delivery nothing: {}",
         if enforce_costs_nothing { "ok in all cells" } else { "VIOLATED" }
     );
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         report.write_to(&path).expect("run report written");
         eprintln!("run report: {}", path.display());
     }

@@ -3,20 +3,20 @@
 //! (WAL history) and snapshot interval vary. `--paper` for a larger
 //! population; `--json <path>` also writes a machine-readable run
 //! report.
+use bristle_sim::cli::SweepArgs;
 use bristle_sim::durability::{run_durability, DurabilityConfig, RestartMode};
 use bristle_sim::experiments::Scale;
 use bristle_sim::report::{pct, Table};
-use bristle_sim::runreport::{json_arg, Json, RunReport};
+use bristle_sim::runreport::{Json, RunReport};
 
 fn main() {
-    let scale = Scale::from_args(std::env::args().skip(1));
-    let json_path = json_arg(std::env::args().skip(1));
-    let (stationary, mobile, crash_points) = match scale {
+    let args = SweepArgs::parse();
+    let (stationary, mobile, crash_points) = match args.scale {
         Scale::Quick => (40usize, 16usize, [6usize, 12, 24]),
         Scale::Paper => (90, 40, [10, 20, 40]),
     };
     eprintln!("durability: {stationary}+{mobile} nodes per cell");
-    let mut report = RunReport::new("durability", 8);
+    let mut report = RunReport::new("durability", args.seed);
 
     let mut table = Table::new(
         "Crash-restart durability — WAL replay vs republication, by crash point × snapshot interval",
@@ -47,7 +47,7 @@ fn main() {
         ];
         let mut baseline_replicates = None;
         for (mode, snapshot_every) in cells {
-            let mut cfg = DurabilityConfig::standard(8, mode);
+            let mut cfg = DurabilityConfig::standard(args.seed, mode);
             cfg.stationary = stationary;
             cfg.mobile = mobile;
             cfg.crash_point = crash_point;
@@ -117,7 +117,7 @@ fn main() {
         "WAL replay strictly beats republication on Replicate traffic: {}",
         if replay_always_wins { "ok in all cells" } else { "VIOLATED" }
     );
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         report.write_to(&path).expect("run report written");
         eprintln!("run report: {}", path.display());
     }

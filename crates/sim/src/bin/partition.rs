@@ -2,20 +2,20 @@
 //! traffic, recovery latency and post-heal delivery as the partition
 //! duration and transport loss rate vary. `--paper` for a larger
 //! population.
+use bristle_sim::cli::SweepArgs;
 use bristle_sim::experiments::Scale;
 use bristle_sim::partition::{run_partition, PartitionConfig};
 use bristle_sim::report::{pct, Table};
-use bristle_sim::runreport::{json_arg, Json, RunReport};
+use bristle_sim::runreport::{Json, RunReport};
 
 fn main() {
-    let scale = Scale::from_args(std::env::args().skip(1));
-    let json_path = json_arg(std::env::args().skip(1));
-    let (stationary, mobile) = match scale {
+    let args = SweepArgs::parse();
+    let (stationary, mobile) = match args.scale {
         Scale::Quick => (36, 14),
         Scale::Paper => (90, 40),
     };
     eprintln!("partition: {stationary}+{mobile} nodes per cell");
-    let mut report = RunReport::new("partition", 8);
+    let mut report = RunReport::new("partition", args.seed);
 
     let mut table = Table::new(
         "Partition tolerance — wrongful death and recovery vs cut duration × loss",
@@ -36,7 +36,7 @@ fn main() {
     let mut all_reconciled = true;
     for partition_rounds in [2usize, 4, 6] {
         for loss in [0.0f64, 0.05, 0.10] {
-            let mut cfg = PartitionConfig::standard(8);
+            let mut cfg = PartitionConfig::standard(args.seed);
             cfg.stationary = stationary;
             cfg.mobile = mobile;
             cfg.loss = loss;
@@ -97,7 +97,7 @@ fn main() {
         "split-brain records reconciled to the incarnation maximum: {}",
         if all_reconciled { "ok in all cells" } else { "VIOLATED" }
     );
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         report.write_to(&path).expect("run report written");
         eprintln!("run report: {}", path.display());
     }

@@ -4,20 +4,20 @@
 //! horizon.
 use bristle_overlay::meter::MessageKind;
 use bristle_sim::churn::ChurnModel;
+use bristle_sim::cli::SweepArgs;
 use bristle_sim::experiments::Scale;
 use bristle_sim::report::{f2, pct, Table};
 use bristle_sim::resilience::{run_churn_messaging, ResilienceConfig};
-use bristle_sim::runreport::{json_arg, Json, RunReport};
+use bristle_sim::runreport::{Json, RunReport};
 
 fn main() {
-    let scale = Scale::from_args(std::env::args().skip(1));
-    let json_path = json_arg(std::env::args().skip(1));
-    let (stationary, mobile, events) = match scale {
+    let args = SweepArgs::parse();
+    let (stationary, mobile, events) = match args.scale {
         Scale::Quick => (36, 14, 18),
         Scale::Paper => (90, 40, 60),
     };
     eprintln!("resilience: {stationary}+{mobile} nodes, {events} churn events per cell");
-    let mut report = RunReport::new("resilience", 8);
+    let mut report = RunReport::new("resilience", args.seed);
 
     let mut table = Table::new(
         "Churn resilience — delivery, staleness and repair vs fail weight × loss",
@@ -37,7 +37,7 @@ fn main() {
     let mut all_invariants_ok = true;
     for fail_weight in [0u32, 1, 3, 6] {
         for loss in [0.0f64, 0.10, 0.20] {
-            let mut cfg = ResilienceConfig::standard(8);
+            let mut cfg = ResilienceConfig::standard(args.seed);
             cfg.stationary = stationary;
             cfg.mobile = mobile;
             cfg.events = events;
@@ -100,7 +100,7 @@ fn main() {
         "root-reachability invariant after every repair: {}",
         if all_invariants_ok { "ok in all cells" } else { "VIOLATED" }
     );
-    if let Some(path) = json_path {
+    if let Some(path) = args.json {
         report.write_to(&path).expect("run report written");
         eprintln!("run report: {}", path.display());
     }

@@ -8,29 +8,25 @@
 //! The JSON report carries only deterministic quantities — identical
 //! bytes at any worker count. Wall-clock and events/sec go to stdout.
 
+use bristle_sim::cli::SweepArgs;
 use bristle_sim::report::{f2, f3, Table};
-use bristle_sim::runreport::{json_arg, Json, RunReport};
+use bristle_sim::runreport::{Json, RunReport};
 use bristle_sim::scale::{growth_fits, queue_bench, run_cell, to_table, ScaleCell, ScaleConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = json_arg(args.iter().cloned());
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let stretch = args.iter().any(|a| a == "--stretch");
+    let args = SweepArgs::parse();
+    let json_path = args.json;
     let workers = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
+        .workers
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
 
-    let seed = 8;
-    let mut cfg = if smoke {
+    let seed = args.seed;
+    let mut cfg = if args.smoke {
         ScaleConfig::smoke(seed, workers)
     } else {
         ScaleConfig::standard(seed, workers)
     };
-    if stretch {
+    if args.stretch {
         cfg = cfg.with_stretch();
     }
     eprintln!(

@@ -1,0 +1,124 @@
+//! Shared command-line parsing for the sweep binaries.
+//!
+//! Every sweep binary accepts the same small flag vocabulary; before
+//! this module each binary hand-rolled its own scan of `std::env::args`
+//! (six slightly-different copies). [`SweepArgs`] is the single parser:
+//!
+//! | flag | meaning |
+//! |------|---------|
+//! | `--paper`        | the paper's populations instead of the quick scale |
+//! | `--json <path>`  | also write a `bristle-run-report/v1` document |
+//! | `--seed <n>`     | master seed (default 8 — the committed-report seed) |
+//! | `--smoke`        | smallest cell only (scale sweep) |
+//! | `--stretch`      | add the largest cell (scale sweep) |
+//! | `--workers <k>`  | wiring/sampling threads (scale sweep) |
+//!
+//! Unknown flags are ignored, matching the historical behaviour of the
+//! binaries, so wrapper scripts passing extra arguments keep working.
+
+use std::path::PathBuf;
+
+use crate::experiments::Scale;
+
+/// The seed the committed `BENCH_*.json` artifacts are generated at.
+pub const DEFAULT_SEED: u64 = 8;
+
+/// Parsed sweep-binary arguments. See the module docs for the flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Population scale (`--paper` ⇒ [`Scale::Paper`]).
+    pub scale: Scale,
+    /// Where to write the machine-readable run report, if anywhere.
+    pub json: Option<PathBuf>,
+    /// Master seed for the sweep ([`DEFAULT_SEED`] unless `--seed`).
+    pub seed: u64,
+    /// Scale sweep only: run the smallest population cell only.
+    pub smoke: bool,
+    /// Scale sweep only: add the largest (stretch) population cell.
+    pub stretch: bool,
+    /// Scale sweep only: worker-thread count override (`None` lets the
+    /// binary pick, e.g. from `available_parallelism`).
+    pub workers: Option<usize>,
+}
+
+impl SweepArgs {
+    /// Parses the process's own arguments (everything after `argv[0]`).
+    pub fn parse() -> SweepArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests, wrappers).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> SweepArgs {
+        let mut out = SweepArgs {
+            scale: Scale::Quick,
+            json: None,
+            seed: DEFAULT_SEED,
+            smoke: false,
+            stretch: false,
+            workers: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper" => out.scale = Scale::Paper,
+                "--smoke" => out.smoke = true,
+                "--stretch" => out.stretch = true,
+                "--json" => out.json = args.next().map(PathBuf::from),
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        out.seed = v;
+                    }
+                }
+                "--workers" => out.workers = args.next().and_then(|v| v.parse().ok()),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> SweepArgs {
+        SweepArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_the_committed_artifacts() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert_eq!(a.json, None);
+        assert!(!a.smoke && !a.stretch);
+        assert_eq!(a.workers, None);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&[
+            "--paper",
+            "--json",
+            "out.json",
+            "--seed",
+            "27",
+            "--smoke",
+            "--stretch",
+            "--workers",
+            "4",
+        ]);
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.json, Some(PathBuf::from("out.json")));
+        assert_eq!(a.seed, 27);
+        assert!(a.smoke && a.stretch);
+        assert_eq!(a.workers, Some(4));
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_ignored() {
+        let a = parse(&["--verbose", "--seed", "not-a-number", "--workers"]);
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert_eq!(a.workers, None);
+    }
+}

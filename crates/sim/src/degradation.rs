@@ -1,0 +1,360 @@
+//! Gray-failure degradation scenario: fail-slow nodes, an asymmetric
+//! lossy link, and flash-crowd route bursts against bounded ingress
+//! queues, under either the fixed [`RetryPolicy`] timers or the
+//! adaptive per-peer RTO estimator.
+//!
+//! The scenario answers the gray-failure questions the binary
+//! alive/dead sweeps cannot:
+//!
+//! * does a *fail-slow* (degraded but alive) node survive detection
+//!   without a wrongful funeral, while a genuinely crashed node is
+//!   still confirmed and healed?
+//! * does the adaptive RTO cut the spurious retransmissions the fixed
+//!   timers fire against slowed peers, and with them the load-shed
+//!   cascade at bounded ingress queues?
+//!
+//! Both retry arms run the identical seeded script — same build, same
+//! degradation placement, same burst pairs — so their outcome deltas
+//! are attributable to the timer policy alone.
+//!
+//! [`RetryPolicy`]: bristle_proto::machine::RetryPolicy
+
+use bristle_core::config::BristleConfig;
+use bristle_core::system::BristleBuilder;
+use bristle_netsim::rng::Pcg64;
+use bristle_netsim::transit_stub::TransitStubConfig;
+use bristle_overlay::key::Key;
+use bristle_overlay::meter::{MessageKind, ALL_KINDS};
+use bristle_overlay::obs::Snapshot;
+use bristle_proto::failure::FailurePolicy;
+use bristle_proto::rto::RtoConfig;
+use bristle_proto::transport::{Degradation, FaultConfig};
+
+use crate::messaging::MessagingBristleSystem;
+use crate::metrics::Samples;
+
+/// Parameters of one degradation run.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationConfig {
+    /// Seed for the build, the transport, and the scenario draws.
+    pub seed: u64,
+    /// Stationary population at build time.
+    pub stationary: usize,
+    /// Mobile population at build time.
+    pub mobile: usize,
+    /// Adaptive per-peer RTO (`true`) or the fixed retry timers.
+    pub adaptive: bool,
+    /// Fail-slow latency multiplier applied to the degraded stationary
+    /// nodes, in percent (`100` = no degradation cell).
+    pub slowdown_pct: u32,
+    /// How many stationary nodes the slowdown script hits.
+    pub degraded_nodes: usize,
+    /// Extra one-way loss on the scripted asymmetric link.
+    pub link_loss: f64,
+    /// Concurrent routes per flash-crowd wave (the overload axis).
+    pub burst: usize,
+    /// Flash-crowd waves (one heartbeat round after each).
+    pub waves: usize,
+    /// Sequential routes before degradation starts, so the adaptive
+    /// arm's estimators are trained on the healthy network first.
+    pub warmup_routes: usize,
+    /// Bounded per-node ingress queue capacity (applied in all cells).
+    pub ingress_cap: usize,
+    /// Background transport drop probability.
+    pub loss: f64,
+    /// Base link latency; the slowdown multiplies this, so it sets how
+    /// far past the fixed ack timeout a degraded round trip lands.
+    pub min_latency: u64,
+    /// Extra missed heartbeat rounds granted to recently-acking peers
+    /// ([`FailurePolicy::grace_misses`], both arms).
+    pub grace_misses: u32,
+}
+
+impl DegradationConfig {
+    /// The standard acceptance-scale cell: enough slowdown to push
+    /// degraded round trips past the fixed 20 000-tick ack timeout,
+    /// bursts large enough to actually fill the bounded ingress queues.
+    /// Background loss is zero — the resilience sweep owns random loss;
+    /// here every anomaly is a *scripted* gray failure, so outcome
+    /// deltas are attributable to the fail-slow family alone.
+    pub fn standard(seed: u64) -> Self {
+        DegradationConfig {
+            seed,
+            stationary: 36,
+            mobile: 14,
+            adaptive: false,
+            slowdown_pct: 300,
+            degraded_nodes: 8,
+            link_loss: 0.35,
+            burst: 16,
+            waves: 10,
+            warmup_routes: 40,
+            ingress_cap: 6,
+            loss: 0.0,
+            min_latency: 6_000,
+            grace_misses: 2,
+        }
+    }
+}
+
+/// What one degradation run observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationOutcome {
+    /// Routes attempted across all flash-crowd waves (warmup excluded).
+    pub routes_attempted: usize,
+    /// Wave routes that reached their target's owner.
+    pub routes_delivered: usize,
+    /// Retransmissions of frames the destination had already processed
+    /// (meter [`MessageKind::SpuriousRetry`]).
+    pub spurious_retries: u64,
+    /// Lookup-class frames shed at full ingress queues
+    /// (meter [`MessageKind::LoadShed`]).
+    pub load_sheds: u64,
+    /// Funerals held for nodes whose machine was still running. The
+    /// acceptance bar is zero: fail-slow must never look like death.
+    pub wrongful_burials: usize,
+    /// Whether the scripted *real* crash was confirmed dead and healed.
+    pub crash_confirmed: bool,
+    /// Heartbeat rounds from the crash to its confirmation.
+    pub detection_rounds: usize,
+    /// Most peers simultaneously flagged degraded by the health score
+    /// across the run (shows the fail-slow family is *observed*, not
+    /// just injected).
+    pub degraded_flagged_max: usize,
+    /// Median wave-route completion latency (micro-clock ticks).
+    pub wave_p50: u64,
+    /// 99th-percentile wave-route completion latency.
+    pub wave_p99: u64,
+    /// Worst wave-route completion latency.
+    pub wave_max: u64,
+    /// Every wave-route completion latency, sorted ascending — so the
+    /// sweep binary can pool cells into per-arm percentiles.
+    pub wave_samples: Vec<u64>,
+    /// Per-kind meter `(kind, count, cost)` at the end of the run.
+    pub tallies: Vec<(MessageKind, u64, u64)>,
+    /// Named latency-histogram snapshots from the driver's collector.
+    pub latencies: Vec<(&'static str, Snapshot)>,
+}
+
+impl DegradationOutcome {
+    /// Fraction of attempted wave routes that were delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.routes_attempted == 0 {
+            1.0
+        } else {
+            self.routes_delivered as f64 / self.routes_attempted as f64
+        }
+    }
+}
+
+/// Every `n`-th key of the sorted stationary population — a
+/// deterministic spread of degradation targets around the ring.
+fn spread(keys: &[Key], n: usize) -> Vec<Key> {
+    let mut sorted: Vec<Key> = keys.to_vec();
+    sorted.sort_unstable();
+    if n == 0 || sorted.is_empty() {
+        return Vec::new();
+    }
+    let step = (sorted.len() / n).max(1);
+    sorted.iter().step_by(step).take(n).copied().collect()
+}
+
+/// Runs one gray-failure degradation scenario: build, warm up, degrade,
+/// crash one node for real, drive flash-crowd waves with heartbeat
+/// rounds interleaved, heal, and settle. Deterministic in `cfg`.
+pub fn run_degradation(cfg: &DegradationConfig) -> DegradationOutcome {
+    let sys = BristleBuilder::new(cfg.seed)
+        .stationary_nodes(cfg.stationary)
+        .mobile_nodes(cfg.mobile)
+        .topology(TransitStubConfig::tiny())
+        .config(BristleConfig { adaptive_rto: cfg.adaptive, ..BristleConfig::recommended() })
+        .build()
+        .expect("system builds");
+    let faults = FaultConfig {
+        drop_probability: cfg.loss,
+        min_latency: cfg.min_latency,
+        ..FaultConfig::default()
+    };
+    let mut msys = MessagingBristleSystem::new(sys, faults, cfg.seed ^ 0xD06);
+    if cfg.adaptive {
+        msys.set_adaptive_rto(Some(RtoConfig::default()));
+    }
+    msys.set_ingress_cap(Some(cfg.ingress_cap));
+    msys.set_failure_policy(FailurePolicy {
+        grace_misses: cfg.grace_misses,
+        ..FailurePolicy::default()
+    });
+    msys.seed_monitors();
+    let mut rng = Pcg64::new(cfg.seed, 0xDE64);
+
+    let mut out = DegradationOutcome {
+        routes_attempted: 0,
+        routes_delivered: 0,
+        spurious_retries: 0,
+        load_sheds: 0,
+        wrongful_burials: 0,
+        crash_confirmed: false,
+        detection_rounds: 0,
+        degraded_flagged_max: 0,
+        wave_p50: 0,
+        wave_p99: 0,
+        wave_max: 0,
+        wave_samples: Vec::new(),
+        tallies: Vec::new(),
+        latencies: Vec::new(),
+    };
+
+    let mut endpoints: Vec<Key> = msys.sys.mobile.keys().collect();
+    endpoints.sort_unstable();
+    let draw_pair = |rng: &mut Pcg64, endpoints: &[Key]| -> Option<(Key, Key)> {
+        if endpoints.len() < 2 {
+            return None;
+        }
+        let src = endpoints[rng.index(endpoints.len())];
+        let dst = endpoints[rng.index(endpoints.len())];
+        (src != dst).then_some((src, dst))
+    };
+
+    // Warmup on the healthy network: trains the adaptive arm's RTT
+    // estimators; the fixed arm runs the same routes for rng parity.
+    for _ in 0..cfg.warmup_routes {
+        if let Some((src, dst)) = draw_pair(&mut rng, &endpoints) {
+            let _ = msys.route(src, dst);
+        }
+    }
+    msys.heartbeat_round();
+
+    // Fail-slow scripts: a spread of stationary nodes slowed down, plus
+    // one asymmetric lossy link between the first two victims (loss in
+    // one direction only — acks die, data arrives).
+    let victims = spread(msys.sys.stationary_keys(), cfg.degraded_nodes);
+    if cfg.slowdown_pct > 100 {
+        for &v in &victims {
+            msys.degrade_node_now(v, Degradation::slowdown(cfg.slowdown_pct));
+        }
+        if let [a, b, ..] = victims[..] {
+            msys.degrade_link_now(a, b, Degradation::lossy(cfg.link_loss));
+        }
+    }
+
+    // One *real* silent crash among the healthy stationary nodes: the
+    // detector must tell slow from dead while the scripts run, so the
+    // confirmation races the degraded peers' late acks. Detection and
+    // healing complete before the measurement waves — the waves then
+    // observe the degradation itself, not the corpse's discovery tail.
+    let crash = {
+        let mut sorted: Vec<Key> = msys.sys.stationary_keys().to_vec();
+        sorted.sort_unstable();
+        sorted.into_iter().rev().find(|k| !victims.contains(k))
+    };
+    if let Some(c) = crash {
+        msys.fail_silently(c);
+        for _ in 0..8 {
+            out.detection_rounds += 1;
+            for k in msys.heartbeat_round() {
+                let _ = msys.confirm_and_heal(k);
+                if k == c {
+                    out.crash_confirmed = true;
+                }
+            }
+            out.degraded_flagged_max = out.degraded_flagged_max.max(msys.degraded_peers().len());
+            if out.crash_confirmed {
+                break;
+            }
+        }
+    }
+
+    let spurious_before = msys.sys.meter.count(MessageKind::SpuriousRetry);
+    let sheds_before = msys.sys.meter.count(MessageKind::LoadShed);
+    endpoints.retain(|&k| !msys.is_failed(k));
+
+    let mut wave_latencies = Samples::new();
+    for _ in 0..cfg.waves {
+        // Each wave is a flash crowd: half its routes converge on one
+        // hot target, so the hot record-owner's ingress queue actually
+        // fills — the overload the bounded queues exist to survive.
+        let hot = endpoints.get(rng.index(endpoints.len().max(1))).copied();
+        let mut pairs = Vec::with_capacity(cfg.burst);
+        let mut tries = 0;
+        while pairs.len() < cfg.burst && tries < cfg.burst * 4 {
+            tries += 1;
+            if endpoints.len() < 2 {
+                break;
+            }
+            let src = endpoints[rng.index(endpoints.len())];
+            let dst = match hot {
+                Some(h) if rng.chance(0.5) => h,
+                _ => endpoints[rng.index(endpoints.len())],
+            };
+            if src != dst {
+                pairs.push((src, dst));
+            }
+        }
+        let started = msys.micro_now();
+        let results = msys.route_burst(&pairs);
+        out.routes_attempted += pairs.len();
+        for report in results.iter().flatten() {
+            out.routes_delivered += 1;
+            wave_latencies.push(report.delivered_at.since(started) as f64);
+        }
+
+        // One detection round per wave: probes to the degraded peers
+        // come back late (health score drops, grace credit accrues).
+        // Anything confirmed here is by construction a wrongful burial
+        // — the only real corpse was already found above.
+        for k in msys.heartbeat_round() {
+            let _ = msys.confirm_and_heal(k);
+        }
+        out.degraded_flagged_max = out.degraded_flagged_max.max(msys.degraded_peers().len());
+    }
+
+    msys.heal_degradations_now();
+
+    out.spurious_retries = msys.sys.meter.count(MessageKind::SpuriousRetry) - spurious_before;
+    out.load_sheds = msys.sys.meter.count(MessageKind::LoadShed) - sheds_before;
+    out.wrongful_burials = msys.wrongly_buried().len();
+    if !wave_latencies.is_empty() {
+        out.wave_p50 = wave_latencies.percentile(50.0) as u64;
+        out.wave_p99 = wave_latencies.percentile(99.0) as u64;
+        out.wave_max = wave_latencies.max() as u64;
+    }
+    out.wave_samples = wave_latencies.sorted_values().iter().map(|&v| v as u64).collect();
+    out.tallies =
+        ALL_KINDS.iter().map(|&k| (k, msys.sys.meter.count(k), msys.sys.meter.cost(k))).collect();
+    out.latencies = msys.obs().latency_snapshots();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_twice_is_identical() {
+        let cfg = DegradationConfig::standard(11);
+        let a = run_degradation(&cfg);
+        let b = run_degradation(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn undegraded_cell_is_clean() {
+        let mut cfg = DegradationConfig::standard(5);
+        cfg.slowdown_pct = 100;
+        cfg.loss = 0.0;
+        let out = run_degradation(&cfg);
+        assert_eq!(out.wrongful_burials, 0);
+        assert!(out.crash_confirmed, "the real crash must be confirmed: {out:?}");
+        assert_eq!(out.spurious_retries, 0, "no timeouts on a clean network");
+        assert_eq!(out.routes_delivered, out.routes_attempted);
+    }
+
+    #[test]
+    fn degraded_cell_flags_peers_without_burying_them() {
+        let cfg = DegradationConfig::standard(8);
+        let out = run_degradation(&cfg);
+        assert_eq!(out.wrongful_burials, 0, "fail-slow must never look like death: {out:?}");
+        assert!(out.crash_confirmed, "slow ≠ dead must still find the corpse: {out:?}");
+        assert!(out.degraded_flagged_max > 0, "health scoring saw no degraded peer: {out:?}");
+    }
+}

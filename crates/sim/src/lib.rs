@@ -23,6 +23,8 @@ pub mod adversary;
 pub mod baseline_type_a;
 pub mod baseline_type_b;
 pub mod churn;
+pub mod cli;
+pub mod degradation;
 pub mod durability;
 pub mod engine;
 pub mod experiments;
@@ -41,6 +43,8 @@ pub use adversary::{run_attack, AttackConfig, AttackFamily, AttackOutcome, ALL_F
 pub use baseline_type_a::TypeASystem;
 pub use baseline_type_b::TypeBSystem;
 pub use churn::{ChurnAction, ChurnModel};
+pub use cli::SweepArgs;
+pub use degradation::{run_degradation, DegradationConfig, DegradationOutcome};
 pub use durability::{run_durability, DurabilityConfig, DurabilityOutcome, RestartMode};
 pub use engine::EventQueue;
 pub use experiments::Scale;

@@ -40,8 +40,11 @@ use bristle_proto::failure::FailurePolicy;
 use bristle_proto::machine::{
     Completion, Event, NodeEnv, Output, ProtoMachine, RetryPolicy, TimerKind,
 };
-use bristle_proto::transport::{Delivery, FaultConfig, LinkFilter, SimTransport, Transport};
-use bristle_proto::wire::{Envelope, WireAddr};
+use bristle_proto::rto::RtoConfig;
+use bristle_proto::transport::{
+    Degradation, Delivery, FaultConfig, LinkFilter, SimTransport, Transport,
+};
+use bristle_proto::wire::{Envelope, WireAddr, WireMessage};
 
 use crate::engine::EventQueue;
 
@@ -78,6 +81,26 @@ enum MsgEvent {
     Partition(LinkFilter),
     /// A scheduled partition heal: every link works again.
     Heal,
+    /// A scheduled fail-slow script lands on a node (resolved to its
+    /// router at apply time, so it follows the node's current seat).
+    DegradeNode {
+        /// The node that starts failing slow.
+        key: Key,
+        /// The script.
+        degradation: Degradation,
+    },
+    /// A scheduled fail-slow script lands on the directed link between
+    /// two nodes' routers.
+    DegradeLink {
+        /// Sending side.
+        from: Key,
+        /// Receiving side.
+        to: Key,
+        /// The script.
+        degradation: Degradation,
+    },
+    /// A scheduled lift of every fail-slow script.
+    HealDegradations,
 }
 
 /// Why a messaging operation did not complete.
@@ -252,6 +275,11 @@ struct SystemEnv<'a> {
     /// The run's authentication configuration (defaults are the seed
     /// deployment: unsealed frames, nothing verified).
     auth: AuthConfig,
+    /// Peers some watcher currently holds degraded (gray-failing):
+    /// replica sets are reordered healthy-first so placement prefers
+    /// responsive replicas without shrinking the set. Empty by default,
+    /// which leaves ordering untouched.
+    degraded: &'a BTreeSet<Key>,
 }
 
 /// Authentication configuration of one messaging run, shared by every
@@ -280,11 +308,13 @@ fn machine_entry<'m>(
     node: Key,
     policy: RetryPolicy,
     fpolicy: FailurePolicy,
+    rto: Option<RtoConfig>,
 ) -> &'m mut ProtoMachine {
     let idx = ids.intern(node);
     if !machines.contains(idx) {
         let mut m = ProtoMachine::new(node, policy);
         m.set_failure_policy(fpolicy);
+        m.set_adaptive_rto(rto);
         machines.insert(idx, m);
     }
     machines.get_mut(idx).expect("just ensured")
@@ -308,10 +338,20 @@ impl NodeEnv for SystemEnv<'_> {
     }
 
     fn replicas(&self, subject: Key) -> Vec<Key> {
-        self.sys
+        let mut set = self
+            .sys
             .stationary
             .replica_set(subject, self.sys.config().location_replicas)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        // Latency-aware failover: a degraded-but-alive replica keeps its
+        // slot (the set is never shrunk — a funeral needs real evidence)
+        // but moves behind its healthy peers. The stable sort keeps ring
+        // order within each class, and an empty degraded set leaves the
+        // historical order byte-identical.
+        if !self.degraded.is_empty() {
+            set.sort_by_key(|k| self.degraded.contains(k));
+        }
+        set
     }
 
     fn current_addr(&self, key: Key) -> WireAddr {
@@ -464,6 +504,23 @@ pub struct MessagingBristleSystem {
     obs: ObsCollector,
     /// Authentication configuration shared by every node's environment.
     auth: AuthConfig,
+    /// Adaptive-RTO configuration applied to every machine (`None` =
+    /// fixed [`RetryPolicy`] timers, the default).
+    rto: Option<RtoConfig>,
+    /// Bounded-ingress backpressure: max queued deliveries per
+    /// destination node before lookup-class frames are shed (`None` =
+    /// unbounded, the default).
+    ingress_cap: Option<usize>,
+    /// Deliveries currently queued per destination node (only
+    /// maintained while `ingress_cap` is set).
+    inflight: HashMap<Key, usize>,
+    /// `(src, msg_id)` of every frame some machine has already
+    /// processed; a later transmission of the same frame is a spurious
+    /// retry (wasted work from a too-short timeout).
+    delivered: HashSet<(Key, u64)>,
+    /// Peers some watcher's health score currently holds degraded; fed
+    /// to [`SystemEnv::replicas`] for healthy-first ordering.
+    degraded: BTreeSet<Key>,
 }
 
 impl MessagingBristleSystem {
@@ -483,6 +540,7 @@ impl MessagingBristleSystem {
         policy: RetryPolicy,
     ) -> Self {
         let transport = SimTransport::new(sys.distances_arc(), faults, seed);
+        let rto = sys.config().adaptive_rto.then(RtoConfig::default);
         MessagingBristleSystem {
             sys,
             transport,
@@ -498,6 +556,40 @@ impl MessagingBristleSystem {
             rejoin_log: Vec::new(),
             obs: ObsCollector::default(),
             auth: AuthConfig::default(),
+            rto,
+            ingress_cap: None,
+            inflight: HashMap::new(),
+            delivered: HashSet::new(),
+            degraded: BTreeSet::new(),
+        }
+    }
+
+    /// Switches every machine (existing and future) to adaptive
+    /// per-peer RTO estimation, or back to fixed timers with `None`.
+    /// Estimator state does not survive the switch.
+    pub fn set_adaptive_rto(&mut self, cfg: Option<RtoConfig>) {
+        self.rto = cfg;
+        for (_, machine) in self.machines.iter_mut() {
+            machine.set_adaptive_rto(cfg);
+        }
+    }
+
+    /// Whether machines run adaptive RTO estimation.
+    pub fn adaptive_rto(&self) -> bool {
+        self.rto.is_some()
+    }
+
+    /// Bounds every node's ingress queue at `cap` pending deliveries:
+    /// beyond it, lookup-class frames (route and discovery traffic) are
+    /// shed deterministically and metered as [`MessageKind::LoadShed`];
+    /// protocol-fact frames (updates, registrations, heartbeats, acks,
+    /// verdicts) are always admitted, so overload degrades lookup
+    /// latency instead of corrupting protocol state. `None` (the
+    /// default) disables backpressure entirely.
+    pub fn set_ingress_cap(&mut self, cap: Option<usize>) {
+        self.ingress_cap = cap;
+        if cap.is_none() {
+            self.inflight.clear();
         }
     }
 
@@ -534,7 +626,7 @@ impl MessagingBristleSystem {
         let now = self.queue.now();
         let to_router = to_addr.router_id();
         for d in self.transport.send(now, from_router, to_router, env) {
-            self.queue.schedule_at(d.at, MsgEvent::Deliver(d));
+            self.admit(d);
         }
     }
 
@@ -649,6 +741,58 @@ impl MessagingBristleSystem {
         self.schedule_heal(to);
     }
 
+    /// Applies a fail-slow script to `key`'s current router immediately:
+    /// everything it sends or receives suffers the script's slowdown,
+    /// ramp and extra loss until healed. The node stays up — this is
+    /// gray failure, not a crash.
+    pub fn degrade_node_now(&mut self, key: Key, degradation: Degradation) {
+        if let Ok(router) = self.sys.router_of(key) {
+            self.transport.degrade_node(router, degradation, self.queue.now());
+        }
+    }
+
+    /// Applies a fail-slow script to the directed `from → to` link
+    /// between two nodes' current routers immediately; the reverse
+    /// direction is untouched (asymmetric degradation).
+    pub fn degrade_link_now(&mut self, from: Key, to: Key, degradation: Degradation) {
+        if let (Ok(a), Ok(b)) = (self.sys.router_of(from), self.sys.router_of(to)) {
+            self.transport.degrade_link(a, b, degradation, self.queue.now());
+        }
+    }
+
+    /// Lifts every fail-slow script immediately.
+    pub fn heal_degradations_now(&mut self) {
+        self.transport.clear_degradations();
+    }
+
+    /// Schedules a node fail-slow script for micro-time `at` (applied
+    /// while a later operation's event loop runs past that time).
+    pub fn schedule_degrade_node(&mut self, at: SimTime, key: Key, degradation: Degradation) {
+        self.queue.schedule_at(at, MsgEvent::DegradeNode { key, degradation });
+    }
+
+    /// Schedules a directed-link fail-slow script for micro-time `at`.
+    pub fn schedule_degrade_link(
+        &mut self,
+        at: SimTime,
+        from: Key,
+        to: Key,
+        degradation: Degradation,
+    ) {
+        self.queue.schedule_at(at, MsgEvent::DegradeLink { from, to, degradation });
+    }
+
+    /// Schedules a lift of every fail-slow script for micro-time `at`.
+    pub fn schedule_degrade_heal(&mut self, at: SimTime) {
+        self.queue.schedule_at(at, MsgEvent::HealDegradations);
+    }
+
+    /// Peers some watcher's health score currently holds degraded
+    /// (sorted). Refreshed by every [`Self::heartbeat_round`].
+    pub fn degraded_peers(&self) -> Vec<Key> {
+        self.degraded.iter().copied().collect()
+    }
+
     /// Nodes currently awaiting a funeral reversal (sorted).
     pub fn wrongly_buried(&self) -> Vec<Key> {
         self.wrongly_buried.keys().copied().collect()
@@ -703,6 +847,7 @@ impl MessagingBristleSystem {
                 key,
                 self.policy,
                 self.failure_policy,
+                self.rto,
             );
             machine.restore_incarnation(report.incarnation);
         }
@@ -729,6 +874,7 @@ impl MessagingBristleSystem {
                 key,
                 self.policy,
                 self.failure_policy,
+                self.rto,
             );
             machine.restore_incarnation(report.incarnation);
         }
@@ -808,6 +954,7 @@ impl MessagingBristleSystem {
                 watcher,
                 self.policy,
                 self.failure_policy,
+                self.rto,
             );
             machine.retain_monitored(|k| peers.contains(&k));
             for &p in &peers {
@@ -837,6 +984,7 @@ impl MessagingBristleSystem {
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
                     auth: self.auth,
+                    degraded: &self.degraded,
                 };
                 machine.start_heartbeats(now, &mut env)
             };
@@ -845,6 +993,14 @@ impl MessagingBristleSystem {
         let mut budget = MAX_EVENTS_PER_OP;
         while budget > 0 && self.step() {
             budget -= 1;
+        }
+        // Refresh the gray-failure view from the round's evidence: any
+        // watcher holding a peer degraded is enough to demote it in
+        // replica ordering (the union errs toward caution, never toward
+        // a funeral).
+        self.degraded.clear();
+        for (_, machine) in self.machines.iter() {
+            self.degraded.extend(machine.degraded_peers());
         }
         self.rejoin_sweep();
         let mut dead = Vec::new();
@@ -898,6 +1054,7 @@ impl MessagingBristleSystem {
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
                     auth: self.auth,
+                    degraded: &self.degraded,
                 };
                 machine.notify_suspect(now, &mut env, f, f)
             };
@@ -929,6 +1086,7 @@ impl MessagingBristleSystem {
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
                     auth: self.auth,
+                    degraded: &self.degraded,
                 };
                 machine.start_rejoin(now, &mut env, sponsor)
             };
@@ -1032,6 +1190,7 @@ impl MessagingBristleSystem {
                         tombstones: &self.tombstones,
                         obs: &mut self.obs,
                         auth: self.auth,
+                        degraded: &self.degraded,
                     };
                     machine.notify_suspect(now, &mut env, peer, key)
                 };
@@ -1073,12 +1232,14 @@ impl MessagingBristleSystem {
                 src,
                 self.policy,
                 self.failure_policy,
+                self.rto,
             );
             let mut env = SystemEnv {
                 sys: &mut self.sys,
                 tombstones: &self.tombstones,
                 obs: &mut self.obs,
                 auth: self.auth,
+                degraded: &self.degraded,
             };
             machine.start_route(now, &mut env, target)
         };
@@ -1097,6 +1258,84 @@ impl MessagingBristleSystem {
             }
             events += 1;
         }
+    }
+
+    /// Routes every `(src, target)` pair *concurrently*: all routes are
+    /// launched before the event loop runs, so their frames contend for
+    /// the same links and ingress queues — the flash-crowd shape
+    /// sequential [`Self::route`] calls (each settling before the next
+    /// starts) can never produce. Results are positional.
+    pub fn route_burst(
+        &mut self,
+        pairs: &[(Key, Key)],
+    ) -> Vec<Result<MessagingRouteReport, MessagingError>> {
+        let mut results: Vec<Option<Result<MessagingRouteReport, MessagingError>>> =
+            vec![None; pairs.len()];
+        let mut sessions: Vec<Option<(Key, u64, SimTime)>> = Vec::with_capacity(pairs.len());
+        for (i, &(src, target)) in pairs.iter().enumerate() {
+            if self.sys.node_info(src).is_err() || self.failed.contains(&src) {
+                results[i] = Some(Err(MessagingError::UnknownNode(src)));
+                sessions.push(None);
+                continue;
+            }
+            let now = self.queue.now();
+            let (route_id, out) = {
+                let machine = machine_entry(
+                    &mut self.ids,
+                    &mut self.machines,
+                    src,
+                    self.policy,
+                    self.failure_policy,
+                    self.rto,
+                );
+                let mut env = SystemEnv {
+                    sys: &mut self.sys,
+                    tombstones: &self.tombstones,
+                    obs: &mut self.obs,
+                    auth: self.auth,
+                    degraded: &self.degraded,
+                };
+                machine.start_route(now, &mut env, target)
+            };
+            self.dispatch(src, out);
+            sessions.push(Some((src, route_id, now)));
+        }
+        let mut events = 0u64;
+        loop {
+            let mut open = 0usize;
+            for (i, session) in sessions.iter().enumerate() {
+                let Some((src, route_id, started)) = *session else { continue };
+                if results[i].is_some() {
+                    continue;
+                }
+                match self.take_route_completion(src, route_id) {
+                    Ok(Some(done)) => {
+                        self.obs.route_latency.record(done.since(started));
+                        results[i] =
+                            Some(Ok(MessagingRouteReport { route_id, delivered_at: done, events }));
+                    }
+                    Ok(None) => open += 1,
+                    Err(e) => results[i] = Some(Err(e)),
+                }
+            }
+            if open == 0 {
+                break;
+            }
+            if events >= MAX_EVENTS_PER_OP {
+                for r in results.iter_mut().filter(|r| r.is_none()) {
+                    *r = Some(Err(MessagingError::Runaway));
+                }
+                break;
+            }
+            if !self.step() {
+                for r in results.iter_mut().filter(|r| r.is_none()) {
+                    *r = Some(Err(MessagingError::Stalled));
+                }
+                break;
+            }
+            events += 1;
+        }
+        results.into_iter().map(|r| r.unwrap_or(Err(MessagingError::Stalled))).collect()
     }
 
     /// Disseminates `key`'s current address through its LDT by reliable
@@ -1134,12 +1373,14 @@ impl MessagingBristleSystem {
                     parent,
                     self.policy,
                     self.failure_policy,
+                    self.rto,
                 );
                 let mut env = SystemEnv {
                     sys: &mut self.sys,
                     tombstones: &self.tombstones,
                     obs: &mut self.obs,
                     auth: self.auth,
+                    degraded: &self.degraded,
                 };
                 machine.start_update(now, &mut env, key, addr, info.seq, &children)
             };
@@ -1200,12 +1441,14 @@ impl MessagingBristleSystem {
                 who,
                 self.policy,
                 self.failure_policy,
+                self.rto,
             );
             let mut env = SystemEnv {
                 sys: &mut self.sys,
                 tombstones: &self.tombstones,
                 obs: &mut self.obs,
                 auth: self.auth,
+                degraded: &self.degraded,
             };
             machine.start_register(now, &mut env, target, info.capacity)
         };
@@ -1260,6 +1503,11 @@ impl MessagingBristleSystem {
                 // the system's books but still listening at its
                 // tombstoned attachment: its obituary must reach it.
                 let dst = d.env.dst;
+                if self.ingress_cap.is_some() {
+                    if let Some(n) = self.inflight.get_mut(&dst) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
                 if self.failed.contains(&dst) {
                     return true;
                 }
@@ -1274,6 +1522,9 @@ impl MessagingBristleSystem {
                     }
                 };
                 if reachable {
+                    // The frame is about to be processed: any *later*
+                    // copy of it on the wire is a spurious retry.
+                    self.delivered.insert((d.env.src, d.env.msg_id));
                     let out = {
                         let machine = machine_entry(
                             &mut self.ids,
@@ -1281,12 +1532,14 @@ impl MessagingBristleSystem {
                             dst,
                             self.policy,
                             self.failure_policy,
+                            self.rto,
                         );
                         let mut env = SystemEnv {
                             sys: &mut self.sys,
                             tombstones: &self.tombstones,
                             obs: &mut self.obs,
                             auth: self.auth,
+                            degraded: &self.degraded,
                         };
                         machine.poll(now, Event::Deliver(d.env), &mut env)
                     };
@@ -1301,6 +1554,7 @@ impl MessagingBristleSystem {
                             tombstones: &self.tombstones,
                             obs: &mut self.obs,
                             auth: self.auth,
+                            degraded: &self.degraded,
                         };
                         machine.poll(now, Event::Timer(kind), &mut env)
                     };
@@ -1313,6 +1567,11 @@ impl MessagingBristleSystem {
             MsgEvent::Fail { key } => self.fail_now(key),
             MsgEvent::Partition(filter) => self.transport.set_filter(filter),
             MsgEvent::Heal => self.transport.set_filter(LinkFilter::default()),
+            MsgEvent::DegradeNode { key, degradation } => self.degrade_node_now(key, degradation),
+            MsgEvent::DegradeLink { from, to, degradation } => {
+                self.degrade_link_now(from, to, degradation)
+            }
+            MsgEvent::HealDegradations => self.transport.clear_degradations(),
         }
         true
     }
@@ -1332,15 +1591,46 @@ impl MessagingBristleSystem {
             Err(_) => return,
         };
         for o in out.outgoing {
+            // A transmission of a frame whose first copy was already
+            // processed is retry-timer waste — the receiver will dedup
+            // it. Counted (cost zero) so the degradation sweep can
+            // compare RTO policies by wasted sends.
+            if self.delivered.contains(&(o.env.src, o.env.msg_id)) {
+                self.sys.meter.bump(MessageKind::SpuriousRetry, 1);
+            }
             let to_router = o.to_addr.router_id();
             for d in self.transport.send(now, from_router, to_router, o.env) {
-                self.queue.schedule_at(d.at, MsgEvent::Deliver(d));
+                self.admit(d);
             }
         }
         for t in out.timers {
             self.queue.schedule_at(t.at, MsgEvent::Timer { node: from, kind: t.kind });
         }
         self.completions.extend(out.completions);
+    }
+
+    /// Schedules one transport delivery, applying ingress backpressure:
+    /// with a cap set and the destination's queue full, lookup-class
+    /// frames are shed (metered, never delivered) while protocol-fact
+    /// frames are admitted regardless — shedding a fact would corrupt
+    /// protocol state to save queue space, the wrong trade.
+    fn admit(&mut self, d: Delivery) {
+        if let Some(cap) = self.ingress_cap {
+            let queued = self.inflight.entry(d.env.dst).or_insert(0);
+            let sheddable = matches!(
+                d.env.msg,
+                WireMessage::RouteHop { .. }
+                    | WireMessage::Discovery { .. }
+                    | WireMessage::DiscoveryReply { .. }
+                    | WireMessage::ProbeMiss { .. }
+            );
+            if *queued >= cap && sheddable {
+                self.sys.meter.bump(MessageKind::LoadShed, 1);
+                return;
+            }
+            *queued += 1;
+        }
+        self.queue.schedule_at(d.at, MsgEvent::Deliver(d));
     }
 
     /// Scans buffered completions for this route's outcome.

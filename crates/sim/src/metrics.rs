@@ -80,6 +80,15 @@ impl Samples {
     pub fn sum(&self) -> f64 {
         self.values.iter().sum()
     }
+
+    /// All samples, sorted ascending — for pooling collectors.
+    pub fn sorted_values(&mut self) -> &[f64] {
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.sorted = true;
+        }
+        &self.values
+    }
 }
 
 trait IntoFinite {

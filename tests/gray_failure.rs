@@ -1,0 +1,86 @@
+//! Acceptance tests for gray-failure resilience
+//! ([`bristle::sim::degradation`]).
+//!
+//! The headline scenario: a spread of stationary nodes scripted
+//! fail-slow (3× latency), one asymmetric lossy link, bounded ingress
+//! queues, and flash-crowd route waves. Under that script, at seeds 8
+//! and 27:
+//!
+//! * no degraded-but-alive peer is ever wrongfully buried, in either
+//!   retry arm — slow must never look like dead;
+//! * the one genuinely crashed node is still confirmed and healed
+//!   while the degradation is active — dead must never look like slow;
+//! * the adaptive per-peer RTO fires strictly fewer spurious
+//!   retransmissions than the fixed retry timers on the identical
+//!   script, and sheds no more frames at the bounded queues.
+
+use bristle::sim::degradation::{run_degradation, DegradationConfig};
+
+/// The two acceptance seeds: 8 (the committed-report seed) and 27.
+const SEEDS: [u64; 2] = [8, 27];
+
+fn arms(
+    seed: u64,
+) -> (bristle::sim::degradation::DegradationOutcome, bristle::sim::degradation::DegradationOutcome)
+{
+    let mut cfg = DegradationConfig::standard(seed);
+    cfg.adaptive = false;
+    let fixed = run_degradation(&cfg);
+    cfg.adaptive = true;
+    let adaptive = run_degradation(&cfg);
+    (fixed, adaptive)
+}
+
+#[test]
+fn slowdown_never_buries_a_living_peer_in_either_arm() {
+    for seed in SEEDS {
+        let (fixed, adaptive) = arms(seed);
+        assert_eq!(fixed.wrongful_burials, 0, "fixed arm buried a living peer at seed {seed}");
+        assert_eq!(
+            adaptive.wrongful_burials, 0,
+            "adaptive arm buried a living peer at seed {seed}"
+        );
+        // The detector's evidence standard must not go soft either: the
+        // scripted real crash is confirmed in both arms.
+        assert!(fixed.crash_confirmed, "fixed arm missed the real crash at seed {seed}");
+        assert!(adaptive.crash_confirmed, "adaptive arm missed the real crash at seed {seed}");
+    }
+}
+
+#[test]
+fn adaptive_rto_cuts_spurious_retransmissions_under_slowdown() {
+    for seed in SEEDS {
+        let (fixed, adaptive) = arms(seed);
+        assert!(
+            fixed.spurious_retries > 0,
+            "the fixed timers should misfire under 3x slowdown at seed {seed}: {fixed:?}"
+        );
+        assert!(
+            adaptive.spurious_retries < fixed.spurious_retries,
+            "adaptive ({}) must fire strictly fewer spurious retries than fixed ({}) at seed {seed}",
+            adaptive.spurious_retries,
+            fixed.spurious_retries,
+        );
+        assert!(
+            adaptive.load_sheds <= fixed.load_sheds,
+            "adaptive ({}) must shed no more than fixed ({}) at seed {seed}",
+            adaptive.load_sheds,
+            fixed.load_sheds,
+        );
+    }
+}
+
+#[test]
+fn health_score_flags_degraded_peers() {
+    for seed in SEEDS {
+        let (fixed, adaptive) = arms(seed);
+        assert!(fixed.degraded_flagged_max > 0, "no degraded peer flagged at seed {seed}");
+        assert!(adaptive.degraded_flagged_max > 0, "no degraded peer flagged at seed {seed}");
+    }
+}
+
+#[test]
+fn degradation_run_is_deterministic() {
+    let cfg = DegradationConfig::standard(27);
+    assert_eq!(run_degradation(&cfg), run_degradation(&cfg));
+}
