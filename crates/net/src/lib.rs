@@ -1,0 +1,37 @@
+//! `bristle-net`: the Bristle sans-I/O machines over real UDP sockets.
+//!
+//! Everything protocol lives in `bristle-proto`'s [`ProtoMachine`] —
+//! a pure state machine polled with `(now, event, env)`. The simulator
+//! drives it with a virtual clock and an in-memory transport; this
+//! crate drives the *same* machine with [`std::net::UdpSocket`]s and a
+//! wall clock, std-only and tokio-free: a nonblocking poll loop, not an
+//! async runtime.
+//!
+//! Three pieces:
+//!
+//! - [`clock::WallClock`] — quantizes real elapsed time into
+//!   [`SimTime`] ticks and supports forward-only fast-forward, so a
+//!   quiet network can skip to the next retry deadline instead of
+//!   sleeping 20 seconds through it.
+//! - [`book::AddressBook`] — maps the machines' `WireAddr`s (host,
+//!   router, epoch) to real `SocketAddr` endpoints, mirroring the
+//!   `Transport` trait's addressing.
+//! - [`driver::SocketDriver`] — one socket per node, pump-then-fire
+//!   poll loop, hardened datagram boundary (oversized or undecodable
+//!   frames are dropped and metered, never parsed, never panic).
+//!
+//! The conformance claim — that a scripted scenario produces identical
+//! per-kind meter tallies and causal event sequences over sockets and
+//! over `SimTransport` — is exercised by `bristle-sim`'s conformance
+//! module and the `net_conformance` integration test.
+//!
+//! [`ProtoMachine`]: bristle_proto::machine::ProtoMachine
+//! [`SimTime`]: bristle_core::time::SimTime
+
+pub mod book;
+pub mod clock;
+pub mod driver;
+
+pub use book::AddressBook;
+pub use clock::WallClock;
+pub use driver::{NetStats, SocketDriver, MAX_FRAME};

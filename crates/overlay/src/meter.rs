@@ -95,6 +95,12 @@ message_kinds! {
     /// A lookup-class frame shed at a full ingress queue under
     /// overload (counts sheds, not messages; cost is always zero).
     LoadShed,
+    /// A datagram dropped at the socket boundary before reaching any
+    /// machine: oversized, truncated, or otherwise undecodable bytes
+    /// (counts drops, not messages; cost is always zero). Only the real
+    /// network driver can produce these — `SimTransport` deliveries are
+    /// typed envelopes that never hit the codec.
+    MalformedFrame,
 }
 
 /// The meter index of a kind is its discriminant; `ALL_KINDS` is in

@@ -12,6 +12,7 @@
 
 pub mod failure;
 pub mod machine;
+pub mod mix;
 pub mod rto;
 pub mod transport;
 pub mod wire;
@@ -20,6 +21,7 @@ pub use failure::{FailureDetector, FailurePolicy, Liveness, LivenessTransition, 
 pub use machine::{
     Completion, Event, NodeEnv, Outgoing, Output, ProtoMachine, RetryPolicy, Timer, TimerKind,
 };
+pub use mix::splitmix64;
 pub use rto::{RtoConfig, RtoEstimator};
 pub use transport::{
     Degradation, Delivery, Fate, FaultConfig, LinkFilter, SimTransport, TraceRecord, Transport,

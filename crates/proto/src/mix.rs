@@ -1,0 +1,48 @@
+//! Shared seeded-hash helper.
+//!
+//! Several determinism-sensitive corners of the crate need to turn a
+//! counter or seed into well-mixed bits without carrying RNG state: the
+//! transport's degradation side-stream and the RTO estimator's timer
+//! jitter both hash `(salt, draw counter)` pairs. They must keep using
+//! the *same* finalizer forever — committed golden traces and BENCH
+//! reports pin its outputs — so the function lives here once instead of
+//! drifting as per-module copies.
+
+/// SplitMix64 finalizer: the standard avalanche step of Steele et al.'s
+/// SplitMix64 generator. Bijective on `u64`, so distinct inputs can
+/// never collide.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the finalizer's outputs byte-for-byte. Both the transport's
+    /// degradation loss stream and the RTO jitter draw from this
+    /// function; a change here silently re-seeds every committed golden
+    /// trace and BENCH report, so the constants are load-bearing.
+    #[test]
+    fn outputs_are_pinned() {
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(splitmix64(2), 0x9758_35DE_1C97_56CE);
+        assert_eq!(splitmix64(0xDEAD_BEEF), 0x4ADF_B90F_68C9_EB9B);
+        assert_eq!(splitmix64(u64::MAX), 0xE4D9_7177_1B65_2C20);
+    }
+
+    /// Sequential inputs avalanche: no two nearby counters share high
+    /// bits (a smoke check that the constants were not fat-fingered).
+    #[test]
+    fn nearby_inputs_diverge() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1024u64 {
+            assert!(seen.insert(splitmix64(i) >> 32), "high bits collide at {i}");
+        }
+    }
+}

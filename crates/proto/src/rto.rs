@@ -168,14 +168,9 @@ impl RtoEstimator {
     }
 }
 
-/// SplitMix64 finaliser: the standard avalanche for turning a counter
-/// into well-mixed bits without carrying RNG state.
-fn splitmix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Timer jitter hashes its draw counter through the crate's shared
+/// [`splitmix64`] finalizer (one copy, pinned outputs).
+use crate::mix::splitmix64 as splitmix;
 
 #[cfg(test)]
 mod tests {

@@ -182,14 +182,9 @@ impl Degradation {
     }
 }
 
-/// SplitMix64 finalizer — the side hash stream degradation loss draws
-/// from, so the main RNG's fixed per-send draw order is untouched.
-fn stir(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// The side hash stream degradation loss draws from ([`splitmix64`]),
+/// so the main RNG's fixed per-send draw order is untouched.
+use crate::mix::splitmix64 as stir;
 
 /// Deterministic link/partition outages consulted before every send.
 ///

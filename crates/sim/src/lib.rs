@@ -24,6 +24,7 @@ pub mod baseline_type_a;
 pub mod baseline_type_b;
 pub mod churn;
 pub mod cli;
+pub mod conformance;
 pub mod degradation;
 pub mod durability;
 pub mod engine;

@@ -264,32 +264,32 @@ impl ObsCollector {
 /// The machines' window onto the shared system: every [`NodeEnv`] query
 /// or commit maps onto the exact state the function-call path reads and
 /// writes, which is what makes the meter tallies comparable.
-struct SystemEnv<'a> {
-    sys: &'a mut BristleSystem,
+pub(crate) struct SystemEnv<'a> {
+    pub(crate) sys: &'a mut BristleSystem,
     /// Last known wire addresses of nodes that crashed or left: senders
     /// may still address them (that is the point of crash *detection*),
     /// and the transport needs a router to deliver the doomed bytes to.
-    tombstones: &'a HashMap<Key, WireAddr>,
+    pub(crate) tombstones: &'a HashMap<Key, WireAddr>,
     /// Destination for machine-emitted structured events.
-    obs: &'a mut ObsCollector,
+    pub(crate) obs: &'a mut ObsCollector,
     /// The run's authentication configuration (defaults are the seed
     /// deployment: unsealed frames, nothing verified).
-    auth: AuthConfig,
+    pub(crate) auth: AuthConfig,
     /// Peers some watcher currently holds degraded (gray-failing):
     /// replica sets are reordered healthy-first so placement prefers
     /// responsive replicas without shrinking the set. Empty by default,
     /// which leaves ordering untouched.
-    degraded: &'a BTreeSet<Key>,
+    pub(crate) degraded: &'a BTreeSet<Key>,
 }
 
 /// Authentication configuration of one messaging run, shared by every
 /// node's environment.
 #[derive(Debug, Clone, Copy, Default)]
-struct AuthConfig {
+pub(crate) struct AuthConfig {
     /// The deployment's key-derivation oracle (`None` = pre-auth seed).
-    domain: Option<AuthDomain>,
+    pub(crate) domain: Option<AuthDomain>,
     /// How strictly received frames are checked.
-    policy: VerifyPolicy,
+    pub(crate) policy: VerifyPolicy,
 }
 
 /// Where mail for a node nobody ever knew goes: a syntactically valid

@@ -67,13 +67,62 @@ fn pid_alive(pid: u32) -> bool {
     Path::new("/proc").join(pid.to_string()).exists()
 }
 
+/// Instance token for `pid`: the kernel's process start time (field 22
+/// of `/proc/<pid>/stat`, clock ticks since boot). Two processes that
+/// reuse one PID cannot share it, which is exactly the disambiguation
+/// the lock file needs — a bare PID match proves nothing after the
+/// original owner died and the kernel recycled its number. `None`
+/// where `/proc` is unavailable or unparsable.
+fn pid_birth(pid: u32) -> Option<u64> {
+    let stat =
+        std::fs::read_to_string(Path::new("/proc").join(pid.to_string()).join("stat")).ok()?;
+    // The comm field may contain spaces and parentheses; everything
+    // after the *last* `)` is whitespace-separated, starting at field 3
+    // (state), so starttime (field 22) is the 20th token from there.
+    let after_comm = stat.rsplit_once(')')?.1;
+    after_comm.split_whitespace().nth(19)?.parse().ok()
+}
+
+/// What a lock file names: the owning PID, plus the owner's boot-scoped
+/// instance token when one was recorded (older lock files carry only
+/// the PID).
+struct LockHolder {
+    pid: u32,
+    birth: Option<u64>,
+}
+
+/// Parses `wal.lock` contents (`"<pid>"` or `"<pid> <birth>"`).
+fn parse_lock(contents: &str) -> Option<LockHolder> {
+    let mut parts = contents.split_whitespace();
+    let pid = parts.next()?.parse().ok()?;
+    let birth = parts.next().and_then(|t| t.parse().ok());
+    Some(LockHolder { pid, birth })
+}
+
+/// Whether the lock file's holder is the *same process instance* that
+/// wrote it — not merely a live process wearing a recycled PID. A
+/// recorded token that mismatches the live process's token proves PID
+/// reuse, so the lock is stale; with no token on either side (old lock
+/// format, or no `/proc`) the bare liveness check is all there is.
+fn holder_still_owns(holder: &LockHolder) -> bool {
+    if !pid_alive(holder.pid) {
+        return false;
+    }
+    match (holder.birth, pid_birth(holder.pid)) {
+        (Some(recorded), Some(live)) => recorded == live,
+        _ => true,
+    }
+}
+
 /// Takes the exclusive open lock on `dir`, or explains who holds it.
 ///
 /// Two cooperating layers: `wal.lock` (created exclusively, holding the
-/// owner's PID) fences other processes, and the in-process ledger
-/// fences a second open in this one. A lock file whose PID is no
-/// longer running is a crash leftover and is broken silently — crash
-/// recovery must not require manual cleanup.
+/// owner's PID and its boot-scoped start-time token) fences other
+/// processes, and the in-process ledger fences a second open in this
+/// one. A lock file whose owner is no longer running — including a
+/// *recycled* PID whose recorded token mismatches the live process —
+/// is a crash leftover and is broken silently; crash recovery must not
+/// require manual cleanup.
 fn acquire_dir_lock(dir: &Path) -> std::io::Result<PathBuf> {
     let canonical = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
     let lock_path = dir.join("wal.lock");
@@ -89,24 +138,27 @@ fn acquire_dir_lock(dir: &Path) -> std::io::Result<PathBuf> {
     for attempt in 0..2 {
         match OpenOptions::new().write(true).create_new(true).open(&lock_path) {
             Ok(mut f) => {
-                f.write_all(std::process::id().to_string().as_bytes())?;
+                let pid = std::process::id();
+                let contents = match pid_birth(pid) {
+                    Some(birth) => format!("{pid} {birth}"),
+                    None => pid.to_string(),
+                };
+                f.write_all(contents.as_bytes())?;
                 open_dirs().lock().expect("lock ledger poisoned").insert(canonical);
                 return Ok(lock_path);
             }
             Err(e) if e.kind() == ErrorKind::AlreadyExists && attempt == 0 => {
-                let holder = std::fs::read_to_string(&lock_path)
-                    .ok()
-                    .and_then(|s| s.trim().parse::<u32>().ok());
+                let holder = std::fs::read_to_string(&lock_path).ok().and_then(|s| parse_lock(&s));
                 match holder {
-                    // A live foreign process holds it: refuse.
-                    Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                    // A live foreign process instance holds it: refuse.
+                    Some(h) if h.pid != std::process::id() && holder_still_owns(&h) => {
                         return Err(std::io::Error::new(
                             ErrorKind::AddrInUse,
-                            format!("{} is locked by live pid {pid}", dir.display()),
+                            format!("{} is locked by live pid {}", dir.display(), h.pid),
                         ));
                     }
-                    // Dead owner, our own stale leftover, or garbage
-                    // contents: break the lock and retry once.
+                    // Dead owner, a reused PID, our own stale leftover,
+                    // or garbage contents: break the lock, retry once.
                     _ => {
                         std::fs::remove_file(&lock_path)?;
                     }
@@ -723,6 +775,58 @@ mod tests {
         std::fs::write(dir.join("wal.lock"), "4194305").unwrap();
         let b = WalBackend::open(&dir, 0).expect("stale lock must not require manual cleanup");
         drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The PID-reuse regression: a lock file naming a PID that is alive
+    /// *today* but whose recorded start-time token belongs to a dead
+    /// previous owner of that number must be broken, not honored. PID 1
+    /// is guaranteed alive, so writing it with a token no real process
+    /// can have (0 is the idle task, never an owner of this lock)
+    /// reproduces exactly the reuse shape.
+    #[test]
+    fn reused_pid_with_mismatched_token_is_broken() {
+        let dir = scratch("pid-reuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        if pid_birth(1).is_none() {
+            return; // no /proc: the token layer is inert here.
+        }
+        std::fs::write(dir.join("wal.lock"), "1 0").unwrap();
+        let b =
+            WalBackend::open(&dir, 0).expect("a recycled PID must not wedge the directory forever");
+        drop(b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The counterpart: the same live PID with its *real* token is a
+    /// genuine foreign holder and must still be refused — the token
+    /// check tightens lock breaking, it must not loosen it.
+    #[test]
+    fn live_pid_with_matching_token_is_still_refused() {
+        let dir = scratch("pid-live-token");
+        std::fs::create_dir_all(&dir).unwrap();
+        let Some(birth) = pid_birth(1) else {
+            return; // no /proc: nothing to distinguish.
+        };
+        std::fs::write(dir.join("wal.lock"), format!("1 {birth}")).unwrap();
+        let second = WalBackend::open(&dir, 0);
+        assert!(second.is_err(), "a live same-instance holder must be refused");
+        assert_eq!(second.unwrap_err().kind(), ErrorKind::AddrInUse);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Token-less lock files (the previous on-disk format) keep the old
+    /// semantics: liveness of the PID alone decides.
+    #[test]
+    fn legacy_pid_only_lock_from_a_live_process_is_refused() {
+        let dir = scratch("legacy-lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        if !pid_alive(1) {
+            return;
+        }
+        std::fs::write(dir.join("wal.lock"), "1").unwrap();
+        let second = WalBackend::open(&dir, 0);
+        assert!(second.is_err(), "legacy live lock must still be refused");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

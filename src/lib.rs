@@ -13,11 +13,14 @@
 //!   the crash-restart replay path.
 //! * [`sim`] — experiment harness, baselines, per-figure drivers,
 //!   message-passing driver.
+//! * [`net`] — std-only UDP runtime: the same sans-I/O machines over
+//!   real nonblocking sockets, with a wall-clock adapter.
 //!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction notes.
 
 pub use bristle_core as core;
+pub use bristle_net as net;
 pub use bristle_netsim as netsim;
 pub use bristle_overlay as overlay;
 pub use bristle_proto as proto;
